@@ -1,0 +1,42 @@
+// Ablation of the OSTR cost function: criterion (i) alone vs (i) with the
+// balance tie-break (ii). The paper requires (ii) so the two registers end
+// up "of about equal size"; this bench quantifies the balance that would be
+// lost without it.
+
+#include <cmath>
+#include <cstdio>
+
+#include "benchdata/iwls93.hpp"
+#include "ostr/ostr.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace stc;
+
+  AsciiTable table({"machine", "S1xS2 (i)+(ii)", "balance", "S1xS2 (i) only",
+                    "balance", "same FFs"});
+  table.set_title("Cost-function ablation: balance tie-break (criterion ii)");
+
+  for (const auto& info : benchmark_catalog()) {
+    if (!info.in_table1 || info.name == "tbk" || info.name == "s1") continue;
+    const MealyMachine m = load_benchmark(info.name);
+
+    OstrOptions with;
+    with.max_nodes = 400000;
+    OstrOptions without = with;
+    without.balance_tiebreak = false;
+
+    const OstrResult a = solve_ostr(m, with);
+    const OstrResult b = solve_ostr(m, without);
+
+    char ba[16], bb[16];
+    std::snprintf(ba, sizeof ba, "%.2f", a.best.balance);
+    std::snprintf(bb, sizeof bb, "%.2f", b.best.balance);
+    table.add_row({info.name,
+                   std::to_string(a.best.s1) + "x" + std::to_string(a.best.s2), ba,
+                   std::to_string(b.best.s1) + "x" + std::to_string(b.best.s2), bb,
+                   a.best.flipflops == b.best.flipflops ? "yes" : "NO"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation: Lemma-1 pruning on vs off, as wall-clock (google-benchmark)
+// and as node counts. Complements table2_pruning, which only reports the
+// pruned run; here the unpruned search actually executes on machines small
+// enough to exhaust.
+
+#include <benchmark/benchmark.h>
+
+#include "benchdata/iwls93.hpp"
+#include "ostr/ostr.hpp"
+
+namespace {
+
+using namespace stc;
+
+void run_ostr(benchmark::State& state, const char* machine, bool prune) {
+  const MealyMachine m = load_benchmark(machine);
+  OstrOptions opts;
+  opts.prune = prune;
+  opts.max_nodes = 2000000;
+  std::uint64_t nodes = 0;
+  std::size_t ffs = 0;
+  for (auto _ : state) {
+    const OstrResult res = solve_ostr(m, opts);
+    nodes = res.stats.nodes_investigated;
+    ffs = res.best.flipflops;
+    benchmark::DoNotOptimize(res.best.s1);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+  state.counters["flipflops"] = static_cast<double>(ffs);
+}
+
+void BM_Pruned_PaperFig5(benchmark::State& s) { run_ostr(s, "paper_fig5", true); }
+void BM_Unpruned_PaperFig5(benchmark::State& s) { run_ostr(s, "paper_fig5", false); }
+void BM_Pruned_Shiftreg(benchmark::State& s) { run_ostr(s, "shiftreg", true); }
+void BM_Unpruned_Shiftreg(benchmark::State& s) { run_ostr(s, "shiftreg", false); }
+void BM_Pruned_Bbtas(benchmark::State& s) { run_ostr(s, "bbtas", true); }
+void BM_Unpruned_Bbtas(benchmark::State& s) { run_ostr(s, "bbtas", false); }
+void BM_Pruned_Dk27(benchmark::State& s) { run_ostr(s, "dk27", true); }
+void BM_Unpruned_Dk27(benchmark::State& s) { run_ostr(s, "dk27", false); }
+void BM_Pruned_Tav(benchmark::State& s) { run_ostr(s, "tav", true); }
+void BM_Unpruned_Tav(benchmark::State& s) { run_ostr(s, "tav", false); }
+
+BENCHMARK(BM_Pruned_PaperFig5);
+BENCHMARK(BM_Unpruned_PaperFig5);
+BENCHMARK(BM_Pruned_Shiftreg);
+BENCHMARK(BM_Unpruned_Shiftreg);
+BENCHMARK(BM_Pruned_Bbtas);
+BENCHMARK(BM_Unpruned_Bbtas);
+BENCHMARK(BM_Pruned_Dk27);
+BENCHMARK(BM_Unpruned_Dk27);
+BENCHMARK(BM_Pruned_Tav);
+BENCHMARK(BM_Unpruned_Tav);
+
+}  // namespace
+
+BENCHMARK_MAIN();

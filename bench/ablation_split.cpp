@@ -1,0 +1,37 @@
+// Extension bench (the paper's future-work item): state splitting to
+// obtain functionally equivalent machines whose self-testable realizations
+// solve OSTR better. Reports the flip-flop cost before/after greedy
+// splitting and verifies behavioral equivalence of the split machine.
+
+#include <cstdio>
+
+#include "benchdata/iwls93.hpp"
+#include "fsm/simulate.hpp"
+#include "ostr/state_split.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace stc;
+  const char* machines[] = {"paper_fig5", "bbtas", "dk15", "dk17", "mc",
+                            "serial_adder", "count10"};
+
+  AsciiTable table({"machine", "|S|", "FFs before", "splits", "|S| after",
+                    "FFs after", "equivalent"});
+  table.set_title("State-splitting extension (Section 5 future work)");
+
+  for (const char* name : machines) {
+    const MealyMachine m = load_benchmark(name);
+    OstrOptions opts;
+    opts.max_nodes = 100000;
+    const SplitImprovement imp = improve_by_splitting(m, 2, opts);
+
+    table.add_row({name, std::to_string(m.num_states()),
+                   std::to_string(imp.original_flipflops),
+                   std::to_string(imp.splits.size()),
+                   std::to_string(imp.machine.num_states()),
+                   std::to_string(imp.ostr.best.flipflops),
+                   equivalent(m, imp.machine) ? "yes" : "NO"});
+  }
+  std::printf("%s", table.render().c_str());
+  return 0;
+}

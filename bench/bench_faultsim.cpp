@@ -1,0 +1,62 @@
+// Fault-simulation throughput (google-benchmark): cost of a full serial
+// stuck-at campaign on the pipeline structure, and of a single self-test
+// session, as a function of test length.
+
+#include <benchmark/benchmark.h>
+
+#include "benchdata/iwls93.hpp"
+#include "synth/flow.hpp"
+
+namespace {
+
+using namespace stc;
+
+ControllerStructure pipeline_for(const char* name) {
+  const MealyMachine m = load_benchmark(name);
+  const OstrResult ostr = solve_ostr(m);
+  const Realization real = build_realization(m, ostr.best.pi, ostr.best.tau);
+  return build_fig4(m, real);
+}
+
+void BM_SelfTestSession(benchmark::State& state) {
+  static const ControllerStructure cs = pipeline_for("dk27");
+  const std::size_t cycles = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    auto sigs = run_self_test(cs, SelfTestPlan::two_session(cycles));
+    benchmark::DoNotOptimize(sigs.output_sig);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(2 * cycles));
+}
+BENCHMARK(BM_SelfTestSession)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_FullFaultCampaign(benchmark::State& state) {
+  static const ControllerStructure cs = pipeline_for("dk27");
+  std::size_t detected = 0, total = 0;
+  for (auto _ : state) {
+    const auto cov = measure_coverage(cs, SelfTestPlan::two_session(128));
+    detected = cov.detected;
+    total = cov.total;
+    benchmark::DoNotOptimize(cov.detected);
+  }
+  state.counters["faults"] = static_cast<double>(total);
+  state.counters["detected"] = static_cast<double>(detected);
+}
+BENCHMARK(BM_FullFaultCampaign);
+
+void BM_NetlistStep(benchmark::State& state) {
+  static const ControllerStructure cs = pipeline_for("shiftreg");
+  auto st = cs.nl.initial_state();
+  std::vector<bool> in(cs.nl.num_inputs(), false);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    in[0] = (++k) & 1;
+    auto out = cs.nl.step(in, st);
+    benchmark::DoNotOptimize(out.size());
+  }
+}
+BENCHMARK(BM_NetlistStep);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+// Logic-minimizer benchmarks (google-benchmark): exact Quine-McCluskey vs
+// the espresso-lite heuristic on encoded benchmark machines, plus the
+// resulting literal counts -- the quality/runtime trade the synthesis flow
+// relies on when it picks a minimizer automatically.
+
+#include <benchmark/benchmark.h>
+
+#include "benchdata/iwls93.hpp"
+#include "encoding/encoded_fsm.hpp"
+#include "logic/cost.hpp"
+#include "logic/espresso_lite.hpp"
+#include "logic/qm.hpp"
+
+namespace {
+
+using namespace stc;
+
+EncodedFsm encoded(const char* name) {
+  const MealyMachine m = load_benchmark(name);
+  return encode_fsm(m, natural_encoding(m.num_states()));
+}
+
+void run_minimizer(benchmark::State& state, const char* machine, bool exact) {
+  const EncodedFsm enc = encoded(machine);
+  std::size_t lits = 0, cubes = 0;
+  for (auto _ : state) {
+    lits = cubes = 0;
+    for (const auto& tt : enc.next_state) {
+      const Cover c = exact ? minimize_qm(tt) : minimize_espresso(tt);
+      lits += c.num_literals();
+      cubes += c.num_cubes();
+      benchmark::DoNotOptimize(c.num_cubes());
+    }
+  }
+  state.counters["literals"] = static_cast<double>(lits);
+  state.counters["cubes"] = static_cast<double>(cubes);
+}
+
+void BM_QM_Shiftreg(benchmark::State& s) { run_minimizer(s, "shiftreg", true); }
+void BM_Espresso_Shiftreg(benchmark::State& s) { run_minimizer(s, "shiftreg", false); }
+void BM_QM_Dk27(benchmark::State& s) { run_minimizer(s, "dk27", true); }
+void BM_Espresso_Dk27(benchmark::State& s) { run_minimizer(s, "dk27", false); }
+void BM_QM_Bbara(benchmark::State& s) { run_minimizer(s, "bbara", true); }
+void BM_Espresso_Bbara(benchmark::State& s) { run_minimizer(s, "bbara", false); }
+void BM_QM_Dk16(benchmark::State& s) { run_minimizer(s, "dk16", true); }
+void BM_Espresso_Dk16(benchmark::State& s) { run_minimizer(s, "dk16", false); }
+
+BENCHMARK(BM_QM_Shiftreg);
+BENCHMARK(BM_Espresso_Shiftreg);
+BENCHMARK(BM_QM_Dk27);
+BENCHMARK(BM_Espresso_Dk27);
+BENCHMARK(BM_QM_Bbara);
+BENCHMARK(BM_Espresso_Bbara);
+BENCHMARK(BM_QM_Dk16);
+BENCHMARK(BM_Espresso_Dk16);
+
+}  // namespace
+
+BENCHMARK_MAIN();

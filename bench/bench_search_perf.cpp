@@ -1,0 +1,57 @@
+// Scaling of the OSTR search on random and planted-decomposable machines
+// (google-benchmark). Establishes how the search cost grows with state
+// count and how much cheaper decomposable instances are (they prune less
+// but exhaust smaller trees).
+
+#include <benchmark/benchmark.h>
+
+#include "fsm/generate.hpp"
+#include "ostr/ostr.hpp"
+
+namespace {
+
+using namespace stc;
+
+void BM_OstrRandom(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const MealyMachine m = random_mealy(7 + n, n, 2, 2);
+  OstrOptions opts;
+  opts.max_nodes = 500000;
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const OstrResult res = solve_ostr(m, opts);
+    nodes = res.stats.nodes_investigated;
+    benchmark::DoNotOptimize(res.best.flipflops);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_OstrRandom)->Arg(4)->Arg(6)->Arg(8)->Arg(10)->Arg(12);
+
+void BM_OstrDecomposable(benchmark::State& state) {
+  const std::size_t n1 = static_cast<std::size_t>(state.range(0));
+  const MealyMachine m = decomposable_mealy(21, n1, 3, 2, 2);
+  OstrOptions opts;
+  opts.max_nodes = 500000;
+  std::uint64_t nodes = 0;
+  for (auto _ : state) {
+    const OstrResult res = solve_ostr(m, opts);
+    nodes = res.stats.nodes_investigated;
+    benchmark::DoNotOptimize(res.best.flipflops);
+  }
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+BENCHMARK(BM_OstrDecomposable)->Arg(2)->Arg(3)->Arg(4);
+
+void BM_MmBasis(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  const MealyMachine m = random_mealy(3 * n, n, 2, 2);
+  for (auto _ : state) {
+    auto basis = mm_basis(m);
+    benchmark::DoNotOptimize(basis.size());
+  }
+}
+BENCHMARK(BM_MmBasis)->Arg(8)->Arg(16)->Arg(24)->Arg(32);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,63 @@
+// Measures the testability / delay claims the paper makes about its
+// architecture figures (Figs. 1-4 carry no measured data in the paper, so
+// this bench produces the corresponding series from our gate-level
+// implementations):
+//
+//   * drawback (1): flip-flop count of fig2/fig3 vs fig1 and fig4,
+//   * drawback (2): critical-path penalty of the transparency mux (fig2),
+//   * drawback (3): feedback-line faults undetected by the conventional
+//     BIST but covered by the two-session pipeline test,
+//   * overall stuck-at coverage per structure, and coverage as a function
+//     of test length (the coverage-curve series).
+
+#include <cstdio>
+
+#include "benchdata/iwls93.hpp"
+#include "synth/flow.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace stc;
+  const char* machines[] = {"paper_fig5", "shiftreg", "tav", "dk27", "serial_adder"};
+
+  AsciiTable table({"machine", "struct", "FFs", "area GE", "depth", "coverage %",
+                    "feedback cov %", "faults"});
+  table.set_title("Architecture comparison (Figs. 1-4), stuck-at fault simulation");
+
+  for (const char* name : machines) {
+    const MealyMachine m = load_benchmark(name);
+    FlowOptions opts;
+    opts.with_fault_sim = true;
+    opts.bist_cycles = 256;
+    const FlowResult res = run_flow(m, opts);
+
+    for (const StructureReport* s : {&res.fig1, &res.fig2, &res.fig3, &res.fig4}) {
+      auto pct = [](const std::optional<double>& v) {
+        char buf[16];
+        if (!v) return std::string("-");
+        std::snprintf(buf, sizeof buf, "%.1f", *v * 100.0);
+        return std::string(buf);
+      };
+      table.add_row({name, s->kind, std::to_string(s->flipflops),
+                     std::to_string(static_cast<long>(s->area_ge)),
+                     std::to_string(s->depth), pct(s->coverage),
+                     pct(s->feedback_coverage), std::to_string(s->total_faults)});
+    }
+  }
+  std::printf("%s\n", table.render().c_str());
+
+  // Coverage vs test length for the pipeline structure (series data).
+  std::printf("Pipeline (fig4) coverage vs cycles per session, machine dk27:\n");
+  {
+    const MealyMachine m = load_benchmark("dk27");
+    const OstrResult ostr = solve_ostr(m);
+    const Realization real = build_realization(m, ostr.best.pi, ostr.best.tau);
+    const ControllerStructure fig4 = build_fig4(m, real);
+    std::printf("  cycles  coverage\n");
+    for (std::size_t cycles : {4, 8, 16, 32, 64, 128, 256, 512}) {
+      const auto cov = measure_coverage(fig4, SelfTestPlan::two_session(cycles));
+      std::printf("  %6zu  %6.1f%%\n", cycles, cov.coverage() * 100.0);
+    }
+  }
+  return 0;
+}

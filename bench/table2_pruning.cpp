@@ -1,0 +1,61 @@
+// Reproduces Table 2 of the paper: impact of Lemma 1 on the computational
+// effort of the OSTR search.
+//
+// Columns: |S|, the full search-tree size |V| = 2^|M| (M = set of distinct
+// basis relations m(rho_st)), and the number of nodes actually investigated
+// with Lemma-1 pruning enabled. The reduction factor is the paper's
+// headline claim ("an enormous reduction of the computational effort").
+
+#include <cstdio>
+
+#include "benchdata/iwls93.hpp"
+#include "ostr/ostr.hpp"
+#include "util/table.hpp"
+
+int main() {
+  using namespace stc;
+
+  AsciiTable table({"name", "src", "|S|", "|V|", "investigated", "pruned subtrees",
+                    "paper |V|", "paper investigated"});
+  table.set_title("Table 2: impact of Lemma 1 on the computational effort");
+
+  // Published Table-2 rows (|V| exponent, nodes investigated).
+  struct PaperT2 {
+    const char* name;
+    int exp;
+    long investigated;
+  };
+  const PaperT2 paper[] = {
+      {"bbara", 43, 815},     {"bbtas", 9, 175},   {"dk14", 10, 57},
+      {"dk15", 4, 7},         {"dk16", 206, 337041}, {"dk17", 20, 63},
+      {"dk27", 11, 203},      {"dk512", 56, 343853}, {"mc", 7, 13},
+      {"s1", 162, 323},       {"shiftreg", 8, 45},  {"tav", 7, 47},
+  };
+
+  for (const auto& info : benchmark_catalog()) {
+    if (!info.in_table1 || info.name == "tbk") continue;  // paper's Table 2 omits tbk
+    const MealyMachine m = load_benchmark(info.name);
+
+    OstrOptions opts;
+    opts.max_nodes = 400000;
+    const OstrResult res = solve_ostr(m, opts);
+
+    std::string paper_v = "-", paper_inv = "-";
+    for (const auto& p : paper) {
+      if (info.name == p.name) {
+        paper_v = "2^" + std::to_string(p.exp);
+        paper_inv = std::to_string(p.investigated);
+      }
+    }
+
+    table.add_row({info.name + (res.stats.exhausted ? "" : "*"),
+                   info.faithful ? "exact" : "s",
+                   std::to_string(m.num_states()),
+                   "2^" + std::to_string(res.stats.basis_size),
+                   std::to_string(res.stats.nodes_investigated),
+                   std::to_string(res.stats.nodes_pruned), paper_v, paper_inv});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("* node budget reached\n");
+  return 0;
+}

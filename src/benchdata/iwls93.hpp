@@ -1,0 +1,50 @@
+#pragma once
+// The benchmark corpus for the paper's evaluation (Tables 1 and 2).
+//
+// The paper uses fully specified FSMs from the IWLS'93 (MCNC) benchmark
+// distribution. That distribution is not available in this offline build,
+// so the corpus mixes (see DESIGN.md "Data substitution"):
+//   * faithful machines -- tables reproduced exactly (shiftreg, plus
+//     classic structural machines whose definitions are unambiguous), and
+//   * synthetic stand-ins -- same state/input/output counts as the named
+//     IWLS machine and the same structural class, deterministically
+//     generated. Rows in Table 1 computed from stand-ins reproduce the
+//     *shape* of the paper's results, not the exact factor sizes.
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fsm/mealy.hpp"
+
+namespace stc {
+
+/// Paper-reported row of Table 1 (for EXPERIMENTS.md comparison).
+struct PaperRow {
+  std::size_t states = 0;   // |S|
+  std::size_t s1 = 0;       // |S1| of best realization
+  std::size_t s2 = 0;       // |S2|
+  std::size_t conv_ff = 0;  // flip-flops, conventional BIST (Fig. 2)
+  std::size_t pipe_ff = 0;  // flip-flops, pipeline structure (Fig. 4)
+  bool timeout = false;     // paper marked tbk with *)
+};
+
+struct BenchmarkInfo {
+  std::string name;         // IWLS'93 name (or extra-corpus name)
+  std::string description;
+  bool faithful = false;    // exact table vs synthetic stand-in
+  bool in_table1 = false;   // part of the paper's Table 1/2 set
+  std::optional<PaperRow> paper;  // published numbers, when in_table1
+};
+
+/// Every machine in the corpus (Table-1 set first, extras after).
+const std::vector<BenchmarkInfo>& benchmark_catalog();
+
+/// Load a corpus machine by name; throws std::invalid_argument for
+/// unknown names.
+MealyMachine load_benchmark(const std::string& name);
+
+/// Names only, in catalog order.
+std::vector<std::string> benchmark_names(bool table1_only = false);
+
+}  // namespace stc

@@ -1,0 +1,53 @@
+#pragma once
+// Embedded KISS2 sources for the faithful part of the corpus.
+
+namespace stc::corpus {
+
+/// IWLS'93 `shiftreg`: 3-bit serial shift register, 8 states, 1 input bit,
+/// 1 output bit. The table is fully determined by the shift-register
+/// semantics (state = register contents, MSB-in / LSB-out), which is what
+/// makes a verbatim reconstruction possible offline.
+inline constexpr const char* kShiftreg = R"(
+.i 1
+.o 1
+.p 16
+.s 8
+.r st0
+0 st0 st0 0
+1 st0 st4 0
+0 st1 st0 1
+1 st1 st4 1
+0 st2 st1 0
+1 st2 st5 0
+0 st3 st1 1
+1 st3 st5 1
+0 st4 st2 0
+1 st4 st6 0
+0 st5 st2 1
+1 st5 st6 1
+0 st6 st3 0
+1 st6 st7 0
+0 st7 st3 1
+1 st7 st7 1
+.e
+)";
+
+/// The paper's Figure 5 example in KISS2 form (1 input bit, 1 output bit).
+inline constexpr const char* kPaperFig5 = R"(
+.i 1
+.o 1
+.p 8
+.s 4
+.r s1
+1 s1 s3 1
+0 s1 s1 1
+1 s2 s2 0
+0 s2 s4 0
+1 s3 s1 1
+0 s3 s3 0
+1 s4 s4 0
+0 s4 s2 1
+.e
+)";
+
+}  // namespace stc::corpus

@@ -1,0 +1,69 @@
+#include "benchdata/iwls93.hpp"
+
+namespace stc {
+namespace {
+
+std::vector<BenchmarkInfo> build_catalog() {
+  auto row = [](std::size_t s, std::size_t s1, std::size_t s2, std::size_t conv,
+                std::size_t pipe, bool timeout = false) {
+    return PaperRow{s, s1, s2, conv, pipe, timeout};
+  };
+  std::vector<BenchmarkInfo> c;
+  // --- Table 1/2 set, paper order ---
+  c.push_back({"bbara", "IWLS'93 bus arbiter class (synthetic stand-in)", false,
+               true, row(10, 7, 7, 8, 6)});
+  c.push_back({"bbtas", "IWLS'93 bbtas class (synthetic stand-in)", false, true,
+               row(6, 6, 6, 6, 6)});
+  c.push_back({"dk14", "Donath-Kuh dk14 class (synthetic stand-in)", false, true,
+               row(7, 7, 7, 6, 6)});
+  c.push_back({"dk15", "Donath-Kuh dk15 class (synthetic stand-in)", false, true,
+               row(4, 4, 4, 4, 4)});
+  c.push_back({"dk16", "Donath-Kuh dk16 class (synthetic stand-in)", false, true,
+               row(27, 24, 24, 10, 10)});
+  c.push_back({"dk17", "Donath-Kuh dk17 class (synthetic stand-in)", false, true,
+               row(8, 8, 8, 6, 6)});
+  c.push_back({"dk27", "Donath-Kuh dk27 class (synthetic stand-in)", false, true,
+               row(7, 6, 7, 6, 6)});
+  c.push_back({"dk512", "Donath-Kuh dk512 class (synthetic stand-in)", false,
+               true, row(15, 14, 14, 8, 8)});
+  c.push_back({"mc", "IWLS'93 mc class (synthetic stand-in)", false, true,
+               row(4, 4, 4, 4, 4)});
+  c.push_back({"s1", "IWLS'93 s1 class (synthetic stand-in)", false, true,
+               row(20, 20, 20, 10, 10)});
+  c.push_back({"shiftreg", "IWLS'93 shiftreg (faithful: 3-bit shift register)",
+               true, true, row(8, 4, 2, 6, 3)});
+  c.push_back({"tav", "IWLS'93 tav class (synthetic stand-in)", false, true,
+               row(4, 2, 2, 4, 2)});
+  c.push_back({"tbk", "IWLS'93 tbk class (synthetic stand-in)", false, true,
+               row(32, 16, 16, 10, 8, /*timeout=*/true)});
+  // --- extra corpus (faithful structural machines) ---
+  c.push_back({"paper_fig5", "worked example of the paper (Figure 5)", true,
+               false, std::nullopt});
+  c.push_back({"serial_adder", "2-input serial adder (carry FSM)", true, false,
+               std::nullopt});
+  c.push_back({"parity4", "parity tracker over 4-bit input", true, false,
+               std::nullopt});
+  c.push_back({"count10", "modulo-10 counter with enable", true, false,
+               std::nullopt});
+  c.push_back({"count15", "modulo-15 counter with enable", true, false,
+               std::nullopt});
+  c.push_back({"shiftreg4", "4-bit shift register (16 states)", true, false,
+               std::nullopt});
+  return c;
+}
+
+}  // namespace
+
+const std::vector<BenchmarkInfo>& benchmark_catalog() {
+  static const std::vector<BenchmarkInfo> catalog = build_catalog();
+  return catalog;
+}
+
+std::vector<std::string> benchmark_names(bool table1_only) {
+  std::vector<std::string> names;
+  for (const auto& info : benchmark_catalog())
+    if (!table1_only || info.in_table1) names.push_back(info.name);
+  return names;
+}
+
+}  // namespace stc

@@ -1,0 +1,210 @@
+#include "bist/architectures.hpp"
+
+#include <stdexcept>
+
+#include "logic/espresso_lite.hpp"
+#include "logic/qm.hpp"
+
+namespace stc {
+namespace {
+
+Cover minimize_one(const TruthTable& tt, MinimizerKind mk) {
+  switch (mk) {
+    case MinimizerKind::kQuineMcCluskey:
+      return minimize_qm(tt);
+    case MinimizerKind::kEspresso:
+      return minimize_espresso(tt);
+    case MinimizerKind::kAuto:
+      // QM's prime enumeration is exact but exponential; hand larger
+      // tables to the heuristic.
+      return tt.num_vars() <= 10 ? minimize_qm(tt) : minimize_espresso(tt);
+  }
+  return minimize_espresso(tt);
+}
+
+/// Primary inputs named in[k], LSB first.
+std::vector<NetId> add_functional_inputs(Netlist& nl, std::size_t bits) {
+  std::vector<NetId> pi;
+  pi.reserve(bits);
+  for (std::size_t k = 0; k < bits; ++k)
+    pi.push_back(nl.add_input("in[" + std::to_string(k) + "]"));
+  return pi;
+}
+
+std::vector<std::size_t> dff_indices(const Netlist& nl, const RegisterBank& bank) {
+  std::vector<std::size_t> idx;
+  for (NetId q : bank.q) {
+    for (std::size_t k = 0; k < nl.dffs().size(); ++k)
+      if (nl.dffs()[k] == q) idx.push_back(k);
+  }
+  return idx;
+}
+
+}  // namespace
+
+std::vector<Cover> minimize_tables(const std::vector<TruthTable>& tables,
+                                   MinimizerKind mk) {
+  std::vector<Cover> covers;
+  covers.reserve(tables.size());
+  for (const auto& tt : tables) covers.push_back(minimize_one(tt, mk));
+  return covers;
+}
+
+ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk) {
+  ControllerStructure cs;
+  cs.kind = "fig1";
+  Netlist& nl = cs.nl;
+
+  cs.pi = add_functional_inputs(nl, enc.input_bits);
+  RegisterBank r = build_register(nl, "R", enc.state_bits, enc.reset_code);
+  cs.reg_a = dff_indices(nl, r);
+  cs.feedback_nets = r.q;
+
+  // Variable order of the tables: inputs low, state bits high.
+  std::vector<NetId> vars = cs.pi;
+  vars.insert(vars.end(), r.q.begin(), r.q.end());
+
+  const auto next_covers = minimize_tables(enc.next_state, mk);
+  const auto out_covers = minimize_tables(enc.outputs, mk);
+  const auto d_nets = build_block(nl, next_covers, vars);
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], d_nets[b]);
+  const auto po_nets = build_block(nl, out_covers, vars);
+  for (std::size_t b = 0; b < po_nets.size(); ++b) {
+    nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");
+    cs.po.push_back(po_nets[b]);
+  }
+  nl.finalize();
+  return cs;
+}
+
+ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk) {
+  ControllerStructure cs;
+  cs.kind = "fig2";
+  Netlist& nl = cs.nl;
+
+  cs.pi = add_functional_inputs(nl, enc.input_bits);
+  cs.test_mode = nl.add_input("test_mode");
+  RegisterBank r = build_register(nl, "R", enc.state_bits, enc.reset_code);
+  RegisterBank t = build_register(nl, "T", enc.state_bits, 0);
+  cs.reg_a = dff_indices(nl, r);
+  cs.reg_b = dff_indices(nl, t);
+  cs.feedback_nets = r.q;
+
+  // Present-state inputs of C: test_mode ? T : R. The mux is in the
+  // functional path -- the transparency/bypass delay of the paper.
+  std::vector<NetId> state_in;
+  state_in.reserve(enc.state_bits);
+  for (std::size_t b = 0; b < enc.state_bits; ++b)
+    state_in.push_back(build_mux(nl, cs.test_mode, t.q[b], r.q[b]));
+
+  std::vector<NetId> vars = cs.pi;
+  vars.insert(vars.end(), state_in.begin(), state_in.end());
+
+  const auto next_covers = minimize_tables(enc.next_state, mk);
+  const auto out_covers = minimize_tables(enc.outputs, mk);
+  const auto d_nets = build_block(nl, next_covers, vars);
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], d_nets[b]);
+  // T holds its value in the netlist; the session driver reconfigures it
+  // as a PRPG during test (BILBO behavior is not combinational logic).
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(t.q[b], t.q[b]);
+
+  const auto po_nets = build_block(nl, out_covers, vars);
+  for (std::size_t b = 0; b < po_nets.size(); ++b) {
+    nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");
+    cs.po.push_back(po_nets[b]);
+  }
+  nl.finalize();
+  return cs;
+}
+
+ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk) {
+  ControllerStructure cs;
+  cs.kind = "fig3";
+  Netlist& nl = cs.nl;
+
+  cs.pi = add_functional_inputs(nl, enc.input_bits);
+  RegisterBank r1 = build_register(nl, "R", enc.state_bits, enc.reset_code);
+  RegisterBank r2 = build_register(nl, "R'", enc.state_bits, enc.reset_code);
+  cs.reg_a = dff_indices(nl, r1);
+  cs.reg_b = dff_indices(nl, r2);
+
+  const auto next_covers = minimize_tables(enc.next_state, mk);
+  const auto out_covers = minimize_tables(enc.outputs, mk);
+
+  // Copy C: reads R, feeds R'. Copy C': reads R', feeds R. Both registers
+  // start equal, so they stay equal in system mode -- same machine as
+  // Fig. 1 with no transparency mode.
+  std::vector<NetId> vars1 = cs.pi;
+  vars1.insert(vars1.end(), r1.q.begin(), r1.q.end());
+  const auto d2 = build_block(nl, next_covers, vars1);
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r2.q[b], d2[b]);
+
+  std::vector<NetId> vars2 = cs.pi;
+  vars2.insert(vars2.end(), r2.q.begin(), r2.q.end());
+  const auto d1 = build_block(nl, next_covers, vars2);
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r1.q[b], d1[b]);
+
+  const auto po_nets = build_block(nl, out_covers, vars1);
+  for (std::size_t b = 0; b < po_nets.size(); ++b) {
+    nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");
+    cs.po.push_back(po_nets[b]);
+  }
+  nl.finalize();
+  return cs;
+}
+
+ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
+                               MinimizerKind mk) {
+  ControllerStructure cs;
+  cs.kind = "fig4";
+  Netlist& nl = cs.nl;
+
+  const FactorTables& ft = real.tables;
+  const Encoding enc1 = natural_encoding(ft.n1);
+  const Encoding enc2 = natural_encoding(ft.n2);
+  const std::size_t input_bits = fsm.effective_input_bits();
+  const std::size_t output_bits = fsm.effective_output_bits();
+
+  const EncodedFactor f1 =
+      encode_factor(ft.delta1, ft.num_inputs, input_bits, enc1, enc2);
+  const EncodedFactor f2 =
+      encode_factor(ft.delta2, ft.num_inputs, input_bits, enc2, enc1);
+  const EncodedLambda lam =
+      encode_lambda(ft.lambda, ft.n1, ft.n2, ft.num_inputs, input_bits,
+                    output_bits, enc1, enc2);
+
+  cs.pi = add_functional_inputs(nl, input_bits);
+  RegisterBank r1 = build_register(
+      nl, "R1", enc1.width, enc1.code_of(static_cast<State>(real.pi.block_of(fsm.reset_state()))));
+  RegisterBank r2 = build_register(
+      nl, "R2", enc2.width, enc2.code_of(static_cast<State>(real.tau.block_of(fsm.reset_state()))));
+  cs.reg_a = dff_indices(nl, r1);
+  cs.reg_b = dff_indices(nl, r2);
+
+  // C1: (inputs, R1) -> D of R2.
+  std::vector<NetId> vars1 = cs.pi;
+  vars1.insert(vars1.end(), r1.q.begin(), r1.q.end());
+  const auto c1 = build_block(nl, minimize_tables(f1.next_state, mk), vars1);
+  for (std::size_t b = 0; b < enc2.width; ++b) nl.connect_dff(r2.q[b], c1[b]);
+
+  // C2: (inputs, R2) -> D of R1.
+  std::vector<NetId> vars2 = cs.pi;
+  vars2.insert(vars2.end(), r2.q.begin(), r2.q.end());
+  const auto c2 = build_block(nl, minimize_tables(f2.next_state, mk), vars2);
+  for (std::size_t b = 0; b < enc1.width; ++b) nl.connect_dff(r1.q[b], c2[b]);
+
+  // Output function lambda(inputs, R2, R1) -- variable order must match
+  // encode_lambda: inputs low, then R2 bits, then R1 bits.
+  std::vector<NetId> lvars = cs.pi;
+  lvars.insert(lvars.end(), r2.q.begin(), r2.q.end());
+  lvars.insert(lvars.end(), r1.q.begin(), r1.q.end());
+  const auto po_nets = build_block(nl, minimize_tables(lam.outputs, mk), lvars);
+  for (std::size_t b = 0; b < po_nets.size(); ++b) {
+    nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");
+    cs.po.push_back(po_nets[b]);
+  }
+  nl.finalize();
+  return cs;
+}
+
+}  // namespace stc

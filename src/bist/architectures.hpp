@@ -1,0 +1,59 @@
+#pragma once
+// The four controller structures of the paper, as gate-level netlists:
+//
+//  Fig. 1  conventional synthesis: C + single state register R.
+//  Fig. 2  conventional BIST: extra test register T and a test-mode mux in
+//          the feedback path (the transparency / bypass penalty); during
+//          self-test T generates patterns into C while R compresses, so
+//          the R -> C feedback lines are NOT exercised (drawback (3)).
+//  Fig. 3  doubled structure: two copies of C and two registers in a ring;
+//          equals the pipeline structure for the trivial realization.
+//  Fig. 4  optimized pipeline structure from a nontrivial OSTR solution:
+//          C1 : (I, R1) -> R2,  C2 : (I, R2) -> R1,  lambda(I, R1, R2) -> O.
+//
+// Every builder returns the netlist plus role maps so the self-test driver
+// (bist/session.hpp) can reconfigure registers into PRPG/MISR roles.
+
+#include "bist/faults.hpp"
+#include "encoding/encoded_fsm.hpp"
+#include "netlist/builder.hpp"
+#include "ostr/realization.hpp"
+
+namespace stc {
+
+/// Which two-level minimizer prepares the covers.
+enum class MinimizerKind { kAuto, kQuineMcCluskey, kEspresso };
+
+struct ControllerStructure {
+  Netlist nl;
+  std::string kind;                 // "fig1" ... "fig4"
+  std::vector<NetId> pi;            // functional primary inputs (LSB first)
+  std::vector<NetId> po;            // functional primary outputs
+  NetId test_mode = kNoNet;         // fig2 only
+  std::vector<std::size_t> reg_a;   // dff indices: R (fig1/2), R/first copy (fig3), R1 (fig4)
+  std::vector<std::size_t> reg_b;   // dff indices: T (fig2), R' (fig3), R2 (fig4)
+  std::vector<NetId> feedback_nets; // the R -> C feedback lines (fault target set)
+};
+
+/// Fig. 1: conventional structure.
+ControllerStructure build_fig1(const EncodedFsm& enc,
+                               MinimizerKind mk = MinimizerKind::kAuto);
+
+/// Fig. 2: conventional structure + test register + bypass mux.
+ControllerStructure build_fig2(const EncodedFsm& enc,
+                               MinimizerKind mk = MinimizerKind::kAuto);
+
+/// Fig. 3: doubled registers and combinational logic.
+ControllerStructure build_fig3(const EncodedFsm& enc,
+                               MinimizerKind mk = MinimizerKind::kAuto);
+
+/// Fig. 4: pipeline structure from a realization; states of each factor
+/// are encoded with minimal-width natural codes by default.
+ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
+                               MinimizerKind mk = MinimizerKind::kAuto);
+
+/// Convenience: covers for every table in enc under the chosen minimizer.
+std::vector<Cover> minimize_tables(const std::vector<TruthTable>& tables,
+                                   MinimizerKind mk);
+
+}  // namespace stc

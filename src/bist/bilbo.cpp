@@ -1,0 +1,49 @@
+#include "bist/bilbo.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "bist/lfsr.hpp"
+
+namespace stc {
+
+Bilbo::Bilbo(std::size_t width, std::uint64_t init) : width_(width) {
+  if (width == 0 || width > 64) throw std::invalid_argument("Bilbo: bad width");
+  mask_ = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  tap_mask_ = 0;
+  for (unsigned t : primitive_taps(width)) tap_mask_ |= std::uint64_t{1} << (t - 1);
+  state_ = init & mask_;
+}
+
+std::uint64_t Bilbo::feedback() const {
+  return static_cast<std::uint64_t>(std::popcount(state_ & tap_mask_) & 1);
+}
+
+void Bilbo::clock(BilboMode mode, std::uint64_t parallel_in, bool scan_in) {
+  switch (mode) {
+    case BilboMode::kSystem:
+      state_ = parallel_in & mask_;
+      break;
+    case BilboMode::kGenerate:
+      if (width_ == 1) {
+        // A 1-bit LFSR is constant; generate the complemented-feedback
+        // sequence (toggle) instead so single-bit registers still produce
+        // both values.
+        state_ ^= 1;
+        break;
+      }
+      if (state_ == 0) state_ = 1;  // escape the LFSR fixed point
+      state_ = ((state_ << 1) | feedback()) & mask_;
+      break;
+    case BilboMode::kCompress:
+      state_ = (((state_ << 1) | feedback()) ^ parallel_in) & mask_;
+      break;
+    case BilboMode::kShift:
+      state_ = ((state_ << 1) | (scan_in ? 1 : 0)) & mask_;
+      break;
+    case BilboMode::kHold:
+      break;
+  }
+}
+
+}  // namespace stc

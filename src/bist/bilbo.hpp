@@ -1,0 +1,46 @@
+#pragma once
+// BILBO: built-in logic block observation register (Koenemann/Mucha/
+// Zwiehoff, paper ref [19]). A multifunctional register that acts as a
+// normal system register, a pattern generator (LFSR), a signature
+// analyzer (MISR), or a scan/shift path depending on its mode bits.
+//
+// The self-test sessions of the pipeline structure reconfigure R1 and R2
+// between kSystem, kGenerate and kCompress.
+
+#include <cstdint>
+#include <vector>
+
+namespace stc {
+
+enum class BilboMode : std::uint8_t {
+  kSystem,    // plain register: state <- parallel D inputs
+  kGenerate,  // autonomous LFSR: D ignored
+  kCompress,  // MISR: state <- shift/feedback XOR D
+  kShift,     // serial scan: state <- (state << 1) | scan_in
+  kHold,      // keep state
+};
+
+class Bilbo {
+ public:
+  explicit Bilbo(std::size_t width, std::uint64_t init = 0);
+
+  std::size_t width() const { return width_; }
+  std::uint64_t state() const { return state_; }
+  void load(std::uint64_t v) { state_ = v & mask_; }
+
+  /// Clock once in `mode`. `parallel_in` is used by kSystem/kCompress,
+  /// `scan_in` by kShift.
+  void clock(BilboMode mode, std::uint64_t parallel_in = 0, bool scan_in = false);
+
+  bool scan_out() const { return (state_ >> (width_ - 1)) & 1; }
+
+ private:
+  std::uint64_t feedback() const;
+
+  std::size_t width_;
+  std::uint64_t mask_;
+  std::uint64_t tap_mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace stc

@@ -1,0 +1,45 @@
+#include "bist/faults.hpp"
+
+#include "util/strings.hpp"
+
+namespace stc {
+
+std::string Fault::describe(const Netlist& nl) const {
+  const Gate& g = nl.gate(net);
+  const char* type = "net";
+  switch (g.type) {
+    case GateType::kInput: type = "pi"; break;
+    case GateType::kDff: type = "ff"; break;
+    case GateType::kAnd: type = "and"; break;
+    case GateType::kOr: type = "or"; break;
+    case GateType::kNot: type = "not"; break;
+    case GateType::kXor: type = "xor"; break;
+    case GateType::kBuf: type = "buf"; break;
+    default: break;
+  }
+  return strprintf("%s%u%s/sa%d", type, net,
+                   g.name.empty() ? "" : ("(" + g.name + ")").c_str(),
+                   stuck_value ? 1 : 0);
+}
+
+std::vector<Fault> enumerate_stuck_faults(const Netlist& nl) {
+  std::vector<Fault> out;
+  for (NetId id = 0; id < nl.num_nets(); ++id) {
+    const GateType t = nl.gate(id).type;
+    if (t == GateType::kConst0 || t == GateType::kConst1) continue;
+    out.push_back({id, false});
+    out.push_back({id, true});
+  }
+  return out;
+}
+
+std::vector<Fault> faults_on_nets(const std::vector<NetId>& nets) {
+  std::vector<Fault> out;
+  for (NetId id : nets) {
+    out.push_back({id, false});
+    out.push_back({id, true});
+  }
+  return out;
+}
+
+}  // namespace stc

@@ -1,0 +1,31 @@
+#pragma once
+// Single stuck-at fault model on netlist nets.
+
+#include <string>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace stc {
+
+struct Fault {
+  NetId net = kNoNet;
+  bool stuck_value = false;  // stuck-at-0 or stuck-at-1
+
+  bool operator==(const Fault& o) const {
+    return net == o.net && stuck_value == o.stuck_value;
+  }
+
+  std::string describe(const Netlist& nl) const;
+};
+
+/// All single stuck-at faults: two per net, skipping constant drivers
+/// (a stuck fault on a constant net is either redundant or equivalent to
+/// a fault on its fanout).
+std::vector<Fault> enumerate_stuck_faults(const Netlist& nl);
+
+/// The subset of faults on the given nets (used to isolate e.g. the
+/// feedback lines from R to C when reproducing the paper's drawback (3)).
+std::vector<Fault> faults_on_nets(const std::vector<NetId>& nets);
+
+}  // namespace stc

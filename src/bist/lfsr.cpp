@@ -1,0 +1,90 @@
+#include "bist/lfsr.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace stc {
+
+std::vector<unsigned> primitive_taps(std::size_t width) {
+  switch (width) {
+    case 1:  return {1};
+    case 2:  return {2, 1};
+    case 3:  return {3, 2};
+    case 4:  return {4, 3};
+    case 5:  return {5, 3};
+    case 6:  return {6, 5};
+    case 7:  return {7, 6};
+    case 8:  return {8, 6, 5, 4};
+    case 9:  return {9, 5};
+    case 10: return {10, 7};
+    case 11: return {11, 9};
+    case 12: return {12, 11, 10, 4};
+    case 13: return {13, 12, 11, 8};
+    case 14: return {14, 13, 12, 2};
+    case 15: return {15, 14};
+    case 16: return {16, 15, 13, 4};
+    case 17: return {17, 14};
+    case 18: return {18, 11};
+    case 19: return {19, 18, 17, 14};
+    case 20: return {20, 17};
+    case 21: return {21, 19};
+    case 22: return {22, 21};
+    case 23: return {23, 18};
+    case 24: return {24, 23, 22, 17};
+    case 25: return {25, 22};
+    case 26: return {26, 25, 24, 20};
+    case 27: return {27, 26, 25, 22};
+    case 28: return {28, 25};
+    case 29: return {29, 27};
+    case 30: return {30, 29, 28, 7};
+    case 31: return {31, 28};
+    case 32: return {32, 31, 30, 10};
+    default:
+      throw std::invalid_argument("primitive_taps: width must be in [1, 32]");
+  }
+}
+
+Lfsr::Lfsr(std::size_t width, std::uint64_t seed)
+    : Lfsr(width, primitive_taps(width), seed) {}
+
+Lfsr::Lfsr(std::size_t width, std::vector<unsigned> taps, std::uint64_t seed)
+    : width_(width) {
+  if (width == 0 || width > 64) throw std::invalid_argument("Lfsr: bad width");
+  mask_ = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  tap_mask_ = 0;
+  bool has_top = false;
+  for (unsigned t : taps) {
+    if (t == 0 || t > width) throw std::invalid_argument("Lfsr: bad tap");
+    if (t == width) has_top = true;
+    tap_mask_ |= std::uint64_t{1} << (t - 1);
+  }
+  if (!has_top) throw std::invalid_argument("Lfsr: taps must include width");
+  this->seed(seed);
+}
+
+void Lfsr::seed(std::uint64_t s) {
+  state_ = s & mask_;
+  if (state_ == 0) state_ = 1;
+}
+
+std::uint64_t Lfsr::feedback(std::uint64_t s) const {
+  return static_cast<std::uint64_t>(std::popcount(s & tap_mask_) & 1);
+}
+
+std::uint64_t Lfsr::step() {
+  state_ = ((state_ << 1) | feedback(state_)) & mask_;
+  return state_;
+}
+
+std::uint64_t Lfsr::period() const {
+  Lfsr copy = *this;
+  const std::uint64_t start = copy.state();
+  std::uint64_t n = 0;
+  do {
+    copy.step();
+    ++n;
+  } while (copy.state() != start);
+  return n;
+}
+
+}  // namespace stc

@@ -1,0 +1,52 @@
+#pragma once
+// Linear feedback shift registers for test pattern generation.
+//
+// Fibonacci (external-XOR) form: feedback = XOR of the tap bits, shifted
+// in at bit 0. With a primitive characteristic polynomial the register
+// cycles through all 2^w - 1 nonzero states -- the pseudo-random pattern
+// source of the classic BILBO-style BIST (paper refs [19, 10]).
+
+#include <cstdint>
+#include <vector>
+
+namespace stc {
+
+/// Exponents (including the leading x^w term, excluding the +1) of a
+/// primitive polynomial over GF(2) for widths 1..32 (XAPP052 table).
+std::vector<unsigned> primitive_taps(std::size_t width);
+
+class Lfsr {
+ public:
+  /// Uses the default primitive polynomial for the width.
+  explicit Lfsr(std::size_t width, std::uint64_t seed = 1);
+
+  /// Custom taps (exponents, must include `width`).
+  Lfsr(std::size_t width, std::vector<unsigned> taps, std::uint64_t seed);
+
+  std::size_t width() const { return width_; }
+  std::uint64_t state() const { return state_; }
+
+  /// Re-seed; a zero seed is coerced to 1 (the all-zero state is a fixed
+  /// point of the recurrence).
+  void seed(std::uint64_t s);
+
+  /// Advance one clock; returns the new state.
+  std::uint64_t step();
+
+  /// Bit k of the current state.
+  bool bit(std::size_t k) const { return (state_ >> k) & 1; }
+
+  /// Period of the register from the current state (walks the cycle; use
+  /// only for small widths in tests).
+  std::uint64_t period() const;
+
+ private:
+  std::uint64_t feedback(std::uint64_t s) const;
+
+  std::size_t width_;
+  std::uint64_t mask_;
+  std::uint64_t tap_mask_;  // bit t-1 set for each tap exponent t
+  std::uint64_t state_;
+};
+
+}  // namespace stc

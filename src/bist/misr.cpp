@@ -1,0 +1,32 @@
+#include "bist/misr.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+#include "bist/lfsr.hpp"
+
+namespace stc {
+
+Misr::Misr(std::size_t width, std::uint64_t init)
+    : Misr(width, primitive_taps(width), init) {}
+
+Misr::Misr(std::size_t width, std::vector<unsigned> taps, std::uint64_t init)
+    : width_(width) {
+  if (width == 0 || width > 64) throw std::invalid_argument("Misr: bad width");
+  mask_ = width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  tap_mask_ = 0;
+  for (unsigned t : taps) {
+    if (t == 0 || t > width) throw std::invalid_argument("Misr: bad tap");
+    tap_mask_ |= std::uint64_t{1} << (t - 1);
+  }
+  state_ = init & mask_;
+}
+
+std::uint64_t Misr::absorb(std::uint64_t parallel_in) {
+  const std::uint64_t fb =
+      static_cast<std::uint64_t>(std::popcount(state_ & tap_mask_) & 1);
+  state_ = (((state_ << 1) | fb) ^ parallel_in) & mask_;
+  return state_;
+}
+
+}  // namespace stc

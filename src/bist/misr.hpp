@@ -1,0 +1,31 @@
+#pragma once
+// Multiple-input signature register: compresses a stream of parallel test
+// responses into a signature. Same feedback structure as the LFSR with the
+// parallel inputs XORed into the shifted state each clock.
+
+#include <cstdint>
+#include <vector>
+
+namespace stc {
+
+class Misr {
+ public:
+  explicit Misr(std::size_t width, std::uint64_t init = 0);
+  Misr(std::size_t width, std::vector<unsigned> taps, std::uint64_t init);
+
+  std::size_t width() const { return width_; }
+  std::uint64_t signature() const { return state_; }
+
+  void reset(std::uint64_t init = 0) { state_ = init & mask_; }
+
+  /// Clock once, absorbing `parallel_in` (low `width` bits).
+  std::uint64_t absorb(std::uint64_t parallel_in);
+
+ private:
+  std::size_t width_;
+  std::uint64_t mask_;
+  std::uint64_t tap_mask_;
+  std::uint64_t state_;
+};
+
+}  // namespace stc

@@ -1,0 +1,226 @@
+#include "bist/session.hpp"
+
+#include <stdexcept>
+
+#include "bist/lfsr.hpp"
+
+namespace stc {
+
+SelfTestPlan SelfTestPlan::two_session(std::size_t cycles_per_session) {
+  SelfTestPlan plan;
+  SessionSpec s1;
+  s1.role_a = RegRole::kGenerate;
+  s1.role_b = RegRole::kCompress;
+  s1.cycles = cycles_per_session;
+  SessionSpec s2;
+  s2.role_a = RegRole::kCompress;
+  s2.role_b = RegRole::kGenerate;
+  s2.cycles = cycles_per_session;
+  s2.input_seed = 0xCAFE;
+  s2.gen_seed = 0x3;
+  plan.sessions = {s1, s2};
+  return plan;
+}
+
+SelfTestPlan SelfTestPlan::thorough(std::size_t cycles_per_session) {
+  SelfTestPlan plan = two_session(cycles_per_session);
+  SelfTestPlan second = two_session(cycles_per_session | 1);  // odd length
+  second.sessions[0].input_seed = 0x1D5B;
+  second.sessions[0].gen_seed = 0x5;
+  second.sessions[1].input_seed = 0x77AA;
+  second.sessions[1].gen_seed = 0xB;
+  plan.sessions.insert(plan.sessions.end(), second.sessions.begin(),
+                       second.sessions.end());
+  return plan;
+}
+
+SelfTestPlan SelfTestPlan::autonomous(std::size_t cycles_per_session) {
+  SelfTestPlan plan = two_session(cycles_per_session);
+  plan.sessions[0].role_a = RegRole::kSystem;
+  plan.sessions[1].role_b = RegRole::kSystem;
+  return plan;
+}
+
+SelfTestPlan SelfTestPlan::conventional(std::size_t cycles) {
+  SelfTestPlan plan;
+  SessionSpec s;
+  s.role_a = RegRole::kCompress;  // R compresses the next-state lines
+  s.role_b = RegRole::kGenerate;  // T generates patterns into C
+  s.cycles = cycles;
+  plan.sessions = {s};
+  return plan;
+}
+
+namespace {
+
+/// One register bank reconfigured per role for a session.
+class Bank {
+ public:
+  Bank(const Netlist& nl, const std::vector<std::size_t>& dff_idx, RegRole role,
+       std::uint64_t seed)
+      : nl_(nl), idx_(dff_idx), role_(role), reg_(idx_.empty() ? 1 : idx_.size()) {
+    if (role_ == RegRole::kGenerate) {
+      reg_.load(seed == 0 ? 1 : seed);
+    } else {
+      reg_.load(0);
+    }
+  }
+
+  bool empty() const { return idx_.empty(); }
+  std::uint64_t value() const { return reg_.state(); }
+
+  /// Write the bank's current contents into the simulator DFF image.
+  void deposit(Netlist::SimState& state) const {
+    for (std::size_t k = 0; k < idx_.size(); ++k)
+      state.dff[idx_[k]] = (reg_.state() >> k) & 1;
+  }
+
+  /// Clock the bank given the netlist's computed D values.
+  void clock(const std::vector<bool>& net_values) {
+    std::uint64_t d = 0;
+    for (std::size_t k = 0; k < idx_.size(); ++k) {
+      const NetId q = nl_.dffs()[idx_[k]];
+      const NetId dn = nl_.gate(q).fanins[0];
+      if (net_values[dn]) d |= std::uint64_t{1} << k;
+    }
+    switch (role_) {
+      case RegRole::kGenerate:
+        reg_.clock(BilboMode::kGenerate);
+        break;
+      case RegRole::kCompress:
+        reg_.clock(BilboMode::kCompress, d);
+        break;
+      case RegRole::kSystem:
+        reg_.clock(BilboMode::kSystem, d);
+        break;
+      case RegRole::kHold:
+        reg_.clock(BilboMode::kHold);
+        break;
+    }
+  }
+
+ private:
+  const Netlist& nl_;
+  std::vector<std::size_t> idx_;
+  RegRole role_;
+  Bilbo reg_;
+};
+
+}  // namespace
+
+Signatures run_self_test(const ControllerStructure& cs, const SelfTestPlan& plan,
+                         std::optional<Fault> fault) {
+  const Netlist& nl = cs.nl;
+  if (!nl.finalized()) throw std::logic_error("run_self_test: netlist not finalized");
+  const NetId fnet = fault ? fault->net : kNoNet;
+  const bool fval = fault ? fault->stuck_value : false;
+
+  Signatures sigs;
+  Misr out_misr(plan.output_misr_width);
+
+  for (const SessionSpec& spec : plan.sessions) {
+    Bank bank_a(nl, cs.reg_a, spec.role_a, spec.gen_seed);
+    Bank bank_b(nl, cs.reg_b, spec.role_b, spec.gen_seed * 3 + 1);
+    // The input generator is wider than the input count so that narrow
+    // interfaces (1-2 bits) still see a long pseudo-random sequence.
+    Lfsr input_gen(std::max<std::size_t>(8, cs.pi.size()), spec.input_seed);
+
+    Netlist::SimState state = nl.initial_state();
+    std::vector<bool> values;
+    for (std::size_t cycle = 0; cycle < spec.cycles; ++cycle) {
+      // Drive primary inputs from the input LFSR; assert test_mode.
+      std::vector<bool> in(nl.num_inputs(), false);
+      for (std::size_t k = 0; k < cs.pi.size(); ++k) {
+        // cs.pi holds net ids; map to the input slot order.
+        for (std::size_t slot = 0; slot < nl.inputs().size(); ++slot)
+          if (nl.inputs()[slot] == cs.pi[k]) in[slot] = input_gen.bit(k);
+      }
+      if (cs.test_mode != kNoNet) {
+        for (std::size_t slot = 0; slot < nl.inputs().size(); ++slot)
+          if (nl.inputs()[slot] == cs.test_mode) in[slot] = true;
+      }
+
+      bank_a.deposit(state);
+      bank_b.deposit(state);
+      nl.evaluate(in, state, values, fnet, fval);
+
+      // Output compaction.
+      std::uint64_t po = 0;
+      for (std::size_t k = 0; k < cs.po.size() && k < 64; ++k)
+        if (values[cs.po[k]]) po |= std::uint64_t{1} << k;
+      out_misr.absorb(po);
+
+      bank_a.clock(values);
+      bank_b.clock(values);
+      input_gen.step();
+    }
+
+    // Record the compacting banks' final signatures.
+    if (spec.role_a == RegRole::kCompress) sigs.register_sigs.push_back(bank_a.value());
+    if (spec.role_b == RegRole::kCompress && !bank_b.empty())
+      sigs.register_sigs.push_back(bank_b.value());
+  }
+  sigs.output_sig = out_misr.signature();
+  return sigs;
+}
+
+CoverageResult measure_coverage(const ControllerStructure& cs, const SelfTestPlan& plan,
+                                std::optional<std::vector<Fault>> faults) {
+  const Signatures golden = run_self_test(cs, plan);
+  const std::vector<Fault> list =
+      faults ? std::move(*faults) : enumerate_stuck_faults(cs.nl);
+
+  CoverageResult res;
+  res.total = list.size();
+  for (const Fault& f : list) {
+    if (run_self_test(cs, plan, f) != golden) {
+      ++res.detected;
+    } else {
+      res.undetected.push_back(f);
+    }
+  }
+  return res;
+}
+
+CoverageResult measure_functional_coverage(const ControllerStructure& cs,
+                                           std::size_t cycles,
+                                           std::optional<std::vector<Fault>> faults,
+                                           std::uint64_t seed) {
+  const Netlist& nl = cs.nl;
+  const std::vector<Fault> list =
+      faults ? std::move(*faults) : enumerate_stuck_faults(cs.nl);
+
+  // Golden output trace.
+  auto run_trace = [&](std::optional<Fault> fault) {
+    const NetId fnet = fault ? fault->net : kNoNet;
+    const bool fval = fault ? fault->stuck_value : false;
+    Lfsr gen(std::max<std::size_t>(8, cs.pi.size()), seed);
+    Netlist::SimState state = nl.initial_state();
+    std::vector<bool> trace;
+    for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
+      std::vector<bool> in(nl.num_inputs(), false);
+      for (std::size_t k = 0; k < cs.pi.size(); ++k)
+        for (std::size_t slot = 0; slot < nl.inputs().size(); ++slot)
+          if (nl.inputs()[slot] == cs.pi[k]) in[slot] = gen.bit(k);
+      // test_mode (if any) stays 0: functional operation.
+      auto outs = nl.step(in, state, fnet, fval);
+      trace.insert(trace.end(), outs.begin(), outs.end());
+      gen.step();
+    }
+    return trace;
+  };
+
+  const auto golden = run_trace(std::nullopt);
+  CoverageResult res;
+  res.total = list.size();
+  for (const Fault& f : list) {
+    if (run_trace(f) != golden) {
+      ++res.detected;
+    } else {
+      res.undetected.push_back(f);
+    }
+  }
+  return res;
+}
+
+}  // namespace stc

@@ -1,0 +1,97 @@
+#pragma once
+// Two-session built-in self-test execution on a controller structure.
+//
+// During a session every register bank plays one role:
+//   * kGenerate -- BILBO in LFSR mode: autonomous patterns, D ignored;
+//   * kCompress -- BILBO in MISR mode: state <- feedback(state) XOR D;
+//   * kSystem   -- plain register (used by the autonomous-transition
+//                  variant, paper ref [14], where system transitions act
+//                  as pattern generator).
+// Primary inputs are driven by a dedicated input LFSR; primary outputs
+// are compacted into an output MISR. A fault is detected when any final
+// signature (register banks + output MISR) differs from the fault-free
+// run. The paper's pipeline scheme is: session 1 = R1 generates / R2
+// compresses, session 2 = the converse.
+
+#include <optional>
+
+#include "bist/architectures.hpp"
+#include "bist/bilbo.hpp"
+#include "bist/misr.hpp"
+
+namespace stc {
+
+enum class RegRole { kGenerate, kCompress, kSystem, kHold };
+
+struct SessionSpec {
+  RegRole role_a = RegRole::kGenerate;  // reg_a of the structure
+  RegRole role_b = RegRole::kCompress;  // reg_b (ignored if absent)
+  std::size_t cycles = 256;
+  std::uint64_t input_seed = 0x5EED;
+  std::uint64_t gen_seed = 0x1;
+};
+
+struct SelfTestPlan {
+  std::vector<SessionSpec> sessions;
+  std::size_t output_misr_width = 16;
+
+  /// The paper's plan for Figs. 3/4: two sessions with swapped roles.
+  static SelfTestPlan two_session(std::size_t cycles_per_session = 256);
+
+  /// Fig. 2 plan: T generates, R compresses (single session; T has no
+  /// compressor counterpart).
+  static SelfTestPlan conventional(std::size_t cycles = 512);
+
+  /// Autonomous-transition variant (paper ref [14]): the generating
+  /// register stays in *system* mode, so the machine's own transitions act
+  /// as the pattern source while the other register compresses; two
+  /// sessions with swapped roles, like two_session().
+  static SelfTestPlan autonomous(std::size_t cycles_per_session = 256);
+
+  /// Aliasing-hardened variant: each role assignment runs twice with
+  /// independent seeds and coprime session lengths. Narrow signature
+  /// registers (1-2 bits) alias systematically against short-period
+  /// pattern sources; re-seeding breaks the phase alignment. Four sessions
+  /// total.
+  static SelfTestPlan thorough(std::size_t cycles_per_session = 256);
+};
+
+struct Signatures {
+  std::vector<std::uint64_t> register_sigs;  // per session: compacting bank
+  std::uint64_t output_sig = 0;
+
+  bool operator==(const Signatures& o) const {
+    return register_sigs == o.register_sigs && output_sig == o.output_sig;
+  }
+  bool operator!=(const Signatures& o) const { return !(*this == o); }
+};
+
+/// Run the plan on the structure with an optional injected fault.
+Signatures run_self_test(const ControllerStructure& cs, const SelfTestPlan& plan,
+                         std::optional<Fault> fault = std::nullopt);
+
+struct CoverageResult {
+  std::size_t total = 0;
+  std::size_t detected = 0;
+  std::vector<Fault> undetected;
+
+  double coverage() const {
+    return total == 0 ? 1.0 : static_cast<double>(detected) / static_cast<double>(total);
+  }
+};
+
+/// Serial fault simulation of the full single-stuck-at list (or a caller-
+/// supplied subset) under the plan.
+CoverageResult measure_coverage(const ControllerStructure& cs, const SelfTestPlan& plan,
+                                std::optional<std::vector<Fault>> faults = std::nullopt);
+
+/// Functional (non-BIST) baseline: drive `cycles` LFSR input patterns in
+/// system mode and compare primary outputs cycle by cycle. This is what an
+/// external random test of the Fig. 1 structure can observe.
+CoverageResult measure_functional_coverage(const ControllerStructure& cs,
+                                           std::size_t cycles,
+                                           std::optional<std::vector<Fault>> faults =
+                                               std::nullopt,
+                                           std::uint64_t seed = 0x5EED);
+
+}  // namespace stc

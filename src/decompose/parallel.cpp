@@ -1,0 +1,108 @@
+#include "decompose/parallel.hpp"
+
+#include <map>
+
+#include "fsm/minimize.hpp"
+
+namespace stc {
+namespace {
+
+/// State-part quotient: well-defined because pi has the substitution
+/// property. Outputs are NOT meaningful per component (they are resolved
+/// jointly from (b1, b2)); we emit the output of the block representative
+/// to keep the machine well-formed.
+MealyMachine sp_quotient(const MealyMachine& fsm, const Partition& pi,
+                         const std::string& name) {
+  MealyMachine out(name, pi.num_blocks(), fsm.num_inputs(), fsm.num_outputs());
+  out.set_alphabet_bits(fsm.input_bits(), fsm.output_bits());
+  const auto blocks = pi.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    const State rep = static_cast<State>(blocks[b][0]);
+    for (Input i = 0; i < fsm.num_inputs(); ++i) {
+      out.set_transition(static_cast<State>(b), i,
+                         static_cast<State>(pi.block_of(fsm.next(rep, i))),
+                         fsm.output(rep, i));
+    }
+  }
+  out.set_reset_state(static_cast<State>(pi.block_of(fsm.reset_state())));
+  return out;
+}
+
+}  // namespace
+
+std::optional<ParallelDecomposition> find_parallel_decomposition(
+    const MealyMachine& fsm, const ParallelOptions& options) {
+  fsm.validate();
+  const Partition eps = state_equivalence(fsm);
+  const auto sps = enumerate_sp_lattice(fsm, options.max_lattice);
+  if (sps.empty()) return std::nullopt;
+
+  std::optional<ParallelDecomposition> best;
+  auto cost = [](const Partition& a, const Partition& b) {
+    return a.code_bits() + b.code_bits();
+  };
+
+  for (std::size_t i = 0; i < sps.size(); ++i) {
+    for (std::size_t j = i; j < sps.size(); ++j) {
+      const Partition& a = sps[i];
+      const Partition& b = sps[j];
+      // Exclude trivial splits: an identity component replicates the whole
+      // machine, a universal component carries no information (the "pair"
+      // would just be state minimization).
+      if (a.is_identity() || b.is_identity()) continue;
+      if (a.is_universal() || b.is_universal()) continue;
+      if (!a.meet(b).refines(eps)) continue;
+      const std::size_t c = cost(a, b);
+      if (best && cost(best->pi1, best->pi2) <= c) continue;
+      ParallelDecomposition d;
+      d.pi1 = a;
+      d.pi2 = b;
+      d.flipflops = c;
+      best = std::move(d);
+    }
+  }
+  if (!best) return std::nullopt;
+
+  best->component1 = sp_quotient(fsm, best->pi1, fsm.name() + ".p1");
+  best->component2 = sp_quotient(fsm, best->pi2, fsm.name() + ".p2");
+  return best;
+}
+
+MealyMachine compose_parallel(const MealyMachine& fsm,
+                              const ParallelDecomposition& d) {
+  // Joint machine over reachable (b1, b2) pairs; outputs looked up from a
+  // representative original state compatible with both blocks. Because
+  // pi1 meet pi2 refines epsilon, any representative gives the same
+  // behavior.
+  const auto blocks1 = d.pi1.blocks();
+  const std::size_t n2 = d.pi2.num_blocks();
+
+  // Map (b1, b2) -> representative original state (or kNoState).
+  const std::size_t span = d.pi1.num_blocks() * n2;
+  std::vector<State> rep(span, kNoState);
+  for (State s = 0; s < fsm.num_states(); ++s)
+    rep[d.pi1.block_of(s) * n2 + d.pi2.block_of(s)] = s;
+
+  MealyMachine out(fsm.name() + ".par", span, fsm.num_inputs(), fsm.num_outputs());
+  out.set_alphabet_bits(fsm.input_bits(), fsm.output_bits());
+  for (std::size_t b1 = 0; b1 < d.pi1.num_blocks(); ++b1) {
+    for (std::size_t b2 = 0; b2 < n2; ++b2) {
+      const std::size_t id = b1 * n2 + b2;
+      const State r = rep[id];
+      for (Input i = 0; i < fsm.num_inputs(); ++i) {
+        const State nb1 = d.component1.next(static_cast<State>(b1), i);
+        const State nb2 = d.component2.next(static_cast<State>(b2), i);
+        // Output: joint lookup when the pair is consistent; harmless
+        // default otherwise (unreachable from consistent starts).
+        const Output o = r == kNoState ? 0 : fsm.output(r, i);
+        out.set_transition(static_cast<State>(id), i,
+                           static_cast<State>(nb1 * n2 + nb2), o);
+      }
+    }
+  }
+  out.set_reset_state(static_cast<State>(
+      d.pi1.block_of(fsm.reset_state()) * n2 + d.pi2.block_of(fsm.reset_state())));
+  return out;
+}
+
+}  // namespace stc

@@ -1,0 +1,53 @@
+#pragma once
+// State assignment: mapping symbolic states to binary codes.
+//
+// The paper's flow applies "state coding and logic minimization" to the
+// constructed realization; this module provides the coding step. Natural,
+// Gray and one-hot are deterministic baselines; the greedy-adjacency
+// encoder is a light-weight MUSTANG-style heuristic (states that share
+// successors/predecessors get close codes so the next-state logic cubes
+// merge).
+
+#include <cstdint>
+#include <vector>
+
+#include "fsm/mealy.hpp"
+#include "util/rng.hpp"
+
+namespace stc {
+
+struct Encoding {
+  std::size_t width = 0;                 // bits per state
+  std::vector<std::uint64_t> codes;      // code per state id
+
+  std::uint64_t code_of(State s) const { return codes.at(s); }
+
+  /// True iff codes are distinct and fit the width.
+  bool valid() const;
+
+  /// States count.
+  std::size_t num_states() const { return codes.size(); }
+};
+
+/// Minimal-width binary coding: state k -> k.
+Encoding natural_encoding(std::size_t num_states);
+
+/// Minimal-width coding along the binary-reflected Gray sequence.
+Encoding gray_encoding(std::size_t num_states);
+
+/// One bit per state.
+Encoding one_hot_encoding(std::size_t num_states);
+
+/// Greedy adjacency-driven minimal-width coding with random restarts.
+/// Affinity(s,t) grows when s,t share a successor under the same input or
+/// share a predecessor; codes are assigned so high-affinity pairs differ
+/// in few bits. Deterministic for a fixed seed.
+Encoding greedy_adjacency_encoding(const MealyMachine& fsm, std::size_t restarts = 8,
+                                   std::uint64_t seed = 1);
+
+/// Total weighted Hamming distance of an encoding under the affinity
+/// matrix (the objective greedy_adjacency_encoding minimizes); exposed
+/// for tests and the encoding ablation bench.
+double encoding_objective(const MealyMachine& fsm, const Encoding& enc);
+
+}  // namespace stc

@@ -1,0 +1,200 @@
+#include "fsm/generate.hpp"
+
+#include "fsm/minimize.hpp"
+
+#include <stdexcept>
+
+namespace stc {
+
+MealyMachine random_mealy(std::uint64_t seed, std::size_t num_states,
+                          std::size_t num_inputs, std::size_t num_outputs) {
+  Rng rng(seed);
+  MealyMachine m("rand" + std::to_string(seed), num_states, num_inputs, num_outputs);
+  // Spanning-tree pass: state k's predecessor edge comes from a state < k,
+  // so every state is reachable from state 0 (the reset state).
+  for (State k = 1; k < num_states; ++k) {
+    const State from = static_cast<State>(rng.below(k));
+    const Input via = static_cast<Input>(rng.below(num_inputs));
+    m.set_transition(from, via, k, static_cast<Output>(rng.below(num_outputs)));
+  }
+  for (State s = 0; s < num_states; ++s) {
+    for (Input i = 0; i < num_inputs; ++i) {
+      if (m.has_transition(s, i)) continue;
+      m.set_transition(s, i, static_cast<State>(rng.below(num_states)),
+                       static_cast<Output>(rng.below(num_outputs)));
+    }
+  }
+  return m;
+}
+
+namespace {
+
+MealyMachine decomposable_mealy_attempt(std::uint64_t seed, std::size_t n1,
+                                        std::size_t n2, std::size_t num_inputs,
+                                        std::size_t num_outputs) {
+  Rng rng(seed);
+  // Random factor functions f: S1 x I -> S2 and g: S2 x I -> S1, made
+  // "surjective enough" by seeding each target value once before filling
+  // randomly -- this keeps both factors alive in the composed machine.
+  std::vector<State> f(n1 * num_inputs), g(n2 * num_inputs);
+  for (std::size_t k = 0; k < f.size(); ++k)
+    f[k] = static_cast<State>(k < n2 ? k : rng.below(n2));
+  for (std::size_t k = 0; k < g.size(); ++k)
+    g[k] = static_cast<State>(k < n1 ? k : rng.below(n1));
+  rng.shuffle(f);
+  rng.shuffle(g);
+
+  MealyMachine m("decomp" + std::to_string(seed), n1 * n2, num_inputs, num_outputs);
+  auto id = [&](std::size_t s1, std::size_t s2) {
+    return static_cast<State>(s1 * n2 + s2);
+  };
+  for (std::size_t s1 = 0; s1 < n1; ++s1) {
+    for (std::size_t s2 = 0; s2 < n2; ++s2) {
+      m.set_state_name(id(s1, s2),
+                       "a" + std::to_string(s1) + "b" + std::to_string(s2));
+      for (Input i = 0; i < num_inputs; ++i) {
+        // Definition 2 shape: component 1 comes from g(s2), component 2
+        // from f(s1) -- the cross-coupled pipeline.
+        const State ns1 = g[s2 * num_inputs + i];
+        const State ns2 = f[s1 * num_inputs + i];
+        m.set_transition(id(s1, s2), i, id(ns1, ns2),
+                         static_cast<Output>(rng.below(num_outputs)));
+      }
+    }
+  }
+  return m;
+}
+
+}  // namespace
+
+MealyMachine decomposable_mealy(std::uint64_t seed, std::size_t n1, std::size_t n2,
+                                std::size_t num_inputs, std::size_t num_outputs) {
+  // Random factor tables can leave part of the product space unreachable;
+  // retry with derived sub-seeds until every composed state is reachable,
+  // so corpus machines have no dead states. Deterministic for a seed.
+  for (std::uint64_t attempt = 0; attempt < 256; ++attempt) {
+    MealyMachine m = decomposable_mealy_attempt(seed + (attempt << 32), n1, n2,
+                                                num_inputs, num_outputs);
+    std::size_t reachable = 0;
+    for (bool b : reachable_states(m)) reachable += b ? 1 : 0;
+    if (reachable == m.num_states()) {
+      m.set_name("decomp" + std::to_string(seed));
+      return m;
+    }
+  }
+  throw std::runtime_error("decomposable_mealy: no fully reachable instance found");
+}
+
+MealyMachine shift_register_fsm(std::size_t bits) {
+  if (bits == 0 || bits > 16)
+    throw std::invalid_argument("shift_register_fsm: bits in [1,16]");
+  const std::size_t n = std::size_t{1} << bits;
+  MealyMachine m("shiftreg" + std::to_string(bits), n, 2, 2);
+  m.set_alphabet_bits(1, 1);
+  for (State s = 0; s < n; ++s) {
+    for (Input in = 0; in < 2; ++in) {
+      // Shift right: serial-in enters at the MSB, serial-out leaves at LSB.
+      const State ns = static_cast<State>((s >> 1) | (in << (bits - 1)));
+      const Output out = s & 1;
+      m.set_transition(s, in, ns, out);
+    }
+  }
+  m.set_reset_state(0);
+  return m;
+}
+
+MealyMachine counter_fsm(std::size_t modulus) {
+  if (modulus < 2) throw std::invalid_argument("counter_fsm: modulus >= 2");
+  // Input bit = enable; output bit = wrap pulse (carry out).
+  MealyMachine m("count" + std::to_string(modulus), modulus, 2, 2);
+  m.set_alphabet_bits(1, 1);
+  for (State s = 0; s < modulus; ++s) {
+    m.set_state_name(s, "c" + std::to_string(s));
+    m.set_transition(s, 0, s, 0);
+    const State ns = static_cast<State>((s + 1) % modulus);
+    m.set_transition(s, 1, ns, ns == 0 ? 1 : 0);
+  }
+  return m;
+}
+
+MealyMachine serial_adder_fsm() {
+  // States: carry 0 / carry 1. Inputs: 2 bits (a, b). Output: sum bit.
+  MealyMachine m("serial_adder", 2, 4, 2);
+  m.set_alphabet_bits(2, 1);
+  for (State carry = 0; carry < 2; ++carry) {
+    m.set_state_name(carry, carry ? "carry" : "nocarry");
+    for (Input i = 0; i < 4; ++i) {
+      const unsigned a = (i >> 1) & 1, b = i & 1;
+      const unsigned total = a + b + carry;
+      m.set_transition(carry, i, total >> 1, total & 1);
+    }
+  }
+  return m;
+}
+
+MealyMachine parity_fsm(std::size_t input_bits) {
+  if (input_bits == 0 || input_bits > 8)
+    throw std::invalid_argument("parity_fsm: input_bits in [1,8]");
+  const std::size_t ni = std::size_t{1} << input_bits;
+  MealyMachine m("parity", 2, ni, 2);
+  m.set_alphabet_bits(input_bits, 1);
+  for (State s = 0; s < 2; ++s) {
+    m.set_state_name(s, s ? "odd" : "even");
+    for (Input i = 0; i < ni; ++i) {
+      unsigned ones = 0;
+      for (std::size_t b = 0; b < input_bits; ++b) ones += (i >> b) & 1;
+      const State ns = (s + ones) % 2;
+      m.set_transition(s, i, ns, ns);
+    }
+  }
+  return m;
+}
+
+MealyMachine synthetic_controller(std::uint64_t seed, std::size_t num_states,
+                                  std::size_t num_inputs, std::size_t num_outputs,
+                                  std::size_t branch) {
+  if (branch == 0) throw std::invalid_argument("synthetic_controller: branch >= 1");
+  Rng rng(seed);
+  MealyMachine m("synth" + std::to_string(seed), num_states, num_inputs, num_outputs);
+  // Control-flow style: each state owns a small window of candidate
+  // successors (mostly "nearby" states plus a jump back toward reset),
+  // which mimics the sequencing structure of real controllers.
+  for (State s = 0; s < num_states; ++s) {
+    std::vector<State> window;
+    window.push_back(static_cast<State>((s + 1) % num_states));  // fallthrough
+    window.push_back(0);                                         // restart
+    while (window.size() < branch)
+      window.push_back(static_cast<State>(rng.below(num_states)));
+    // Input 0 always falls through to the successor state: this makes the
+    // whole chain (and thus every state) reachable from reset, which real
+    // sequencer controllers share.
+    m.set_transition(s, 0, window[0], static_cast<Output>(rng.below(num_outputs)));
+    for (Input i = 1; i < num_inputs; ++i) {
+      const State ns = rng.pick(window);
+      m.set_transition(s, i, ns, static_cast<Output>(rng.below(num_outputs)));
+    }
+  }
+  return m;
+}
+
+MealyMachine paper_example_fsm() {
+  // Figure 5 of the paper; states 0..3 are the paper's 1..4, input column
+  // "1" is input 1 and column "0" is input 0. The entry delta(2, input 1)
+  // is state 2 (required for consistency with the factor tables of Fig. 7;
+  // the scanned table is ambiguous there).
+  MealyMachine m("paper_fig5", 4, 2, 2);
+  m.set_alphabet_bits(1, 1);
+  for (State s = 0; s < 4; ++s) m.set_state_name(s, std::to_string(s + 1));
+  m.set_transition(0, 1, 2, 1);  // 1 --1/1--> 3
+  m.set_transition(0, 0, 0, 1);  // 1 --0/1--> 1
+  m.set_transition(1, 1, 1, 0);  // 2 --1/0--> 2
+  m.set_transition(1, 0, 3, 0);  // 2 --0/0--> 4
+  m.set_transition(2, 1, 0, 1);  // 3 --1/1--> 1
+  m.set_transition(2, 0, 2, 0);  // 3 --0/0--> 3
+  m.set_transition(3, 1, 3, 0);  // 4 --1/0--> 4
+  m.set_transition(3, 0, 1, 1);  // 4 --0/1--> 2
+  m.set_reset_state(0);
+  return m;
+}
+
+}  // namespace stc

@@ -1,0 +1,63 @@
+#pragma once
+// Synthetic FSM generators.
+//
+// Two roles:
+//  1. Workload generation for property tests and scaling benchmarks
+//     (random machines, decomposable machines with a known-good pipeline
+//     structure planted inside).
+//  2. Stand-ins for IWLS'93 benchmark machines whose exact tables are not
+//     available offline (see DESIGN.md "Data substitution"): generators for
+//     the structural classes involved (counters, shift registers, dense
+//     random controllers).
+
+#include <cstdint>
+
+#include "fsm/mealy.hpp"
+#include "util/rng.hpp"
+
+namespace stc {
+
+/// Uniformly random completely specified machine. Every state is made
+/// reachable by routing state k's first incoming edge from a random state
+/// < k (spanning-tree construction), so no state is dead on arrival.
+MealyMachine random_mealy(std::uint64_t seed, std::size_t num_states,
+                          std::size_t num_inputs, std::size_t num_outputs);
+
+/// Random machine that *provably* supports a self-testable structure:
+/// built as S = S1 x S2 with delta((s1,s2),i) = (g(s2,i), f(s1,i)) for
+/// random f: S1 x I -> S2 and g: S2 x I -> S1 (the Definition 2 shape).
+/// OSTR on the result must find a solution with
+/// cost <= ceil_log2(n1) + ceil_log2(n2). Outputs are random per
+/// (state, input).
+MealyMachine decomposable_mealy(std::uint64_t seed, std::size_t n1, std::size_t n2,
+                                std::size_t num_inputs, std::size_t num_outputs);
+
+/// The classic MCNC `shiftreg` family: an n-bit serial shift register.
+/// State = register contents, input = serial-in bit, output = serial-out
+/// (LSB). n = 3 reproduces the IWLS'93 `shiftreg` machine (8 states).
+MealyMachine shift_register_fsm(std::size_t bits);
+
+/// Modulo-n up counter with a 1-bit enable input; output pulses on wrap.
+/// Structural class of the `dk512`-style sequencers.
+MealyMachine counter_fsm(std::size_t modulus);
+
+/// Serial adder over two operand bit-streams (2 input bits, 1 output bit,
+/// 2 states = carry). A minimal nontrivially-cyclic machine.
+MealyMachine serial_adder_fsm();
+
+/// Parity tracker over k input bits (2 states).
+MealyMachine parity_fsm(std::size_t input_bits);
+
+/// Dense synthetic controller used as stand-in for large IWLS machines
+/// (bbara/dk16/s1/tbk classes): `branch` controls how many distinct next
+/// states each state uses (locality), outputs drawn from a small set as is
+/// typical for control FSMs.
+MealyMachine synthetic_controller(std::uint64_t seed, std::size_t num_states,
+                                  std::size_t num_inputs, std::size_t num_outputs,
+                                  std::size_t branch);
+
+/// The 4-state example of the paper's Figure 5 (2 inputs, 2 outputs);
+/// states 0..3 correspond to the paper's 1..4.
+MealyMachine paper_example_fsm();
+
+}  // namespace stc

@@ -1,0 +1,199 @@
+#include "fsm/kiss.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace stc {
+namespace {
+
+struct RawRow {
+  std::string in_cube;
+  std::string cur;
+  std::string next;
+  std::string out_bits;
+};
+
+/// Expand a cube with '-' positions into every matching input value.
+/// Bit 0 of the value corresponds to the LEFTMOST cube character (MSB-first
+/// reading is conventional, but any fixed convention works as long as the
+/// writer matches; we use MSB-first).
+void expand_cube(const std::string& cube, std::size_t pos, Input value,
+                 std::vector<Input>& out) {
+  if (pos == cube.size()) {
+    out.push_back(value);
+    return;
+  }
+  const char c = cube[pos];
+  if (c == '0' || c == '1') {
+    expand_cube(cube, pos + 1, static_cast<Input>((value << 1) | (c == '1')), out);
+  } else if (c == '-') {
+    expand_cube(cube, pos + 1, static_cast<Input>(value << 1), out);
+    expand_cube(cube, pos + 1, static_cast<Input>((value << 1) | 1), out);
+  } else {
+    throw KissParseError("bad input cube character: " + cube);
+  }
+}
+
+Output parse_output_bits(const std::string& bits) {
+  Output value = 0;
+  for (char c : bits) {
+    value <<= 1;
+    if (c == '1') {
+      value |= 1;
+    } else if (c != '0' && c != '-') {
+      throw KissParseError("bad output character: " + bits);
+    }
+  }
+  return value;
+}
+
+}  // namespace
+
+MealyMachine parse_kiss2(const std::string& text, const KissOptions& options) {
+  std::istringstream in(text);
+  std::string line;
+  std::size_t ni = 0, no = 0, ns = 0, np = 0;
+  std::string reset_name;
+  std::vector<RawRow> rows;
+
+  while (std::getline(in, line)) {
+    // Strip comments (both '#' and ';' styles appear in the wild).
+    auto hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+
+    auto tok = split_ws(line);
+    if (tok[0] == ".i") {
+      ni = parse_size(tok.at(1));
+    } else if (tok[0] == ".o") {
+      no = parse_size(tok.at(1));
+    } else if (tok[0] == ".s") {
+      ns = parse_size(tok.at(1));
+    } else if (tok[0] == ".p") {
+      np = parse_size(tok.at(1));
+    } else if (tok[0] == ".r") {
+      reset_name = tok.at(1);
+    } else if (tok[0] == ".e" || tok[0] == ".end") {
+      break;
+    } else if (tok[0][0] == '.') {
+      throw KissParseError("unknown directive: " + tok[0]);
+    } else {
+      if (tok.size() != 4)
+        throw KissParseError("transition row needs 4 fields: " + line);
+      rows.push_back({tok[0], tok[1], tok[2], tok[3]});
+    }
+  }
+
+  if (ni == 0) throw KissParseError("missing .i");
+  if (no == 0) throw KissParseError("missing .o");
+  if (ni > 20) throw KissParseError(".i too large to enumerate");
+  if (np != 0 && np != rows.size())
+    throw KissParseError(strprintf(".p says %zu rows, found %zu", np, rows.size()));
+
+  // Collect state names in order of first appearance (current first, as is
+  // conventional for KISS benchmarks; reset name, if given, goes first).
+  std::map<std::string, State> state_ids;
+  std::vector<std::string> state_names;
+  auto intern = [&](const std::string& name) -> State {
+    auto it = state_ids.find(name);
+    if (it != state_ids.end()) return it->second;
+    const State id = static_cast<State>(state_names.size());
+    state_ids.emplace(name, id);
+    state_names.push_back(name);
+    return id;
+  };
+  if (!reset_name.empty()) intern(reset_name);
+  for (const auto& r : rows) {
+    intern(r.cur);
+    if (r.next != "*") intern(r.next);
+  }
+
+  if (ns != 0 && ns != state_names.size())
+    throw KissParseError(strprintf(".s says %zu states, found %zu", ns,
+                                   state_names.size()));
+
+  const std::size_t num_inputs = std::size_t{1} << ni;
+  const std::size_t num_outputs = std::size_t{1} << no;
+  MealyMachine m("kiss", state_names.size(), num_inputs, num_outputs);
+  m.set_alphabet_bits(ni, no);
+  for (State s = 0; s < state_names.size(); ++s) m.set_state_name(s, state_names[s]);
+  if (!reset_name.empty()) m.set_reset_state(state_ids.at(reset_name));
+
+  for (const auto& r : rows) {
+    if (r.in_cube.size() != ni)
+      throw KissParseError("input cube width mismatch: " + r.in_cube);
+    if (r.out_bits.size() != no)
+      throw KissParseError("output width mismatch: " + r.out_bits);
+    if (r.next == "*") {
+      if (!options.complete_with_reset)
+        throw KissParseError("unspecified next state '*' (machine not fully specified)");
+      continue;  // handled by the completion pass below
+    }
+    std::vector<Input> inputs;
+    expand_cube(r.in_cube, 0, 0, inputs);
+    const State cur = state_ids.at(r.cur);
+    const State nxt = state_ids.at(r.next);
+    const Output out = parse_output_bits(r.out_bits);
+    for (Input i : inputs) {
+      if (m.has_transition(cur, i) &&
+          (m.next(cur, i) != nxt || m.output(cur, i) != out)) {
+        throw KissParseError("conflicting rows for state " + r.cur);
+      }
+      m.set_transition(cur, i, nxt, out);
+    }
+  }
+
+  if (!m.is_complete()) {
+    if (!options.complete_with_reset)
+      throw KissParseError("machine is not fully specified (missing (state,input) rows)");
+    m.complete(m.reset_state(), 0);
+  }
+  m.validate();
+  return m;
+}
+
+MealyMachine load_kiss2_file(const std::string& path, const KissOptions& options) {
+  std::ifstream in(path);
+  if (!in) throw KissParseError("cannot open " + path);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  MealyMachine m = parse_kiss2(buf.str(), options);
+  // Derive a machine name from the file name.
+  auto slash = path.find_last_of('/');
+  auto base = slash == std::string::npos ? path : path.substr(slash + 1);
+  auto dot = base.find_last_of('.');
+  m.set_name(dot == std::string::npos ? base : base.substr(0, dot));
+  return m;
+}
+
+std::string write_kiss2(const MealyMachine& m) {
+  const std::size_t ni = m.effective_input_bits();
+  const std::size_t no = m.effective_output_bits();
+  std::string out;
+  out += strprintf(".i %zu\n.o %zu\n", ni, no);
+  out += strprintf(".p %zu\n.s %zu\n", m.num_specified(), m.num_states());
+  out += ".r " + m.state_name(m.reset_state()) + "\n";
+  for (State s = 0; s < m.num_states(); ++s) {
+    for (Input i = 0; i < m.num_inputs(); ++i) {
+      if (!m.has_transition(s, i)) continue;
+      std::string cube(ni, '0');
+      for (std::size_t b = 0; b < ni; ++b)
+        if ((i >> (ni - 1 - b)) & 1) cube[b] = '1';
+      std::string bits(no, '0');
+      const Output o = m.output(s, i);
+      for (std::size_t b = 0; b < no; ++b)
+        if ((o >> (no - 1 - b)) & 1) bits[b] = '1';
+      out += cube + " " + m.state_name(s) + " " + m.state_name(m.next(s, i)) +
+             " " + bits + "\n";
+    }
+  }
+  out += ".e\n";
+  return out;
+}
+
+}  // namespace stc

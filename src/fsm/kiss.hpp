@@ -1,0 +1,42 @@
+#pragma once
+// KISS2 reader/writer -- the interchange format of the MCNC / IWLS'93 FSM
+// benchmark suite the paper evaluates on.
+//
+// Supported directives: .i .o .p .s .r .e and transition lines
+//   <input-cube> <current-state> <next-state> <output-vector>
+// Input cubes may contain '-' (don't care); such a row is expanded to all
+// matching fully specified input symbols. Output '-' bits are resolved to 0
+// (the machines used in the paper are fully specified, so this only matters
+// for defensive parsing). '*' as next state (unspecified) is rejected unless
+// `options.complete_with_reset` is set, in which case the machine is
+// completed with a self-loop-to-reset convention.
+
+#include <stdexcept>
+#include <string>
+
+#include "fsm/mealy.hpp"
+
+namespace stc {
+
+struct KissOptions {
+  /// Complete a partially specified table by sending every unspecified
+  /// (state, input) to the reset state with all-zero output.
+  bool complete_with_reset = false;
+};
+
+struct KissParseError : std::runtime_error {
+  explicit KissParseError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Parse KISS2 text. Input symbols are the 2^.i binary input vectors
+/// (value = the vector read MSB-first), output symbols the 2^.o vectors.
+MealyMachine parse_kiss2(const std::string& text, const KissOptions& options = {});
+
+/// Parse from a file path.
+MealyMachine load_kiss2_file(const std::string& path, const KissOptions& options = {});
+
+/// Serialize a machine back to KISS2 (one fully specified row per
+/// (state, input) pair).
+std::string write_kiss2(const MealyMachine& m);
+
+}  // namespace stc

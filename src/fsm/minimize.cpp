@@ -1,0 +1,153 @@
+#include "fsm/minimize.hpp"
+
+#include <stdexcept>
+
+namespace stc {
+
+std::vector<bool> reachable_states(const MealyMachine& m) {
+  std::vector<bool> seen(m.num_states(), false);
+  std::vector<State> stack = {m.reset_state()};
+  seen[m.reset_state()] = true;
+  while (!stack.empty()) {
+    const State s = stack.back();
+    stack.pop_back();
+    for (Input i = 0; i < m.num_inputs(); ++i) {
+      if (!m.has_transition(s, i)) continue;
+      const State n = m.next(s, i);
+      if (!seen[n]) {
+        seen[n] = true;
+        stack.push_back(n);
+      }
+    }
+  }
+  return seen;
+}
+
+std::size_t num_reachable(const MealyMachine& m) {
+  std::size_t n = 0;
+  for (bool b : reachable_states(m))
+    if (b) ++n;
+  return n;
+}
+
+Partition state_equivalence(const MealyMachine& m) {
+  m.validate();
+  const std::size_t n = m.num_states();
+  // Initial partition: states with identical output rows.
+  std::vector<std::size_t> label(n, 0);
+  {
+    std::vector<std::vector<Output>> rows(n);
+    for (State s = 0; s < n; ++s) {
+      rows[s].reserve(m.num_inputs());
+      for (Input i = 0; i < m.num_inputs(); ++i) rows[s].push_back(m.output(s, i));
+    }
+    std::vector<std::vector<Output>> seen;
+    for (State s = 0; s < n; ++s) {
+      std::size_t id = SIZE_MAX;
+      for (std::size_t k = 0; k < seen.size(); ++k) {
+        if (seen[k] == rows[s]) {
+          id = k;
+          break;
+        }
+      }
+      if (id == SIZE_MAX) {
+        id = seen.size();
+        seen.push_back(rows[s]);
+      }
+      label[s] = id;
+    }
+  }
+
+  // Refine: split blocks whose members map to differently-labelled
+  // successors, until a fixpoint.
+  for (;;) {
+    // Signature of s = (label[s], label[delta(s, i)] for all i).
+    std::vector<std::vector<std::size_t>> sig(n);
+    for (State s = 0; s < n; ++s) {
+      sig[s].reserve(m.num_inputs() + 1);
+      sig[s].push_back(label[s]);
+      for (Input i = 0; i < m.num_inputs(); ++i) sig[s].push_back(label[m.next(s, i)]);
+    }
+    std::vector<std::vector<std::size_t>> seen;
+    std::vector<std::size_t> fresh(n);
+    for (State s = 0; s < n; ++s) {
+      std::size_t id = SIZE_MAX;
+      for (std::size_t k = 0; k < seen.size(); ++k) {
+        if (seen[k] == sig[s]) {
+          id = k;
+          break;
+        }
+      }
+      if (id == SIZE_MAX) {
+        id = seen.size();
+        seen.push_back(sig[s]);
+      }
+      fresh[s] = id;
+    }
+    if (fresh == label) break;
+    label = std::move(fresh);
+  }
+  return Partition::from_labels(label);
+}
+
+bool is_reduced(const MealyMachine& m) {
+  return state_equivalence(m).is_identity();
+}
+
+MealyMachine drop_unreachable(const MealyMachine& m) {
+  const auto keep = reachable_states(m);
+  std::vector<State> remap(m.num_states(), kNoState);
+  std::size_t count = 0;
+  for (State s = 0; s < m.num_states(); ++s)
+    if (keep[s]) remap[s] = static_cast<State>(count++);
+  if (count == m.num_states()) return m;
+
+  MealyMachine out(m.name(), count, m.num_inputs(), m.num_outputs());
+  out.set_alphabet_bits(m.input_bits(), m.output_bits());
+  for (State s = 0; s < m.num_states(); ++s) {
+    if (!keep[s]) continue;
+    out.set_state_name(remap[s], m.state_name(s));
+    for (Input i = 0; i < m.num_inputs(); ++i)
+      out.set_transition(remap[s], i, remap[m.next(s, i)], m.output(s, i));
+  }
+  out.set_reset_state(remap[m.reset_state()]);
+  return out;
+}
+
+MealyMachine quotient(const MealyMachine& m, const Partition& p) {
+  if (p.size() != m.num_states())
+    throw std::invalid_argument("quotient: partition size mismatch");
+  // Verify closure and output consistency while building.
+  MealyMachine out(m.name() + "/q", p.num_blocks(), m.num_inputs(), m.num_outputs());
+  out.set_alphabet_bits(m.input_bits(), m.output_bits());
+  const auto blocks = p.blocks();
+  for (std::size_t b = 0; b < blocks.size(); ++b) {
+    std::string name = m.state_name(static_cast<State>(blocks[b][0]));
+    for (std::size_t k = 1; k < blocks[b].size(); ++k)
+      name += "+" + m.state_name(static_cast<State>(blocks[b][k]));
+    out.set_state_name(static_cast<State>(b), name);
+  }
+  for (State s = 0; s < m.num_states(); ++s) {
+    for (Input i = 0; i < m.num_inputs(); ++i) {
+      const State nb = static_cast<State>(p.block_of(m.next(s, i)));
+      const State sb = static_cast<State>(p.block_of(s));
+      if (out.has_transition(sb, i)) {
+        if (out.next(sb, i) != nb)
+          throw std::invalid_argument("quotient: partition not closed under delta");
+        if (out.output(sb, i) != m.output(s, i))
+          throw std::invalid_argument("quotient: partition not output consistent");
+      } else {
+        out.set_transition(sb, i, nb, m.output(s, i));
+      }
+    }
+  }
+  out.set_reset_state(static_cast<State>(p.block_of(m.reset_state())));
+  return out;
+}
+
+MealyMachine minimize(const MealyMachine& m) {
+  MealyMachine r = drop_unreachable(m);
+  return quotient(r, state_equivalence(r));
+}
+
+}  // namespace stc

@@ -1,0 +1,45 @@
+#pragma once
+// Classical FSM analyses: reachability, state equivalence (the relation
+// "epsilon" of the paper), and machine minimization.
+//
+// Epsilon is central to the OSTR algorithm: a symmetric partition pair
+// (pi, tau) yields a valid realization iff pi 'meet' tau refines epsilon
+// (Theorem 1), i.e. states merged by both factors must be behaviorally
+// equivalent.
+
+#include <vector>
+
+#include "fsm/mealy.hpp"
+#include "partition/partition.hpp"
+
+namespace stc {
+
+/// States reachable from the reset state.
+std::vector<bool> reachable_states(const MealyMachine& m);
+
+/// Number of reachable states.
+std::size_t num_reachable(const MealyMachine& m);
+
+/// State equivalence as a partition: s ~ t iff for every input sequence the
+/// produced output sequences agree. Computed by Moore-style partition
+/// refinement from the output-row partition; O(|S|^2 |I|) worst case, which
+/// is ample for controller-sized machines.
+Partition state_equivalence(const MealyMachine& m);
+
+/// True iff no two distinct states are equivalent.
+bool is_reduced(const MealyMachine& m);
+
+/// Quotient machine M / epsilon with unreachable states removed first.
+/// The result is the canonical minimal machine realizing the same behavior.
+MealyMachine minimize(const MealyMachine& m);
+
+/// Restriction of m to its reachable part (state indices are compacted,
+/// names preserved).
+MealyMachine drop_unreachable(const MealyMachine& m);
+
+/// Quotient of m by an arbitrary partition p that is *output consistent*
+/// and *closed under delta* (i.e. (p, p) is a partition pair and p refines
+/// epsilon). Throws std::invalid_argument otherwise.
+MealyMachine quotient(const MealyMachine& m, const Partition& p);
+
+}  // namespace stc

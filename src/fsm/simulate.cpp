@@ -1,0 +1,115 @@
+#include "fsm/simulate.hpp"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <stdexcept>
+
+namespace stc {
+
+Trace simulate(const MealyMachine& m, const std::vector<Input>& inputs,
+               std::optional<State> from) {
+  Trace t;
+  State s = from.value_or(m.reset_state());
+  t.states.push_back(s);
+  t.outputs.reserve(inputs.size());
+  for (Input i : inputs) {
+    t.outputs.push_back(m.output(s, i));
+    s = m.next(s, i);
+    t.states.push_back(s);
+  }
+  return t;
+}
+
+std::vector<Output> output_word(const MealyMachine& m, const std::vector<Input>& inputs,
+                                std::optional<State> from) {
+  std::vector<Output> out;
+  out.reserve(inputs.size());
+  State s = from.value_or(m.reset_state());
+  for (Input i : inputs) {
+    out.push_back(m.output(s, i));
+    s = m.next(s, i);
+  }
+  return out;
+}
+
+std::optional<std::vector<Input>> find_counterexample(const MealyMachine& a,
+                                                      const MealyMachine& b) {
+  if (a.num_inputs() != b.num_inputs())
+    throw std::invalid_argument("find_counterexample: input alphabets differ");
+  // BFS over the product state space, tracking the word that reaches each
+  // product state; the first output mismatch yields a shortest witness.
+  using Pair = std::pair<State, State>;
+  std::map<Pair, std::pair<Pair, Input>> pred;  // child -> (parent, input)
+  std::deque<Pair> queue;
+  const Pair start{a.reset_state(), b.reset_state()};
+  pred[start] = {start, 0};
+  queue.push_back(start);
+
+  auto witness = [&](Pair at, Input last) {
+    // Inputs along the path start -> at, then the distinguishing input.
+    std::vector<Input> word;
+    while (at != start) {
+      auto [parent, in] = pred.at(at);
+      word.push_back(in);
+      at = parent;
+    }
+    std::reverse(word.begin(), word.end());
+    word.push_back(last);
+    return word;
+  };
+
+  while (!queue.empty()) {
+    const Pair cur = queue.front();
+    queue.pop_front();
+    for (Input i = 0; i < a.num_inputs(); ++i) {
+      if (a.output(cur.first, i) != b.output(cur.second, i)) {
+        return witness(cur, i);
+      }
+      const Pair nxt{a.next(cur.first, i), b.next(cur.second, i)};
+      if (!pred.count(nxt)) {
+        pred[nxt] = {cur, i};
+        queue.push_back(nxt);
+      }
+    }
+  }
+  return std::nullopt;
+}
+
+bool equivalent(const MealyMachine& a, const MealyMachine& b) {
+  return !find_counterexample(a, b).has_value();
+}
+
+bool random_cosimulation(const MealyMachine& a, const MealyMachine& b,
+                         std::size_t runs, std::size_t len, Rng& rng) {
+  if (a.num_inputs() != b.num_inputs()) return false;
+  for (std::size_t r = 0; r < runs; ++r) {
+    std::vector<Input> word(len);
+    for (auto& i : word) i = static_cast<Input>(rng.below(a.num_inputs()));
+    if (output_word(a, word) != output_word(b, word)) return false;
+  }
+  return true;
+}
+
+MealyMachine synchronous_product(const MealyMachine& a, const MealyMachine& b) {
+  if (a.num_inputs() != b.num_inputs())
+    throw std::invalid_argument("synchronous_product: input alphabets differ");
+  const std::size_t n = a.num_states() * b.num_states();
+  MealyMachine p(a.name() + "x" + b.name(), n, a.num_inputs(), a.num_outputs());
+  auto id = [&](State sa, State sb) {
+    return static_cast<State>(static_cast<std::size_t>(sa) * b.num_states() + sb);
+  };
+  for (State sa = 0; sa < a.num_states(); ++sa) {
+    for (State sb = 0; sb < b.num_states(); ++sb) {
+      p.set_state_name(id(sa, sb), a.state_name(sa) + "|" + b.state_name(sb));
+      for (Input i = 0; i < a.num_inputs(); ++i) {
+        p.set_transition(id(sa, sb), i, id(a.next(sa, i), b.next(sb, i)),
+                         a.output(sa, i));
+      }
+    }
+  }
+  p.set_reset_state(id(a.reset_state(), b.reset_state()));
+  return p;
+}
+
+}  // namespace stc

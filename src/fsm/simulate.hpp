@@ -1,0 +1,51 @@
+#pragma once
+// Behavioral simulation and equivalence checking of Mealy machines.
+//
+// Used by the OSTR verifier (a realization must produce the same output
+// sequence as the specification for every input sequence) and by the BIST
+// substrate to cross-check netlist-level simulation against the FSM level.
+
+#include <optional>
+#include <vector>
+
+#include "fsm/mealy.hpp"
+#include "util/rng.hpp"
+
+namespace stc {
+
+/// Trace of a run: outputs[k] is produced while consuming inputs[k];
+/// states[k] is the state *before* consuming inputs[k] (so states has
+/// inputs.size() + 1 entries).
+struct Trace {
+  std::vector<State> states;
+  std::vector<Output> outputs;
+};
+
+/// Run m on the given input word from `from` (reset state by default).
+Trace simulate(const MealyMachine& m, const std::vector<Input>& inputs,
+               std::optional<State> from = std::nullopt);
+
+/// Output word only (cheaper).
+std::vector<Output> output_word(const MealyMachine& m, const std::vector<Input>& inputs,
+                                std::optional<State> from = std::nullopt);
+
+/// Exhaustive behavioral equivalence from the reset states via product
+/// machine reachability. Both machines must share input/output alphabets.
+/// Returns a distinguishing input word if the machines differ.
+std::optional<std::vector<Input>> find_counterexample(const MealyMachine& a,
+                                                      const MealyMachine& b);
+
+/// True iff a and b are behaviorally equivalent from reset (exhaustive).
+bool equivalent(const MealyMachine& a, const MealyMachine& b);
+
+/// Randomized co-simulation: run `runs` random words of length `len` and
+/// compare output words. A cheap smoke test used inside property tests;
+/// `equivalent()` is the sound check.
+bool random_cosimulation(const MealyMachine& a, const MealyMachine& b,
+                         std::size_t runs, std::size_t len, Rng& rng);
+
+/// Synchronous product of two machines over the same input alphabet.
+/// Output of the product is a.output; used for scan-style diagnosis tests.
+MealyMachine synchronous_product(const MealyMachine& a, const MealyMachine& b);
+
+}  // namespace stc

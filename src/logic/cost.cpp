@@ -1,0 +1,33 @@
+#include "logic/cost.hpp"
+
+#include <bit>
+
+namespace stc {
+
+LogicCost cover_cost(const Cover& cover) {
+  LogicCost c;
+  c.cubes = cover.num_cubes();
+  c.literals = cover.num_literals();
+
+  std::uint64_t complemented = 0;  // distinct variables used complemented
+  double ge = 0.0;
+  for (const auto& cube : cover.cubes()) {
+    const std::size_t k = cube.num_literals();
+    if (k >= 2) ge += static_cast<double>(k - 1);
+    complemented |= cube.care & ~cube.value;
+  }
+  if (c.cubes >= 2) ge += static_cast<double>(c.cubes - 1);
+  ge += 0.5 * static_cast<double>(std::popcount(complemented));
+  c.gate_equivalents = ge;
+  return c;
+}
+
+LogicCost block_cost(const std::vector<Cover>& outputs) {
+  LogicCost total;
+  for (const auto& cover : outputs) total += cover_cost(cover);
+  return total;
+}
+
+double flipflop_ge(std::size_t count) { return 4.0 * static_cast<double>(count); }
+
+}  // namespace stc

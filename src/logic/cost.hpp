@@ -1,0 +1,40 @@
+#pragma once
+// Technology-independent cost model for two-level implementations.
+//
+// Gate-equivalent convention (one GE = one 2-input NAND):
+//   * a k-literal AND term costs k-1 GE (2-input tree) and k >= 1,
+//   * an m-cube OR costs m-1 GE,
+//   * input inverters cost 0.5 GE per *distinct* complemented literal,
+//   * a D flip-flop costs 4 GE.
+// This matches the granularity at which the paper argues "the combined
+// networks C1 and C2 need to implement less state transitions than C".
+
+#include <vector>
+
+#include "logic/cover.hpp"
+
+namespace stc {
+
+struct LogicCost {
+  std::size_t cubes = 0;
+  std::size_t literals = 0;
+  double gate_equivalents = 0.0;
+
+  LogicCost& operator+=(const LogicCost& o) {
+    cubes += o.cubes;
+    literals += o.literals;
+    gate_equivalents += o.gate_equivalents;
+    return *this;
+  }
+};
+
+/// Cost of one single-output cover.
+LogicCost cover_cost(const Cover& cover);
+
+/// Cost of a multi-output block (no term sharing assumed -- conservative).
+LogicCost block_cost(const std::vector<Cover>& outputs);
+
+/// Flip-flop cost in GE.
+double flipflop_ge(std::size_t count);
+
+}  // namespace stc

@@ -1,0 +1,60 @@
+#include "logic/cube.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace stc {
+
+Cube Cube::minterm(Minterm m, std::size_t n) {
+  if (n > 64) throw std::invalid_argument("Cube::minterm: n > 64");
+  const std::uint64_t care = n == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << n) - 1;
+  return {care, m & care};
+}
+
+Cube Cube::from_string(const std::string& s) {
+  if (s.size() > 64) throw std::invalid_argument("Cube::from_string: too long");
+  Cube c;
+  for (std::size_t k = 0; k < s.size(); ++k) {
+    const std::size_t v = s.size() - 1 - k;  // MSB-first
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if (s[k] == '0') {
+      c.care |= bit;
+    } else if (s[k] == '1') {
+      c.care |= bit;
+      c.value |= bit;
+    } else if (s[k] != '-') {
+      throw std::invalid_argument("Cube::from_string: bad char");
+    }
+  }
+  return c;
+}
+
+std::size_t Cube::num_literals() const {
+  return static_cast<std::size_t>(std::popcount(care));
+}
+
+std::size_t Cube::conflict_count(const Cube& other) const {
+  return static_cast<std::size_t>(
+      std::popcount((value ^ other.value) & care & other.care));
+}
+
+bool Cube::try_merge(const Cube& other, Cube* merged) const {
+  if (care != other.care) return false;
+  const std::uint64_t diff = value ^ other.value;
+  if (std::popcount(diff) != 1) return false;
+  merged->care = care & ~diff;
+  merged->value = value & ~diff;
+  return true;
+}
+
+std::string Cube::to_string(std::size_t n) const {
+  std::string s(n, '-');
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t v = n - 1 - k;
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if (care & bit) s[k] = (value & bit) ? '1' : '0';
+  }
+  return s;
+}
+
+}  // namespace stc

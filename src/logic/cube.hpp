@@ -1,0 +1,70 @@
+#pragma once
+// Cubes (product terms) over up to 64 boolean variables.
+//
+// A cube is a conjunction of literals, stored as a (care, value) mask pair:
+// variable v appears as a literal iff bit v of `care` is set, and its
+// polarity is bit v of `value`. Bits of `value` outside `care` are kept 0
+// so cubes compare canonically.
+
+#include <cstdint>
+#include <string>
+
+namespace stc {
+
+using Minterm = std::uint64_t;
+
+struct Cube {
+  std::uint64_t care = 0;
+  std::uint64_t value = 0;  // invariant: (value & ~care) == 0
+
+  static Cube top() { return {0, 0}; }  // tautology cube (no literals)
+
+  /// Cube matching exactly one minterm over n variables.
+  static Cube minterm(Minterm m, std::size_t n);
+
+  /// Parse e.g. "1-0" (MSB-first: var n-1 is leftmost). '-' = absent.
+  static Cube from_string(const std::string& s);
+
+  std::size_t num_literals() const;
+
+  bool contains_minterm(Minterm m) const { return ((m ^ value) & care) == 0; }
+
+  /// True iff every minterm of `other` is also in *this (cube containment).
+  bool covers(const Cube& other) const {
+    return (care & ~other.care) == 0 && ((value ^ other.value) & care) == 0;
+  }
+
+  /// True iff the cubes share at least one minterm.
+  bool intersects(const Cube& other) const {
+    return ((value ^ other.value) & care & other.care) == 0;
+  }
+
+  /// Intersection (only meaningful when intersects()).
+  Cube intersect(const Cube& other) const {
+    return {care | other.care, value | other.value};
+  }
+
+  /// Hamming distance between the cubes' restricted parts: number of
+  /// variables where both have a literal and the polarities differ.
+  std::size_t conflict_count(const Cube& other) const;
+
+  /// QM merge: if the cubes have identical care sets and differ in exactly
+  /// one variable's polarity, return the merged cube dropping it.
+  bool try_merge(const Cube& other, Cube* merged) const;
+
+  /// Remove the literal on variable v.
+  Cube without(std::size_t v) const {
+    const std::uint64_t mask = ~(std::uint64_t{1} << v);
+    return {care & mask, value & mask};
+  }
+
+  bool operator==(const Cube& o) const { return care == o.care && value == o.value; }
+  bool operator<(const Cube& o) const {
+    return care != o.care ? care < o.care : value < o.value;
+  }
+
+  /// MSB-first string over n variables, e.g. "1-0".
+  std::string to_string(std::size_t n) const;
+};
+
+}  // namespace stc

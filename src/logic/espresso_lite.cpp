@@ -1,0 +1,127 @@
+#include "logic/espresso_lite.hpp"
+
+#include <algorithm>
+
+namespace stc {
+
+Cube expand_against_off(const Cube& cube, const std::vector<Minterm>& off_minterms) {
+  Cube cur = cube;
+  for (std::size_t v = 0; v < 64; ++v) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if (!(cur.care & bit)) continue;
+    const Cube trial = cur.without(v);
+    bool hits_off = false;
+    for (Minterm m : off_minterms) {
+      if (trial.contains_minterm(m)) {
+        hits_off = true;
+        break;
+      }
+    }
+    if (!hits_off) cur = trial;
+  }
+  return cur;
+}
+
+namespace {
+
+/// IRREDUNDANT: drop cubes whose ON minterms are all covered by the rest.
+void irredundant(Cover& cover, const TruthTable& tt) {
+  const auto on = tt.on_minterms();
+  std::vector<Cube> cubes = cover.cubes();
+
+  // Process largest cubes first so small redundant ones are removed.
+  std::vector<std::size_t> order(cubes.size());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return cubes[a].num_literals() > cubes[b].num_literals();
+  });
+
+  std::vector<bool> keep(cubes.size(), true);
+  for (std::size_t idx : order) {
+    // Tentatively drop cubes[idx]; check every ON minterm stays covered.
+    keep[idx] = false;
+    bool ok = true;
+    for (Minterm m : on) {
+      bool covered = false;
+      for (std::size_t j = 0; j < cubes.size() && !covered; ++j)
+        if (keep[j] && cubes[j].contains_minterm(m)) covered = true;
+      if (!covered) {
+        ok = false;
+        break;
+      }
+    }
+    if (!ok) keep[idx] = true;
+  }
+
+  Cover out(cover.num_vars());
+  for (std::size_t i = 0; i < cubes.size(); ++i)
+    if (keep[i]) out.add(cubes[i]);
+  cover = std::move(out);
+}
+
+/// REDUCE: shrink each cube to the smallest cube containing its essential
+/// ON minterms, enabling different expansions next round. Cubes are
+/// processed *sequentially* against the partially-reduced cover -- the
+/// simultaneous variant can drop a minterm from two mutually-redundant
+/// cubes at once and break the cover.
+void reduce(Cover& cover, const TruthTable& tt) {
+  const auto on = tt.on_minterms();
+  std::vector<Cube> cubes = cover.cubes();
+  const std::uint64_t mask = cover.num_vars() == 64
+                                 ? ~std::uint64_t{0}
+                                 : (std::uint64_t{1} << cover.num_vars()) - 1;
+  for (std::size_t i = 0; i < cubes.size(); ++i) {
+    std::uint64_t forced_and = ~std::uint64_t{0};
+    std::uint64_t forced_or = 0;
+    bool any = false;
+    for (Minterm m : on) {
+      if (!cubes[i].contains_minterm(m)) continue;
+      bool elsewhere = false;
+      for (std::size_t j = 0; j < cubes.size() && !elsewhere; ++j)
+        if (j != i && cubes[j].contains_minterm(m)) elsewhere = true;
+      if (!elsewhere) {
+        forced_and &= m;
+        forced_or |= m;
+        any = true;
+      }
+    }
+    if (!any) continue;  // fully redundant here; leave for irredundant()
+    // Smallest cube spanning the essentials: care = variables where all
+    // agree, value = the agreed bits. The span lies inside the original
+    // cube, and in-place update keeps later iterations consistent.
+    const std::uint64_t agree = ~(forced_and ^ forced_or) & mask;
+    cubes[i] = Cube{agree, forced_and & agree};
+  }
+  Cover out(cover.num_vars());
+  for (const auto& c : cubes) out.add(c);
+  cover = std::move(out);
+}
+
+}  // namespace
+
+Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options) {
+  Cover cover(tt.num_vars());
+  if (tt.on_count() == 0) return cover;
+
+  const auto off = tt.off_minterms();
+  for (Minterm m : tt.on_minterms()) cover.add(Cube::minterm(m, tt.num_vars()));
+
+  std::size_t last_cost = SIZE_MAX;
+  for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
+    // EXPAND.
+    Cover expanded(tt.num_vars());
+    for (const auto& c : cover.cubes()) expanded.add(expand_against_off(c, off));
+    expanded.remove_contained();
+    // IRREDUNDANT.
+    irredundant(expanded, tt);
+    const std::size_t cost = expanded.num_cubes() * 64 + expanded.num_literals();
+    cover = std::move(expanded);
+    if (cost >= last_cost) break;
+    last_cost = cost;
+    // REDUCE (perturb for the next round).
+    if (iter + 1 < options.max_iterations) reduce(cover, tt);
+  }
+  return cover;
+}
+
+}  // namespace stc

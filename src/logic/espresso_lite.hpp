@@ -1,0 +1,27 @@
+#pragma once
+// Heuristic two-level minimization in the espresso style:
+// EXPAND / IRREDUNDANT / REDUCE iterated to a fixpoint on cube counts.
+//
+// Not the full espresso algorithm (no unate recursion, no LASTGASP), but
+// the same loop structure, and exact on the containment invariants: the
+// result always implements the truth table. QM (logic/qm.hpp) stays the
+// exact reference; this handles the larger tables (up to 20 variables)
+// where prime enumeration blows up.
+
+#include "logic/cover.hpp"
+
+namespace stc {
+
+struct EspressoOptions {
+  std::size_t max_iterations = 8;
+};
+
+/// Minimize tt heuristically. The initial cover is the ON minterm list.
+Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options = {});
+
+/// Shared helper: greedily expand `cube` against the OFF list (drop
+/// literals while no OFF minterm is swallowed). Deterministic order:
+/// variables tried LSB first.
+Cube expand_against_off(const Cube& cube, const std::vector<Minterm>& off_minterms);
+
+}  // namespace stc

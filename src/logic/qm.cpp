@@ -1,0 +1,187 @@
+#include "logic/qm.hpp"
+
+#include <algorithm>
+#include <set>
+
+namespace stc {
+
+std::vector<Cube> prime_implicants(const TruthTable& tt) {
+  // Generation 0: minterms of ON u DC.
+  std::set<Cube> current;
+  for (Minterm m = 0; m < tt.num_minterms(); ++m)
+    if (!tt.is_off(m)) current.insert(Cube::minterm(m, tt.num_vars()));
+
+  std::vector<Cube> primes;
+  while (!current.empty()) {
+    std::set<Cube> next;
+    std::set<Cube> merged_away;
+    std::vector<Cube> cur(current.begin(), current.end());
+    for (std::size_t i = 0; i < cur.size(); ++i) {
+      for (std::size_t j = i + 1; j < cur.size(); ++j) {
+        Cube m;
+        if (cur[i].try_merge(cur[j], &m)) {
+          next.insert(m);
+          merged_away.insert(cur[i]);
+          merged_away.insert(cur[j]);
+        }
+      }
+    }
+    for (const auto& c : cur)
+      if (!merged_away.count(c)) primes.push_back(c);
+    current = std::move(next);
+  }
+  // Merging by identical care-sets can yield non-maximal cubes that another
+  // prime strictly covers; drop them.
+  std::vector<Cube> maximal;
+  for (std::size_t i = 0; i < primes.size(); ++i) {
+    bool dominated = false;
+    for (std::size_t j = 0; j < primes.size() && !dominated; ++j)
+      if (i != j && primes[j].covers(primes[i]) && !(primes[i].covers(primes[j])))
+        dominated = true;
+    if (!dominated) maximal.push_back(primes[i]);
+  }
+  std::sort(maximal.begin(), maximal.end());
+  maximal.erase(std::unique(maximal.begin(), maximal.end()), maximal.end());
+  return maximal;
+}
+
+namespace {
+
+struct CoverProblem {
+  std::vector<Cube> primes;
+  std::vector<Minterm> on;                    // minterms to cover
+  std::vector<std::vector<std::size_t>> covers_of;  // per ON index: prime ids
+
+  explicit CoverProblem(const TruthTable& tt) {
+    primes = prime_implicants(tt);
+    on = tt.on_minterms();
+    covers_of.resize(on.size());
+    for (std::size_t k = 0; k < on.size(); ++k)
+      for (std::size_t p = 0; p < primes.size(); ++p)
+        if (primes[p].contains_minterm(on[k])) covers_of[k].push_back(p);
+  }
+};
+
+/// Cost of a prime for comparisons: cube first, literals second.
+std::size_t prime_cost(const Cube& c) { return 64 + c.num_literals(); }
+
+/// Greedy cover with essential-prime extraction.
+std::vector<std::size_t> greedy_cover(const CoverProblem& prob) {
+  std::vector<bool> chosen(prob.primes.size(), false);
+  std::vector<bool> covered(prob.on.size(), false);
+  std::size_t remaining = prob.on.size();
+
+  auto choose = [&](std::size_t p) {
+    chosen[p] = true;
+    for (std::size_t k = 0; k < prob.on.size(); ++k) {
+      if (!covered[k] && prob.primes[p].contains_minterm(prob.on[k])) {
+        covered[k] = true;
+        --remaining;
+      }
+    }
+  };
+
+  // Essentials.
+  for (std::size_t k = 0; k < prob.on.size(); ++k)
+    if (!covered[k] && prob.covers_of[k].size() == 1) choose(prob.covers_of[k][0]);
+
+  // Greedy: maximize newly covered minterms, tie-break on fewer literals.
+  while (remaining > 0) {
+    std::size_t best = SIZE_MAX, best_gain = 0, best_cost = SIZE_MAX;
+    for (std::size_t p = 0; p < prob.primes.size(); ++p) {
+      if (chosen[p]) continue;
+      std::size_t gain = 0;
+      for (std::size_t k = 0; k < prob.on.size(); ++k)
+        if (!covered[k] && prob.primes[p].contains_minterm(prob.on[k])) ++gain;
+      if (gain > best_gain ||
+          (gain == best_gain && gain > 0 && prime_cost(prob.primes[p]) < best_cost)) {
+        best = p;
+        best_gain = gain;
+        best_cost = prime_cost(prob.primes[p]);
+      }
+    }
+    if (best == SIZE_MAX) break;  // uncoverable (cannot happen: primes cover ON)
+    choose(best);
+  }
+
+  std::vector<std::size_t> out;
+  for (std::size_t p = 0; p < prob.primes.size(); ++p)
+    if (chosen[p]) out.push_back(p);
+  return out;
+}
+
+/// Exact branch-and-bound over the covering problem.
+class BranchBound {
+ public:
+  BranchBound(const CoverProblem& prob, std::size_t node_budget)
+      : prob_(prob), budget_(node_budget) {
+    best_choice_ = greedy_cover(prob);
+    best_cost_ = cost_of(best_choice_);
+    std::vector<std::size_t> chosen;
+    std::vector<bool> covered(prob.on.size(), false);
+    recurse(chosen, covered, 0);
+  }
+
+  const std::vector<std::size_t>& best() const { return best_choice_; }
+  bool exact() const { return nodes_ <= budget_; }
+
+ private:
+  std::size_t cost_of(const std::vector<std::size_t>& sel) const {
+    std::size_t c = 0;
+    for (auto p : sel) c += prime_cost(prob_.primes[p]);
+    return c;
+  }
+
+  void recurse(std::vector<std::size_t>& chosen, std::vector<bool>& covered,
+               std::size_t cur_cost) {
+    if (++nodes_ > budget_) return;
+    // First uncovered ON minterm.
+    std::size_t k = SIZE_MAX;
+    for (std::size_t i = 0; i < covered.size(); ++i) {
+      if (!covered[i]) {
+        k = i;
+        break;
+      }
+    }
+    if (k == SIZE_MAX) {
+      if (cur_cost < best_cost_) {
+        best_cost_ = cur_cost;
+        best_choice_ = chosen;
+      }
+      return;
+    }
+    // Branch on every prime covering minterm k.
+    for (std::size_t p : prob_.covers_of[k]) {
+      const std::size_t new_cost = cur_cost + prime_cost(prob_.primes[p]);
+      if (new_cost >= best_cost_) continue;  // bound
+      std::vector<bool> saved = covered;
+      for (std::size_t i = 0; i < prob_.on.size(); ++i)
+        if (prob_.primes[p].contains_minterm(prob_.on[i])) covered[i] = true;
+      chosen.push_back(p);
+      recurse(chosen, covered, new_cost);
+      chosen.pop_back();
+      covered = std::move(saved);
+    }
+  }
+
+  const CoverProblem& prob_;
+  std::size_t budget_;
+  std::uint64_t nodes_ = 0;
+  std::vector<std::size_t> best_choice_;
+  std::size_t best_cost_ = SIZE_MAX;
+};
+
+}  // namespace
+
+Cover minimize_qm(const TruthTable& tt, const QmOptions& options) {
+  Cover out(tt.num_vars());
+  if (tt.on_count() == 0) return out;  // constant 0: empty cover
+
+  CoverProblem prob(tt);
+  BranchBound bb(prob, options.max_bb_nodes);
+  for (std::size_t p : bb.best()) out.add(prob.primes[p]);
+  out.remove_contained();
+  return out;
+}
+
+}  // namespace stc

@@ -1,0 +1,23 @@
+#pragma once
+// Quine-McCluskey two-level minimization: prime implicant generation by
+// iterative merging, followed by unate covering (exact branch-and-bound for
+// small tables, greedy with essential extraction otherwise).
+
+#include "logic/cover.hpp"
+
+namespace stc {
+
+/// All prime implicants of the function (ON u DC used for merging; primes
+/// that cover only DC minterms are kept -- the cover step ignores them).
+std::vector<Cube> prime_implicants(const TruthTable& tt);
+
+struct QmOptions {
+  /// Upper bound on branch-and-bound nodes before falling back to the
+  /// greedy cover heuristic.
+  std::size_t max_bb_nodes = 200000;
+};
+
+/// Minimal (or greedily small) SOP cover of tt.
+Cover minimize_qm(const TruthTable& tt, const QmOptions& options = {});
+
+}  // namespace stc

@@ -1,0 +1,61 @@
+#include "netlist/builder.hpp"
+
+#include <map>
+#include <stdexcept>
+
+namespace stc {
+
+NetId build_sop(Netlist& nl, const Cover& cover, const std::vector<NetId>& var_nets) {
+  if (cover.num_vars() > var_nets.size())
+    throw std::invalid_argument("build_sop: not enough variable nets");
+
+  std::map<NetId, NetId> inverters;  // shared complemented literals
+  auto inverted = [&](NetId a) {
+    auto it = inverters.find(a);
+    if (it != inverters.end()) return it->second;
+    const NetId inv = nl.add_not(a);
+    inverters.emplace(a, inv);
+    return inv;
+  };
+
+  std::vector<NetId> terms;
+  for (const Cube& cube : cover.cubes()) {
+    std::vector<NetId> lits;
+    for (std::size_t v = 0; v < cover.num_vars(); ++v) {
+      const std::uint64_t bit = std::uint64_t{1} << v;
+      if (!(cube.care & bit)) continue;
+      lits.push_back((cube.value & bit) ? var_nets[v] : inverted(var_nets[v]));
+    }
+    if (lits.empty()) return nl.add_const(true);  // tautology cube
+    terms.push_back(lits.size() == 1 ? lits[0] : nl.add_and(std::move(lits)));
+  }
+  if (terms.empty()) return nl.add_const(false);
+  return terms.size() == 1 ? terms[0] : nl.add_or(std::move(terms));
+}
+
+RegisterBank build_register(Netlist& nl, const std::string& name, std::size_t width,
+                            std::uint64_t init) {
+  RegisterBank bank;
+  bank.q.reserve(width);
+  for (std::size_t k = 0; k < width; ++k)
+    bank.q.push_back(
+        nl.add_dff(name + "[" + std::to_string(k) + "]", (init >> k) & 1));
+  return bank;
+}
+
+NetId build_mux(Netlist& nl, NetId sel, NetId a, NetId b) {
+  const NetId nsel = nl.add_not(sel);
+  const NetId ta = nl.add_and({sel, a});
+  const NetId tb = nl.add_and({nsel, b});
+  return nl.add_or({ta, tb});
+}
+
+std::vector<NetId> build_block(Netlist& nl, const std::vector<Cover>& covers,
+                               const std::vector<NetId>& var_nets) {
+  std::vector<NetId> outs;
+  outs.reserve(covers.size());
+  for (const Cover& c : covers) outs.push_back(build_sop(nl, c, var_nets));
+  return outs;
+}
+
+}  // namespace stc

@@ -1,0 +1,34 @@
+#pragma once
+// Structural synthesis of two-level covers into gate netlists, plus the
+// standard register/mux building blocks used by the BIST architectures.
+
+#include "encoding/encoded_fsm.hpp"
+#include "logic/cover.hpp"
+#include "netlist/netlist.hpp"
+
+namespace stc {
+
+/// Emit AND-OR logic for `cover`; `var_nets[v]` drives cube variable v.
+/// Shares input inverters across cubes. An empty cover yields const 0;
+/// the tautology cube yields const 1.
+NetId build_sop(Netlist& nl, const Cover& cover, const std::vector<NetId>& var_nets);
+
+/// A register bank: `width` DFFs with optional load-enable-free D inputs.
+struct RegisterBank {
+  std::vector<NetId> q;  // flip-flop outputs, LSB first
+};
+
+/// Create `width` flip-flops named `<name>[k]`; init holds the power-up
+/// value (LSB first).
+RegisterBank build_register(Netlist& nl, const std::string& name, std::size_t width,
+                            std::uint64_t init = 0);
+
+/// 2:1 mux: sel ? a : b.
+NetId build_mux(Netlist& nl, NetId sel, NetId a, NetId b);
+
+/// Combinational block computing every cover of a multi-output function
+/// over shared variable nets. Returns one net per cover.
+std::vector<NetId> build_block(Netlist& nl, const std::vector<Cover>& covers,
+                               const std::vector<NetId>& var_nets);
+
+}  // namespace stc

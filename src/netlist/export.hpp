@@ -1,0 +1,20 @@
+#pragma once
+// Netlist export: structural Verilog and BLIF, so synthesized controllers
+// can be taken downstream (simulation, mapping, or an external DFT flow).
+
+#include <string>
+
+#include "netlist/netlist.hpp"
+
+namespace stc {
+
+/// Structural Verilog-2001: one module with assign statements for the
+/// combinational gates and always @(posedge clk) blocks for the DFFs
+/// (asynchronous active-high reset loads the power-up value).
+std::string write_verilog(const Netlist& nl, const std::string& module_name);
+
+/// Berkeley BLIF: .names per gate (AND/OR/NOT/XOR/BUF expanded into
+/// cover rows), .latch per DFF with its init value.
+std::string write_blif(const Netlist& nl, const std::string& model_name);
+
+}  // namespace stc

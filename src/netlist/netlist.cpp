@@ -1,0 +1,242 @@
+#include "netlist/netlist.hpp"
+
+#include <stdexcept>
+
+#include "util/strings.hpp"
+
+namespace stc {
+
+NetId Netlist::add_input(std::string name) {
+  gates_.push_back({GateType::kInput, {}, std::move(name), false});
+  const NetId id = static_cast<NetId>(gates_.size() - 1);
+  inputs_.push_back(id);
+  topo_.clear();
+  finalized_ = false;
+  return id;
+}
+
+NetId Netlist::add_const(bool value) {
+  gates_.push_back({value ? GateType::kConst1 : GateType::kConst0, {}, "", false});
+  topo_.clear();
+  finalized_ = false;
+  return static_cast<NetId>(gates_.size() - 1);
+}
+
+NetId Netlist::add_gate(GateType type, std::vector<NetId> fanins, std::string name) {
+  if (type == GateType::kInput || type == GateType::kDff)
+    throw std::invalid_argument("add_gate: use add_input/add_dff");
+  if (fanins.empty() && type != GateType::kConst0 && type != GateType::kConst1)
+    throw std::invalid_argument("add_gate: combinational gate without fanins");
+  for (NetId f : fanins)
+    if (f >= gates_.size()) throw std::out_of_range("add_gate: bad fanin");
+  gates_.push_back({type, std::move(fanins), std::move(name), false});
+  topo_.clear();
+  finalized_ = false;
+  return static_cast<NetId>(gates_.size() - 1);
+}
+
+NetId Netlist::add_dff(std::string name, bool init) {
+  gates_.push_back({GateType::kDff, {kNoNet}, std::move(name), init});
+  const NetId id = static_cast<NetId>(gates_.size() - 1);
+  dffs_.push_back(id);
+  topo_.clear();
+  finalized_ = false;
+  return id;
+}
+
+void Netlist::connect_dff(NetId q, NetId d) {
+  if (q >= gates_.size() || gates_[q].type != GateType::kDff)
+    throw std::invalid_argument("connect_dff: not a DFF");
+  if (d >= gates_.size()) throw std::out_of_range("connect_dff: bad d net");
+  gates_[q].fanins[0] = d;
+}
+
+void Netlist::add_output(NetId net, std::string name) {
+  if (net >= gates_.size()) throw std::out_of_range("add_output");
+  outputs_.push_back(net);
+  // Keep the name on the driving gate if it has none.
+  if (gates_[net].name.empty()) gates_[net].name = std::move(name);
+}
+
+void Netlist::finalize() {
+  for (NetId q : dffs_)
+    if (gates_[q].fanins[0] == kNoNet)
+      throw std::logic_error("finalize: unconnected DFF '" + gates_[q].name + "'");
+
+  // Topological sort of combinational gates; inputs/consts/DFF-q are
+  // sources. Kahn's algorithm over combinational fanin edges.
+  const std::size_t n = gates_.size();
+  std::vector<std::size_t> pending(n, 0);
+  std::vector<std::vector<NetId>> fanouts(n);
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = gates_[id];
+    if (g.type == GateType::kInput || g.type == GateType::kDff ||
+        g.type == GateType::kConst0 || g.type == GateType::kConst1)
+      continue;
+    pending[id] = g.fanins.size();
+    for (NetId f : g.fanins) fanouts[f].push_back(id);
+  }
+
+  topo_.clear();
+  std::vector<NetId> ready;
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = gates_[id];
+    if (g.type == GateType::kInput || g.type == GateType::kDff ||
+        g.type == GateType::kConst0 || g.type == GateType::kConst1)
+      ready.push_back(id);
+  }
+  std::size_t comb_count = 0;
+  while (!ready.empty()) {
+    const NetId id = ready.back();
+    ready.pop_back();
+    const Gate& g = gates_[id];
+    const bool comb = g.type != GateType::kInput && g.type != GateType::kDff &&
+                      g.type != GateType::kConst0 && g.type != GateType::kConst1;
+    if (comb) {
+      topo_.push_back(id);
+      ++comb_count;
+    }
+    for (NetId out : fanouts[id])
+      if (--pending[out] == 0) ready.push_back(out);
+  }
+  std::size_t expected = 0;
+  for (NetId id = 0; id < n; ++id) {
+    const Gate& g = gates_[id];
+    if (g.type != GateType::kInput && g.type != GateType::kDff &&
+        g.type != GateType::kConst0 && g.type != GateType::kConst1)
+      ++expected;
+  }
+  if (comb_count != expected)
+    throw std::logic_error("finalize: combinational cycle detected");
+  finalized_ = true;
+}
+
+double Netlist::area_ge() const {
+  double area = 0.0;
+  for (const Gate& g : gates_) {
+    switch (g.type) {
+      case GateType::kNot:
+        area += 0.5;
+        break;
+      case GateType::kAnd:
+      case GateType::kOr:
+        if (g.fanins.size() >= 2) area += static_cast<double>(g.fanins.size() - 1);
+        break;
+      case GateType::kXor:
+        if (g.fanins.size() >= 2)
+          area += 2.0 * static_cast<double>(g.fanins.size() - 1);
+        break;
+      case GateType::kDff:
+        area += 4.0;
+        break;
+      default:
+        break;
+    }
+  }
+  return area;
+}
+
+std::size_t Netlist::depth() const {
+  std::vector<std::size_t> level(gates_.size(), 0);
+  std::size_t max_level = 0;
+  for (NetId id : topo_) {
+    const Gate& g = gates_[id];
+    std::size_t lv = 0;
+    for (NetId f : g.fanins) lv = std::max(lv, level[f]);
+    const bool counts = g.type == GateType::kNot || g.type == GateType::kAnd ||
+                        g.type == GateType::kOr || g.type == GateType::kXor;
+    level[id] = lv + (counts ? 1 : 0);
+    max_level = std::max(max_level, level[id]);
+  }
+  return max_level;
+}
+
+Netlist::SimState Netlist::initial_state() const {
+  SimState s;
+  s.dff.reserve(dffs_.size());
+  for (NetId q : dffs_) s.dff.push_back(gates_[q].dff_init);
+  return s;
+}
+
+void Netlist::evaluate(const std::vector<bool>& input_values, const SimState& state,
+                       std::vector<bool>& values, NetId forced_net,
+                       bool forced_value) const {
+  if (input_values.size() != inputs_.size())
+    throw std::invalid_argument("evaluate: input arity mismatch");
+  if (state.dff.size() != dffs_.size())
+    throw std::invalid_argument("evaluate: state arity mismatch");
+  if (!finalized_) throw std::logic_error("evaluate: finalize() not called");
+
+  values.assign(gates_.size(), false);
+  for (std::size_t k = 0; k < inputs_.size(); ++k) values[inputs_[k]] = input_values[k];
+  for (std::size_t k = 0; k < dffs_.size(); ++k) values[dffs_[k]] = state.dff[k];
+  for (NetId id = 0; id < gates_.size(); ++id)
+    if (gates_[id].type == GateType::kConst1) values[id] = true;
+
+  auto apply_fault = [&](NetId id) {
+    if (id == forced_net) values[id] = forced_value;
+  };
+  for (NetId in : inputs_) apply_fault(in);
+  for (NetId q : dffs_) apply_fault(q);
+
+  for (NetId id : topo_) {
+    const Gate& g = gates_[id];
+    bool v = false;
+    switch (g.type) {
+      case GateType::kBuf:
+        v = values[g.fanins[0]];
+        break;
+      case GateType::kNot:
+        v = !values[g.fanins[0]];
+        break;
+      case GateType::kAnd:
+        v = true;
+        for (NetId f : g.fanins) v = v && values[f];
+        break;
+      case GateType::kOr:
+        v = false;
+        for (NetId f : g.fanins) v = v || values[f];
+        break;
+      case GateType::kXor:
+        v = false;
+        for (NetId f : g.fanins) v = v != values[f];
+        break;
+      default:
+        break;
+    }
+    values[id] = v;
+    apply_fault(id);
+  }
+}
+
+std::vector<bool> Netlist::step(const std::vector<bool>& input_values, SimState& state,
+                                NetId forced_net, bool forced_value) const {
+  std::vector<bool> values;
+  evaluate(input_values, state, values, forced_net, forced_value);
+  std::vector<bool> out;
+  out.reserve(outputs_.size());
+  for (NetId o : outputs_) out.push_back(values[o]);
+  for (std::size_t k = 0; k < dffs_.size(); ++k)
+    state.dff[k] = values[gates_[dffs_[k]].fanins[0]];
+  return out;
+}
+
+std::string Netlist::stats() const {
+  std::size_t n_and = 0, n_or = 0, n_not = 0, n_xor = 0;
+  for (const Gate& g : gates_) {
+    switch (g.type) {
+      case GateType::kAnd: ++n_and; break;
+      case GateType::kOr: ++n_or; break;
+      case GateType::kNot: ++n_not; break;
+      case GateType::kXor: ++n_xor; break;
+      default: break;
+    }
+  }
+  return strprintf(
+      "nets=%zu inputs=%zu outputs=%zu dffs=%zu and=%zu or=%zu not=%zu xor=%zu "
+      "area=%.1fGE depth=%zu",
+      num_nets(), num_inputs(), num_outputs(), num_dffs(), n_and, n_or, n_not,
+      n_xor, area_ge(), depth());
+}
+
+}  // namespace stc

@@ -1,0 +1,111 @@
+#pragma once
+// Gate-level netlists with D flip-flops.
+//
+// A netlist is a DAG of combinational gates plus a set of DFFs breaking
+// the cycles; every gate output is a net and gate id == net id. The
+// evaluator computes a levelized order once and then simulates cycles:
+// evaluate combinational logic, optionally clock the flip-flops.
+//
+// The four controller structures of the paper (Figs. 1-4) are built on
+// this representation by src/bist/architectures.*.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stc {
+
+using NetId = std::uint32_t;
+inline constexpr NetId kNoNet = UINT32_MAX;
+
+enum class GateType : std::uint8_t {
+  kInput,   // primary input
+  kConst0,
+  kConst1,
+  kBuf,
+  kNot,
+  kAnd,     // n-input
+  kOr,      // n-input
+  kXor,     // n-input (odd parity)
+  kDff,     // q output; fanin[0] = d (set after creation to allow loops)
+};
+
+struct Gate {
+  GateType type = GateType::kBuf;
+  std::vector<NetId> fanins;
+  std::string name;     // optional diagnostic name
+  bool dff_init = false;  // power-up value for kDff
+};
+
+class Netlist {
+ public:
+  NetId add_input(std::string name);
+  NetId add_const(bool value);
+  NetId add_gate(GateType type, std::vector<NetId> fanins, std::string name = "");
+  NetId add_not(NetId a) { return add_gate(GateType::kNot, {a}); }
+  NetId add_and(std::vector<NetId> in) { return add_gate(GateType::kAnd, std::move(in)); }
+  NetId add_or(std::vector<NetId> in) { return add_gate(GateType::kOr, std::move(in)); }
+  NetId add_xor(std::vector<NetId> in) { return add_gate(GateType::kXor, std::move(in)); }
+
+  /// Create a flip-flop; connect its D input later with connect_dff.
+  NetId add_dff(std::string name, bool init = false);
+  void connect_dff(NetId q, NetId d);
+
+  void add_output(NetId net, std::string name);
+
+  std::size_t num_nets() const { return gates_.size(); }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_outputs() const { return outputs_.size(); }
+  std::size_t num_dffs() const { return dffs_.size(); }
+
+  const Gate& gate(NetId id) const { return gates_.at(id); }
+  const std::vector<NetId>& inputs() const { return inputs_; }
+  const std::vector<NetId>& outputs() const { return outputs_; }
+  const std::vector<NetId>& dffs() const { return dffs_; }
+
+  /// Checks all DFFs are connected and the combinational part is acyclic;
+  /// computes the topological order. Must be called before simulation
+  /// (and again after structural edits).
+  void finalize();
+  bool finalized() const { return finalized_; }
+
+  /// Gate-equivalent area (INV 0.5, 2-input AND/OR 1.0 with n-input gates
+  /// decomposed into n-1, XOR2 2.0, DFF 4.0, BUF/const free).
+  double area_ge() const;
+
+  /// Critical path length in gate levels through the combinational part
+  /// (DFF q pins and primary inputs are level 0).
+  std::size_t depth() const;
+
+  /// --- simulation ---
+  struct SimState {
+    std::vector<bool> dff;  // current flip-flop values, in dffs() order
+  };
+
+  SimState initial_state() const;
+
+  /// Combinational evaluation: fills `values` (indexed by net) from the
+  /// given primary-input and flip-flop values. `forced_net`, when not
+  /// kNoNet, is overridden with `forced_value` (stuck-at fault injection).
+  void evaluate(const std::vector<bool>& input_values, const SimState& state,
+                std::vector<bool>& values, NetId forced_net = kNoNet,
+                bool forced_value = false) const;
+
+  /// One clock cycle: evaluate, sample outputs, clock DFFs.
+  /// Returns the primary-output values observed in this cycle.
+  std::vector<bool> step(const std::vector<bool>& input_values, SimState& state,
+                         NetId forced_net = kNoNet, bool forced_value = false) const;
+
+  /// Human-readable structural statistics.
+  std::string stats() const;
+
+ private:
+  std::vector<Gate> gates_;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> outputs_;
+  std::vector<NetId> dffs_;
+  std::vector<NetId> topo_;  // combinational evaluation order
+  bool finalized_ = false;
+};
+
+}  // namespace stc

@@ -1,0 +1,204 @@
+#include "ostr/ostr.hpp"
+
+#include <stdexcept>
+
+#include "fsm/minimize.hpp"
+
+namespace stc {
+
+bool OstrSolution::better_than(const OstrSolution& o, bool use_balance) const {
+  if (flipflops != o.flipflops) return flipflops < o.flipflops;
+  if (use_balance && balance != o.balance) return balance < o.balance;
+  return false;
+}
+
+namespace {
+
+OstrSolution make_solution(const Partition& pi, const Partition& tau) {
+  OstrSolution s;
+  s.pi = pi;
+  s.tau = tau;
+  s.s1 = pi.num_blocks();
+  s.s2 = tau.num_blocks();
+  s.flipflops = ceil_log2(s.s1) + ceil_log2(s.s2);
+  s.balance = s.s2 == 0 ? 0.0
+                        : std::abs(static_cast<double>(s.s1) / static_cast<double>(s.s2) -
+                                   1.0);
+  return s;
+}
+
+/// Shared state of the depth-first search.
+struct Search {
+  const MealyMachine& fsm;
+  const OstrOptions& opt;
+  const Partition eps;
+  std::vector<Partition> basis;
+  OstrResult result;
+
+  Search(const MealyMachine& f, const OstrOptions& o)
+      : fsm(f), opt(o), eps(state_equivalence(f)), basis(mm_basis(f)) {}
+
+  void offer(const Partition& pi, const Partition& tau) {
+    ++result.stats.solutions_seen;
+    OstrSolution cand = make_solution(pi, tau);
+    if (cand.better_than(result.best, opt.balance_tiebreak)) {
+      result.best = cand;
+      improved_flag_ = true;
+      if (opt.keep_history) result.history.push_back(cand);
+    }
+  }
+
+  bool improved_flag_ = false;
+
+  /// Examine the node kappa; returns false if (by Lemma 1) the subtree
+  /// below it cannot contain a solution.
+  bool visit(const Partition& kappa) {
+    ++result.stats.nodes_investigated;
+    improved_flag_ = false;
+
+    // Lemma 1 / minimal-intersection argument: m(kappa) meet kappa is the
+    // least intersection over the whole interval of pairs anchored at this
+    // Mm-pair. If it already violates epsilon, neither this node nor any
+    // successor can yield a solution.
+    const Partition mk = m_operator(fsm, kappa);
+    if (!mk.meet(kappa).refines(eps)) return false;
+
+    // Preferred candidate: the Mm-pair (M(kappa), kappa); pi as coarse as
+    // possible means the fewest R1 states.
+    const Partition Mk = M_operator(fsm, kappa);
+    if (Mk.meet(kappa).refines(eps) && is_partition_pair(fsm, kappa, Mk)) {
+      offer(Mk, kappa);
+    } else if (is_partition_pair(fsm, mk, kappa) &&
+               is_partition_pair(fsm, kappa, mk)) {
+      // Fallback of Section 3: (m(kappa), kappa) has the minimal
+      // intersection in the interval; by the check above it refines eps.
+      offer(mk, kappa);
+    }
+
+    if (opt.extended_candidates) {
+      // Completion of the paper's candidate set (see DESIGN.md): the
+      // Theorem-2 interval around the Mm-pair contains symmetric pairs
+      // whose components are strictly *between* the evaluated endpoints
+      // (e.g. product machines where M(kappa) over-coarsens past epsilon
+      // but an intermediate pi works). Greedily coarsen (m(kappa), kappa)
+      // inside the validity region. Gated to small machines or nodes that
+      // just improved the incumbent, to keep large searches fast.
+      if (fsm.num_states() <= 12 || improved_flag_) {
+        greedy_coarsen(mk, kappa);
+      }
+    }
+    return true;
+  }
+
+  /// Greedily coarsen pi, then tau, one pair-join at a time, while the
+  /// result stays a symmetric partition pair whose meet refines epsilon.
+  /// Every accepted step is offered as a candidate.
+  void greedy_coarsen(Partition pi, Partition tau) {
+    const std::size_t n = fsm.num_states();
+    bool progress = true;
+    while (progress) {
+      progress = false;
+      for (int side = 0; side < 2 && !progress; ++side) {
+        Partition& target = side == 0 ? pi : tau;
+        const Partition& other = side == 0 ? tau : pi;
+        for (std::size_t s = 0; s < n && !progress; ++s) {
+          for (std::size_t t = s + 1; t < n && !progress; ++t) {
+            if (target.same_block(s, t)) continue;
+            Partition cand = target.join(Partition::pair_relation(n, s, t));
+            if (!cand.meet(other).refines(eps)) continue;
+            const Partition& new_pi = side == 0 ? cand : pi;
+            const Partition& new_tau = side == 0 ? tau : cand;
+            if (!is_partition_pair(fsm, new_pi, new_tau) ||
+                !is_partition_pair(fsm, new_tau, new_pi))
+              continue;
+            target = std::move(cand);
+            offer(side == 0 ? target : pi, side == 0 ? tau : target);
+            progress = true;
+          }
+        }
+      }
+    }
+  }
+
+  void dfs(const Partition& kappa, std::size_t first) {
+    if (result.stats.nodes_investigated >= opt.max_nodes) {
+      result.stats.exhausted = false;
+      return;
+    }
+    const bool viable = visit(kappa);
+    if (!viable && opt.prune) {
+      ++result.stats.nodes_pruned;
+      return;
+    }
+    for (std::size_t k = first; k < basis.size(); ++k) {
+      Partition child = kappa.join(basis[k]);
+      if (child == kappa) continue;  // same node; subset differs but kappa equal
+      dfs(child, k + 1);
+      if (!result.stats.exhausted) return;
+    }
+  }
+};
+
+}  // namespace
+
+OstrResult solve_ostr(const MealyMachine& fsm, const OstrOptions& options) {
+  fsm.validate();
+  Search search(fsm, options);
+  search.result.stats.num_states = fsm.num_states();
+  search.result.stats.basis_size = search.basis.size();
+
+  // The trivial doubling solution (identity, identity) always exists and
+  // seeds the incumbent.
+  const Partition id = Partition::identity(fsm.num_states());
+  search.result.best = make_solution(id, id);
+
+  search.dfs(id, 0);
+  return search.result;
+}
+
+std::vector<Partition> all_partitions(std::size_t n) {
+  if (n > 10) throw std::invalid_argument("all_partitions: n too large");
+  std::vector<Partition> out;
+  // Enumerate restricted growth strings: label[0] = 0,
+  // label[k] <= max(label[0..k-1]) + 1.
+  std::vector<std::size_t> label(n, 0);
+  auto rec = [&](auto&& self, std::size_t k, std::size_t maxl) -> void {
+    if (k == n) {
+      out.push_back(Partition::from_labels(label));
+      return;
+    }
+    for (std::size_t v = 0; v <= maxl + 1; ++v) {
+      label[k] = v;
+      self(self, k + 1, std::max(maxl, v));
+    }
+  };
+  if (n == 0) return {Partition::from_labels({})};
+  rec(rec, 1, 0);
+  return out;
+}
+
+OstrSolution brute_force_ostr(const MealyMachine& fsm, bool balance_tiebreak) {
+  fsm.validate();
+  const std::size_t n = fsm.num_states();
+  const Partition eps = state_equivalence(fsm);
+  const auto parts = all_partitions(n);
+
+  // Precompute m(pi) for each partition; (pi, tau) is a pair iff
+  // m(pi) refines tau.
+  std::vector<Partition> m_of(parts.size());
+  for (std::size_t i = 0; i < parts.size(); ++i) m_of[i] = m_operator(fsm, parts[i]);
+
+  OstrSolution best = make_solution(Partition::identity(n), Partition::identity(n));
+  for (std::size_t a = 0; a < parts.size(); ++a) {
+    for (std::size_t b = 0; b < parts.size(); ++b) {
+      if (!m_of[a].refines(parts[b])) continue;  // (pi, tau) pair
+      if (!m_of[b].refines(parts[a])) continue;  // (tau, pi) pair
+      if (!parts[a].meet(parts[b]).refines(eps)) continue;
+      OstrSolution cand = make_solution(parts[a], parts[b]);
+      if (cand.better_than(best, balance_tiebreak)) best = cand;
+    }
+  }
+  return best;
+}
+
+}  // namespace stc

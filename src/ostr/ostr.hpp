@@ -1,0 +1,86 @@
+#pragma once
+// Problem OSTR (Optimal Self-Testable Realization) and the depth-first
+// search procedure of Section 3.
+//
+// Given a completely specified Mealy machine M, find a symmetric partition
+// pair (pi, tau) with pi `meet` tau refining state equivalence, minimizing
+//   (i)  ceil(log2 |S/pi|) + ceil(log2 |S/tau|)          (flip-flops)
+//   (ii) | |S/pi| / |S/tau| - 1 |                        (balance, tie-break)
+//
+// Search space: the Mm-lattice skeleton. Nodes of the search tree are
+// subsets N of the basis {m(rho_{s,t})}; at each node kappa = join(N) and
+// the Mm-pair (M(kappa), kappa) is examined, falling back to
+// (m(kappa), kappa). Lemma 1: if m(kappa) meet kappa does not refine
+// epsilon, no node in the subtree can yield a solution -> prune.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ostr/realization.hpp"
+#include "partition/lattice.hpp"
+
+namespace stc {
+
+struct OstrOptions {
+  /// Apply Lemma-1 pruning (Table 2 ablates this).
+  bool prune = true;
+  /// Abort after visiting this many search-tree nodes (paper: "timeout"
+  /// for tbk). The best solution found so far is returned.
+  std::uint64_t max_nodes = 5'000'000;
+  /// Use cost criterion (ii) as tie-break; when false, the first solution
+  /// with minimal (i) wins (ablation bench).
+  bool balance_tiebreak = true;
+  /// Also evaluate the coarser symmetric pairs inside each Theorem-2
+  /// interval (pi -> M(tau) / tau -> M(pi) climb). The paper's procedure
+  /// only scores the Mm endpoints (M(kappa), kappa) and (m(kappa), kappa),
+  /// which misses strictly cheaper pairs on product-structured machines;
+  /// see DESIGN.md "Algorithm completion". Off = paper-faithful mode.
+  bool extended_candidates = true;
+  /// Collect every improving solution (for reporting/ablation).
+  bool keep_history = false;
+};
+
+/// One candidate solution of problem OSTR.
+struct OstrSolution {
+  Partition pi;
+  Partition tau;
+  std::size_t s1 = 0;        // |S/pi|
+  std::size_t s2 = 0;        // |S/tau|
+  std::size_t flipflops = 0; // criterion (i)
+  double balance = 0.0;      // criterion (ii)
+
+  /// Lexicographic comparison on ((i), (ii)).
+  bool better_than(const OstrSolution& o, bool use_balance) const;
+};
+
+struct OstrStats {
+  std::size_t num_states = 0;
+  std::size_t basis_size = 0;          // |M|; search tree has 2^|M| nodes
+  std::uint64_t nodes_investigated = 0;
+  std::uint64_t nodes_pruned = 0;      // subtree roots cut by Lemma 1
+  std::uint64_t solutions_seen = 0;    // candidate symmetric pairs evaluated
+  bool exhausted = true;               // false if max_nodes hit
+};
+
+struct OstrResult {
+  OstrSolution best;                   // never absent: doubling always works
+  OstrStats stats;
+  std::vector<OstrSolution> history;   // improving sequence, if requested
+};
+
+/// Run the Section-3 depth-first search. The machine must be completely
+/// specified.
+OstrResult solve_ostr(const MealyMachine& fsm, const OstrOptions& options = {});
+
+/// Reference implementation: enumerate *all* partitions of S (Bell-number
+/// many -- use only for |S| <= ~8) and return the optimum over all
+/// symmetric pairs with intersection refining epsilon. Used by tests and
+/// the exactness ablation.
+OstrSolution brute_force_ostr(const MealyMachine& fsm, bool balance_tiebreak = true);
+
+/// All set partitions of {0..n-1} (Bell(n) of them) in a deterministic
+/// order; exposed for tests. Throws for n > 10.
+std::vector<Partition> all_partitions(std::size_t n);
+
+}  // namespace stc

@@ -1,0 +1,100 @@
+#include "ostr/realization.hpp"
+
+#include <stdexcept>
+
+#include "fsm/minimize.hpp"
+#include "util/strings.hpp"
+
+namespace stc {
+
+std::string FactorTables::to_string() const {
+  std::string out = "delta1 (S/pi x I -> S/tau):\n";
+  for (std::size_t b = 0; b < n1; ++b) {
+    out += strprintf("  [%zu]pi :", b);
+    for (std::size_t i = 0; i < num_inputs; ++i)
+      out += strprintf(" %u", d1(static_cast<State>(b), static_cast<Input>(i)));
+    out += '\n';
+  }
+  out += "delta2 (S/tau x I -> S/pi):\n";
+  for (std::size_t b = 0; b < n2; ++b) {
+    out += strprintf("  [%zu]tau:", b);
+    for (std::size_t i = 0; i < num_inputs; ++i)
+      out += strprintf(" %u", d2(static_cast<State>(b), static_cast<Input>(i)));
+    out += '\n';
+  }
+  return out;
+}
+
+Realization build_realization(const MealyMachine& fsm, const Partition& pi,
+                              const Partition& tau, Output default_output) {
+  fsm.validate();
+  if (pi.size() != fsm.num_states() || tau.size() != fsm.num_states())
+    throw std::invalid_argument("build_realization: partition size mismatch");
+  if (!is_symmetric_pair(fsm, pi, tau))
+    throw std::invalid_argument("build_realization: (pi, tau) not a symmetric pair");
+  const Partition eps = state_equivalence(fsm);
+  if (!pi.meet(tau).refines(eps))
+    throw std::invalid_argument(
+        "build_realization: pi meet tau does not refine state equivalence");
+  if (default_output >= fsm.num_outputs())
+    throw std::invalid_argument("build_realization: default output out of range");
+
+  Realization r;
+  r.pi = pi;
+  r.tau = tau;
+  FactorTables& t = r.tables;
+  t.n1 = pi.num_blocks();
+  t.n2 = tau.num_blocks();
+  t.num_inputs = fsm.num_inputs();
+  t.delta1.assign(t.n1 * t.num_inputs, kNoState);
+  t.delta2.assign(t.n2 * t.num_inputs, kNoState);
+  t.lambda.assign(t.n1 * t.n2 * t.num_inputs, default_output);
+
+  // delta1([s]pi, i) = [delta(s,i)]tau -- well-defined because (pi, tau) is
+  // a partition pair; delta2 dually from (tau, pi).
+  for (State s = 0; s < fsm.num_states(); ++s) {
+    const std::size_t b1 = pi.block_of(s);
+    const std::size_t b2 = tau.block_of(s);
+    for (Input i = 0; i < fsm.num_inputs(); ++i) {
+      t.delta1[b1 * t.num_inputs + i] =
+          static_cast<State>(tau.block_of(fsm.next(s, i)));
+      t.delta2[b2 * t.num_inputs + i] =
+          static_cast<State>(pi.block_of(fsm.next(s, i)));
+      // lambda*((b1,b2), i) = lambda(s, i) for s in the (nonempty)
+      // intersection; pi meet tau <= epsilon makes this well-defined.
+      t.lambda[(b1 * t.n2 + b2) * t.num_inputs + i] = fsm.output(s, i);
+    }
+  }
+
+  // Flatten M* to a Mealy machine for verification / downstream synthesis.
+  MealyMachine m(fsm.name() + "*", t.n1 * t.n2, fsm.num_inputs(), fsm.num_outputs());
+  m.set_alphabet_bits(fsm.input_bits(), fsm.output_bits());
+  auto id = [&](std::size_t b1, std::size_t b2) {
+    return static_cast<State>(b1 * t.n2 + b2);
+  };
+  for (std::size_t b1 = 0; b1 < t.n1; ++b1) {
+    for (std::size_t b2 = 0; b2 < t.n2; ++b2) {
+      m.set_state_name(id(b1, b2),
+                       "p" + std::to_string(b1) + "t" + std::to_string(b2));
+      for (Input i = 0; i < fsm.num_inputs(); ++i) {
+        const State ns1 = t.d2(static_cast<State>(b2), i);  // next R1 from C2
+        const State ns2 = t.d1(static_cast<State>(b1), i);  // next R2 from C1
+        m.set_transition(id(b1, b2), i, id(ns1, ns2),
+                         t.lam(static_cast<State>(b1), static_cast<State>(b2), i));
+      }
+    }
+  }
+
+  r.alpha.resize(fsm.num_states());
+  for (State s = 0; s < fsm.num_states(); ++s)
+    r.alpha[s] = id(pi.block_of(s), tau.block_of(s));
+  m.set_reset_state(r.alpha[fsm.reset_state()]);
+  r.machine = std::move(m);
+  return r;
+}
+
+std::size_t conventional_bist_flipflops(const MealyMachine& fsm) {
+  return 2 * ceil_log2(fsm.num_states());
+}
+
+}  // namespace stc

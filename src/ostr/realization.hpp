@@ -1,0 +1,78 @@
+#pragma once
+// Theorem 1: constructing a self-testable realization from a symmetric
+// partition pair (pi, tau) with pi `meet` tau refining state equivalence.
+//
+// The realization M* runs on S* = S/pi x S/tau with the cross-coupled
+// transition function
+//     delta*((b1, b2), i) = (delta2(b2, i), delta1(b1, i))
+// where delta1 : S/pi  x I -> S/tau,  delta1([s]pi,  i) = [delta(s,i)]tau
+//       delta2 : S/tau x I -> S/pi,   delta2([s]tau, i) = [delta(s,i)]pi.
+// C1 (implementing delta1) feeds register R2 and C2 feeds R1: the
+// pipeline structure of the paper's Figure 4, with no direct feedback.
+
+#include <cmath>
+#include <string>
+
+#include "fsm/mealy.hpp"
+#include "partition/pairs.hpp"
+
+namespace stc {
+
+/// The two half-machine tables plus the output table of M*.
+struct FactorTables {
+  std::size_t n1 = 0;          // |S/pi|  (register R1 states)
+  std::size_t n2 = 0;          // |S/tau| (register R2 states)
+  std::size_t num_inputs = 0;
+  std::vector<State> delta1;   // [b1 * num_inputs + i] -> b2'
+  std::vector<State> delta2;   // [b2 * num_inputs + i] -> b1'
+  std::vector<Output> lambda;  // [(b1 * n2 + b2) * num_inputs + i]
+
+  State d1(State b1, Input i) const { return delta1[b1 * num_inputs + i]; }
+  State d2(State b2, Input i) const { return delta2[b2 * num_inputs + i]; }
+  Output lam(State b1, State b2, Input i) const {
+    return lambda[(static_cast<std::size_t>(b1) * n2 + b2) * num_inputs + i];
+  }
+
+  /// Render delta1/delta2 in the style of the paper's Figure 7.
+  std::string to_string() const;
+};
+
+/// A complete self-testable realization of a specification machine.
+struct Realization {
+  Partition pi;           // factor for register R1
+  Partition tau;          // factor for register R2
+  FactorTables tables;
+  MealyMachine machine;   // M* as a flat Mealy machine on S/pi x S/tau
+  std::vector<State> alpha;  // specification state s -> composed state id
+
+  std::size_t s1() const { return tables.n1; }
+  std::size_t s2() const { return tables.n2; }
+
+  /// Criterion (i) of OSTR: total register bits.
+  std::size_t flipflops() const {
+    return ceil_log2(tables.n1) + ceil_log2(tables.n2);
+  }
+
+  /// Criterion (ii) of OSTR: | |S1|/|S2| - 1 |.
+  double balance() const {
+    return tables.n2 == 0
+               ? 0.0
+               : std::abs(static_cast<double>(tables.n1) / tables.n2 - 1.0);
+  }
+
+  /// True iff this is the "doubling" solution (both factors = identity).
+  bool is_trivial() const { return pi.is_identity() && tau.is_identity(); }
+};
+
+/// Build the Theorem-1 realization. Throws std::invalid_argument unless
+/// (pi, tau) is a symmetric partition pair with pi meet tau refining
+/// state_equivalence(fsm). `default_output` fills lambda* cells whose
+/// (b1, b2) blocks have empty intersection (unreachable composed states).
+Realization build_realization(const MealyMachine& fsm, const Partition& pi,
+                              const Partition& tau, Output default_output = 0);
+
+/// Flip-flop count of the conventional BIST structure of Figure 2
+/// (system register R plus equally wide test register T).
+std::size_t conventional_bist_flipflops(const MealyMachine& fsm);
+
+}  // namespace stc

@@ -1,0 +1,69 @@
+#include "ostr/state_split.hpp"
+
+#include <stdexcept>
+
+namespace stc {
+
+MealyMachine split_state(const MealyMachine& fsm, State victim) {
+  if (victim >= fsm.num_states()) throw std::out_of_range("split_state");
+  const State copy = static_cast<State>(fsm.num_states());
+  MealyMachine out(fsm.name() + "+split", fsm.num_states() + 1, fsm.num_inputs(),
+                   fsm.num_outputs());
+  out.set_alphabet_bits(fsm.input_bits(), fsm.output_bits());
+  for (State s = 0; s < fsm.num_states(); ++s) out.set_state_name(s, fsm.state_name(s));
+  out.set_state_name(copy, fsm.state_name(victim) + "'");
+
+  bool toggle = false;  // alternate incoming edges original/copy
+  for (State s = 0; s < fsm.num_states(); ++s) {
+    for (Input i = 0; i < fsm.num_inputs(); ++i) {
+      State ns = fsm.next(s, i);
+      if (ns == victim) {
+        ns = toggle ? copy : victim;
+        toggle = !toggle;
+      }
+      out.set_transition(s, i, ns, fsm.output(s, i));
+    }
+  }
+  // The copy inherits the victim's outgoing rows (targets already remapped
+  // above only for edges *into* the victim; outgoing edges point to the
+  // original targets, as in the source machine).
+  for (Input i = 0; i < fsm.num_inputs(); ++i)
+    out.set_transition(copy, i, out.next(victim, i), out.output(victim, i));
+
+  out.set_reset_state(fsm.reset_state());
+  return out;
+}
+
+SplitImprovement improve_by_splitting(const MealyMachine& fsm,
+                                      std::size_t max_splits,
+                                      const OstrOptions& options) {
+  SplitImprovement best;
+  best.machine = fsm;
+  best.ostr = solve_ostr(fsm, options);
+  best.original_flipflops = best.ostr.best.flipflops;
+
+  for (std::size_t round = 0; round < max_splits; ++round) {
+    bool improved = false;
+    MealyMachine round_machine = best.machine;
+    OstrResult round_result = best.ostr;
+    State round_victim = kNoState;
+
+    for (State victim = 0; victim < best.machine.num_states(); ++victim) {
+      MealyMachine cand = split_state(best.machine, victim);
+      OstrResult r = solve_ostr(cand, options);
+      if (r.best.flipflops < round_result.best.flipflops) {
+        round_machine = std::move(cand);
+        round_result = std::move(r);
+        round_victim = victim;
+        improved = true;
+      }
+    }
+    if (!improved) break;
+    best.machine = std::move(round_machine);
+    best.ostr = std::move(round_result);
+    best.splits.push_back(round_victim);
+  }
+  return best;
+}
+
+}  // namespace stc

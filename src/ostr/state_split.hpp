@@ -1,0 +1,36 @@
+#pragma once
+// Future-work extension of the paper (Section 5): transform the state
+// transition graph into a functionally equivalent machine whose
+// self-testable realizations solve OSTR better.
+//
+// We implement *state splitting*: duplicating a state and distributing its
+// incoming edges over the copies. The split machine is behaviorally
+// equivalent (the copies are equivalent states), but the extra state can
+// unlock finer symmetric partition pairs. A greedy driver tries splits and
+// keeps those that reduce the OSTR flip-flop cost.
+
+#include "ostr/ostr.hpp"
+
+namespace stc {
+
+/// Duplicate state `victim`. The copy inherits all outgoing transitions;
+/// incoming transitions (ordered by (source, input)) alternate between the
+/// original and the copy. The reset state designation stays on the
+/// original. The result has one more state and is behaviorally equivalent.
+MealyMachine split_state(const MealyMachine& fsm, State victim);
+
+struct SplitImprovement {
+  MealyMachine machine;          // final (possibly split) machine
+  OstrResult ostr;               // OSTR result on that machine
+  std::vector<State> splits;     // victims split, in application order
+  std::size_t original_flipflops = 0;
+};
+
+/// Greedy improvement loop: at each round, try splitting every state of the
+/// current machine, solve OSTR on each candidate, and keep the best strictly
+/// improving split. Stops after `max_splits` rounds or when no split helps.
+SplitImprovement improve_by_splitting(const MealyMachine& fsm,
+                                      std::size_t max_splits,
+                                      const OstrOptions& options = {});
+
+}  // namespace stc

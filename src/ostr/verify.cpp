@@ -1,0 +1,45 @@
+#include "ostr/verify.hpp"
+
+#include "util/strings.hpp"
+
+namespace stc {
+
+VerifyReport verify_realization(const MealyMachine& fsm, const Realization& real,
+                                std::size_t cosim_runs, std::size_t cosim_len,
+                                std::uint64_t seed) {
+  VerifyReport rep;
+  const MealyMachine& ms = real.machine;
+
+  rep.homomorphism_ok = true;
+  rep.outputs_ok = true;
+  for (State s = 0; s < fsm.num_states() && (rep.homomorphism_ok && rep.outputs_ok);
+       ++s) {
+    for (Input i = 0; i < fsm.num_inputs(); ++i) {
+      const State mapped = real.alpha[s];
+      if (ms.next(mapped, i) != real.alpha[fsm.next(s, i)]) {
+        rep.homomorphism_ok = false;
+        rep.detail = strprintf("delta* mismatch at (s=%u, i=%u)", s, i);
+        break;
+      }
+      if (ms.output(mapped, i) != fsm.output(s, i)) {
+        rep.outputs_ok = false;
+        rep.detail = strprintf("lambda* mismatch at (s=%u, i=%u)", s, i);
+        break;
+      }
+    }
+  }
+
+  if (auto cex = find_counterexample(fsm, ms)) {
+    rep.behavior_ok = false;
+    rep.detail = strprintf("behavioral counterexample of length %zu", cex->size());
+  } else {
+    rep.behavior_ok = true;
+  }
+
+  Rng rng(seed);
+  rep.cosim_ok = random_cosimulation(fsm, ms, cosim_runs, cosim_len, rng);
+  if (!rep.cosim_ok && rep.detail.empty()) rep.detail = "co-simulation mismatch";
+  return rep;
+}
+
+}  // namespace stc

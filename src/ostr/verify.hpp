@@ -1,0 +1,34 @@
+#pragma once
+// Verification that a constructed realization actually realizes the
+// specification in the sense of Definition 3, via three independent
+// checks: the algebraic homomorphism conditions, exhaustive behavioral
+// equivalence from reset, and randomized co-simulation (belt and braces
+// for the test suite).
+
+#include <string>
+
+#include "fsm/simulate.hpp"
+#include "ostr/realization.hpp"
+
+namespace stc {
+
+struct VerifyReport {
+  bool homomorphism_ok = false;  // delta*(alpha(s), i) == alpha(delta(s, i))
+  bool outputs_ok = false;       // lambda*(alpha(s), i) == lambda(s, i)
+  bool behavior_ok = false;      // exhaustive product-machine equivalence
+  bool cosim_ok = false;         // randomized co-simulation
+  std::string detail;            // first failure, if any
+
+  bool ok() const {
+    return homomorphism_ok && outputs_ok && behavior_ok && cosim_ok;
+  }
+};
+
+/// Check that `real` realizes `fsm`. `cosim_runs` random words of length
+/// `cosim_len` are used for the randomized leg.
+VerifyReport verify_realization(const MealyMachine& fsm, const Realization& real,
+                                std::size_t cosim_runs = 32,
+                                std::size_t cosim_len = 64,
+                                std::uint64_t seed = 1);
+
+}  // namespace stc

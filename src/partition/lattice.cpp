@@ -1,0 +1,104 @@
+#include "partition/lattice.hpp"
+
+#include <algorithm>
+#include <set>
+
+#include "util/strings.hpp"
+
+namespace stc {
+
+std::vector<Partition> mm_basis(const MealyMachine& fsm) {
+  std::set<Partition> seen;
+  std::vector<Partition> basis;
+  const std::size_t n = fsm.num_states();
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = s + 1; t < n; ++t) {
+      Partition rho = Partition::pair_relation(n, s, t);
+      Partition ms = m_operator(fsm, rho);
+      if (seen.insert(ms).second) basis.push_back(std::move(ms));
+    }
+  }
+  // Deterministic order: coarse relations last, lexicographic within size.
+  std::sort(basis.begin(), basis.end(), [](const Partition& a, const Partition& b) {
+    if (a.num_blocks() != b.num_blocks()) return a.num_blocks() > b.num_blocks();
+    return a < b;
+  });
+  return basis;
+}
+
+std::vector<MmPair> enumerate_mm_lattice(const MealyMachine& fsm,
+                                         std::size_t max_elements) {
+  const auto basis = mm_basis(fsm);
+  std::set<Partition> taus;
+  taus.insert(Partition::identity(fsm.num_states()));
+  for (const auto& b : basis) taus.insert(b);
+
+  // Close under pairwise join (worklist until fixpoint).
+  std::vector<Partition> work(taus.begin(), taus.end());
+  while (!work.empty()) {
+    Partition cur = work.back();
+    work.pop_back();
+    for (const auto& b : basis) {
+      Partition j = cur.join(b);
+      if (taus.insert(j).second) {
+        if (taus.size() > max_elements) return {};
+        work.push_back(std::move(j));
+      }
+    }
+  }
+
+  std::vector<MmPair> out;
+  out.reserve(taus.size());
+  for (const auto& tau : taus) out.push_back({M_operator(fsm, tau), tau});
+  return out;
+}
+
+std::vector<Partition> enumerate_sp_lattice(const MealyMachine& fsm,
+                                            std::size_t max_elements) {
+  // SP basis: close each rho_{s,t} under delta (repeated m-joins) to the
+  // least SP partition identifying s and t.
+  const std::size_t n = fsm.num_states();
+  std::set<Partition> sps;
+  sps.insert(Partition::identity(n));
+  std::vector<Partition> basis;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = s + 1; t < n; ++t) {
+      Partition p = Partition::pair_relation(n, s, t);
+      for (;;) {
+        Partition next = p.join(m_operator(fsm, p));
+        if (next == p) break;
+        p = std::move(next);
+      }
+      if (sps.insert(p).second) basis.push_back(p);
+    }
+  }
+  std::vector<Partition> work(basis);
+  while (!work.empty()) {
+    Partition cur = work.back();
+    work.pop_back();
+    for (const auto& b : basis) {
+      Partition j = cur.join(b);
+      // Joins of SP partitions are SP.
+      if (sps.insert(j).second) {
+        if (sps.size() > max_elements) return {};
+        work.push_back(std::move(j));
+      }
+    }
+  }
+  return {sps.begin(), sps.end()};
+}
+
+std::string describe_mm_lattice(const MealyMachine& fsm,
+                                const std::vector<MmPair>& lattice) {
+  std::string out = strprintf("Mm-lattice of '%s': %zu elements\n",
+                              fsm.name().c_str(), lattice.size());
+  for (const auto& mm : lattice) {
+    out += strprintf("  pi=%-30s tau=%-30s  [%zu x %zu blocks]%s\n",
+                     mm.pi.to_string().c_str(), mm.tau.to_string().c_str(),
+                     mm.pi.num_blocks(), mm.tau.num_blocks(),
+                     is_symmetric_pair(fsm, mm.pi, mm.tau) ? "  (symmetric)" : "");
+  }
+  return out;
+}
+
+}  // namespace stc

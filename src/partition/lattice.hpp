@@ -1,0 +1,45 @@
+#pragma once
+// The Mm-lattice: skeleton of the set of all partition pairs.
+//
+// Every Mm-pair's tau-component is a join of basis relations
+// m(rho_{s,t}), where rho_{s,t} identifies exactly the states s and t
+// ([16] Hartmanis/Stearns; Section 3 of the paper). The OSTR search tree
+// ranges over subsets of this basis; the explorer below also enumerates
+// the full lattice for small machines.
+
+#include <utility>
+#include <vector>
+
+#include "partition/pairs.hpp"
+
+namespace stc {
+
+/// Deduplicated, deterministically ordered basis { m(rho_{s,t}) : s < t }.
+/// The trivial identity relation (arising when delta maps s and t to the
+/// same successors) is kept -- it is a legitimate join component.
+std::vector<Partition> mm_basis(const MealyMachine& fsm);
+
+/// An Mm-pair (pi, tau) with pi = M(tau), tau = m(pi).
+struct MmPair {
+  Partition pi;   // the "M" component (coarse side feeding delta)
+  Partition tau;  // the "m" component (image side)
+};
+
+/// Enumerate all distinct tau = join of a subset of the basis, paired with
+/// M(tau). This is the full Mm-lattice. `max_elements` guards against
+/// exponential blowup (returns an empty vector if exceeded).
+std::vector<MmPair> enumerate_mm_lattice(const MealyMachine& fsm,
+                                         std::size_t max_elements = 100000);
+
+/// All partitions with the substitution property ((pi,pi) a pair), i.e.
+/// the classic closed-partition lattice, computed by closing the pairwise
+/// SP basis under join. Guarded like enumerate_mm_lattice.
+std::vector<Partition> enumerate_sp_lattice(const MealyMachine& fsm,
+                                            std::size_t max_elements = 100000);
+
+/// Render a lattice Hasse-style summary (block structures plus covering
+/// relation counts) for the explorer example.
+std::string describe_mm_lattice(const MealyMachine& fsm,
+                                const std::vector<MmPair>& lattice);
+
+}  // namespace stc

@@ -1,0 +1,75 @@
+#include "partition/pairs.hpp"
+
+namespace stc {
+
+Partition m_operator(const MealyMachine& fsm, const Partition& pi) {
+  // Least tau containing (delta(s,i), delta(t,i)) for all s ~pi t. It is
+  // enough to link successors of consecutive members of each pi-block.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  for (const auto& block : pi.blocks()) {
+    for (std::size_t k = 1; k < block.size(); ++k) {
+      const State s = static_cast<State>(block[k - 1]);
+      const State t = static_cast<State>(block[k]);
+      for (Input i = 0; i < fsm.num_inputs(); ++i)
+        pairs.emplace_back(fsm.next(s, i), fsm.next(t, i));
+    }
+  }
+  return Partition::from_pairs(fsm.num_states(), pairs);
+}
+
+Partition M_operator(const MealyMachine& fsm, const Partition& tau) {
+  // Coarsest pi with s ~pi t iff all successors are tau-equivalent.
+  // Group states by the signature (tau-block of delta(s, i))_i.
+  const std::size_t n = fsm.num_states();
+  std::vector<std::vector<std::size_t>> sig(n);
+  for (State s = 0; s < n; ++s) {
+    sig[s].reserve(fsm.num_inputs());
+    for (Input i = 0; i < fsm.num_inputs(); ++i)
+      sig[s].push_back(tau.block_of(fsm.next(s, i)));
+  }
+  std::vector<std::size_t> labels(n);
+  std::vector<std::vector<std::size_t>> seen;
+  for (State s = 0; s < n; ++s) {
+    std::size_t id = SIZE_MAX;
+    for (std::size_t k = 0; k < seen.size(); ++k) {
+      if (seen[k] == sig[s]) {
+        id = k;
+        break;
+      }
+    }
+    if (id == SIZE_MAX) {
+      id = seen.size();
+      seen.push_back(sig[s]);
+    }
+    labels[s] = id;
+  }
+  return Partition::from_labels(labels);
+}
+
+bool is_partition_pair(const MealyMachine& fsm, const Partition& pi,
+                       const Partition& tau) {
+  for (const auto& block : pi.blocks()) {
+    for (std::size_t k = 1; k < block.size(); ++k) {
+      const State s = static_cast<State>(block[k - 1]);
+      const State t = static_cast<State>(block[k]);
+      for (Input i = 0; i < fsm.num_inputs(); ++i)
+        if (!tau.same_block(fsm.next(s, i), fsm.next(t, i))) return false;
+    }
+  }
+  return true;
+}
+
+bool is_symmetric_pair(const MealyMachine& fsm, const Partition& pi,
+                       const Partition& tau) {
+  return is_partition_pair(fsm, pi, tau) && is_partition_pair(fsm, tau, pi);
+}
+
+bool is_mm_pair(const MealyMachine& fsm, const Partition& pi, const Partition& tau) {
+  return m_operator(fsm, pi) == tau && M_operator(fsm, tau) == pi;
+}
+
+bool has_substitution_property(const MealyMachine& fsm, const Partition& pi) {
+  return is_partition_pair(fsm, pi, pi);
+}
+
+}  // namespace stc

@@ -1,0 +1,41 @@
+#pragma once
+// Partition pairs and the m / M operators of Hartmanis & Stearns'
+// algebraic structure theory (Definition 4/5 of the paper).
+//
+// (pi, tau) is a partition pair for M iff  s ~pi t  implies
+// delta(s,i) ~tau delta(t,i) for every input i; equivalently m(pi)
+// refines tau, where m(pi) is the least such tau. Dually M(tau) is the
+// greatest pi. The two operators form a Galois connection:
+//     m(pi) <= tau   <=>   pi <= M(tau).
+
+#include "fsm/mealy.hpp"
+#include "partition/partition.hpp"
+
+namespace stc {
+
+/// m(pi): least equivalence relation tau such that (pi, tau) is a
+/// partition pair -- the closure of { (delta(s,i), delta(t,i)) : s ~pi t }.
+Partition m_operator(const MealyMachine& fsm, const Partition& pi);
+
+/// M(tau): greatest pi with (pi, tau) a partition pair -- the coarsest
+/// partition where s ~ t iff delta(s,i) ~tau delta(t,i) for all i.
+Partition M_operator(const MealyMachine& fsm, const Partition& tau);
+
+/// Definition 4: is (pi, tau) a partition pair for fsm?
+bool is_partition_pair(const MealyMachine& fsm, const Partition& pi,
+                       const Partition& tau);
+
+/// Is (pi, tau) a *symmetric* partition pair, i.e. both (pi, tau) and
+/// (tau, pi) are partition pairs?
+bool is_symmetric_pair(const MealyMachine& fsm, const Partition& pi,
+                       const Partition& tau);
+
+/// Definition 5: is (pi, tau) an Mm-pair (M(tau) == pi and m(pi) == tau)?
+bool is_mm_pair(const MealyMachine& fsm, const Partition& pi, const Partition& tau);
+
+/// A partition with the substitution property (an "S.P. partition"):
+/// (pi, pi) is a partition pair. These are the classic closed partitions
+/// used by serial/parallel decomposition; exposed for the lattice explorer.
+bool has_substitution_property(const MealyMachine& fsm, const Partition& pi);
+
+}  // namespace stc

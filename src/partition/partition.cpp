@@ -1,0 +1,192 @@
+#include "partition/partition.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+namespace stc {
+namespace {
+
+/// Plain union-find over indices 0..n-1 with path halving.
+class UnionFind {
+ public:
+  explicit UnionFind(std::size_t n) : parent_(n) {
+    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+  }
+
+  std::size_t find(std::size_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
+
+  std::vector<std::size_t> labels() {
+    std::vector<std::size_t> out(parent_.size());
+    for (std::size_t i = 0; i < parent_.size(); ++i) out[i] = find(i);
+    return out;
+  }
+
+ private:
+  std::vector<std::size_t> parent_;
+};
+
+}  // namespace
+
+Partition Partition::identity(std::size_t n) {
+  std::vector<std::size_t> labels(n);
+  std::iota(labels.begin(), labels.end(), std::size_t{0});
+  return from_labels(labels);
+}
+
+Partition Partition::universal(std::size_t n) {
+  return from_labels(std::vector<std::size_t>(n, 0));
+}
+
+Partition Partition::pair_relation(std::size_t n, std::size_t s, std::size_t t) {
+  if (s >= n || t >= n) throw std::out_of_range("Partition::pair_relation");
+  Partition p = identity(n);
+  p.labels_[t] = p.labels_[s];
+  p.normalize();
+  return p;
+}
+
+Partition Partition::from_labels(const std::vector<std::size_t>& labels) {
+  Partition p;
+  p.labels_ = labels;
+  p.normalize();
+  return p;
+}
+
+Partition Partition::from_blocks(
+    std::size_t n, const std::vector<std::vector<std::size_t>>& blocks) {
+  UnionFind uf(n);
+  for (const auto& b : blocks) {
+    for (std::size_t i = 1; i < b.size(); ++i) {
+      if (b[0] >= n || b[i] >= n) throw std::out_of_range("Partition::from_blocks");
+      uf.unite(b[0], b[i]);
+    }
+  }
+  return from_labels(uf.labels());
+}
+
+Partition Partition::from_pairs(
+    std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& pairs) {
+  UnionFind uf(n);
+  for (auto [a, b] : pairs) {
+    if (a >= n || b >= n) throw std::out_of_range("Partition::from_pairs");
+    uf.unite(a, b);
+  }
+  return from_labels(uf.labels());
+}
+
+std::vector<std::vector<std::size_t>> Partition::blocks() const {
+  std::vector<std::vector<std::size_t>> out(num_blocks_);
+  for (std::size_t x = 0; x < labels_.size(); ++x) out[labels_[x]].push_back(x);
+  return out;
+}
+
+bool Partition::refines(const Partition& other) const {
+  if (other.size() != size()) throw std::invalid_argument("Partition size mismatch");
+  // p <= q iff elements sharing a p-block share a q-block. Since labels are
+  // canonical it suffices to check one representative pair per adjacency:
+  // map each p-block to the q-label of its first member.
+  std::vector<std::size_t> rep(num_blocks_, SIZE_MAX);
+  for (std::size_t x = 0; x < labels_.size(); ++x) {
+    const std::size_t b = labels_[x];
+    if (rep[b] == SIZE_MAX) {
+      rep[b] = other.labels_[x];
+    } else if (rep[b] != other.labels_[x]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Partition Partition::meet(const Partition& other) const {
+  if (other.size() != size()) throw std::invalid_argument("Partition size mismatch");
+  // Blocks of the meet are nonempty intersections of blocks; label each
+  // element by the pair (label, other.label) and normalize.
+  std::vector<std::size_t> labels(size());
+  const std::size_t stride = other.num_blocks_ == 0 ? 1 : other.num_blocks_;
+  for (std::size_t x = 0; x < size(); ++x)
+    labels[x] = labels_[x] * stride + other.labels_[x];
+  return from_labels(labels);
+}
+
+Partition Partition::join(const Partition& other) const {
+  if (other.size() != size()) throw std::invalid_argument("Partition size mismatch");
+  // Transitive closure of the union: unite each element with the first
+  // representative of both its blocks.
+  std::vector<std::pair<std::size_t, std::size_t>> pairs;
+  std::vector<std::size_t> first_a(num_blocks_, SIZE_MAX);
+  std::vector<std::size_t> first_b(other.num_blocks_, SIZE_MAX);
+  for (std::size_t x = 0; x < size(); ++x) {
+    auto& fa = first_a[labels_[x]];
+    if (fa == SIZE_MAX) {
+      fa = x;
+    } else {
+      pairs.emplace_back(fa, x);
+    }
+    auto& fb = first_b[other.labels_[x]];
+    if (fb == SIZE_MAX) {
+      fb = x;
+    } else {
+      pairs.emplace_back(fb, x);
+    }
+  }
+  return from_pairs(size(), pairs);
+}
+
+std::size_t Partition::code_bits() const { return ceil_log2(num_blocks_); }
+
+std::size_t Partition::hash() const {
+  std::size_t h = 1469598103934665603ULL;
+  for (auto l : labels_) {
+    h ^= l;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::string Partition::to_string() const {
+  std::string out;
+  for (const auto& b : blocks()) {
+    out += '{';
+    for (std::size_t i = 0; i < b.size(); ++i) {
+      if (i) out += ',';
+      out += std::to_string(b[i]);
+    }
+    out += '}';
+  }
+  return out;
+}
+
+void Partition::normalize() {
+  std::vector<std::size_t> remap;
+  std::vector<std::size_t> seen;
+  for (auto& l : labels_) {
+    if (l >= seen.size()) seen.resize(l + 1, SIZE_MAX);
+    if (seen[l] == SIZE_MAX) {
+      seen[l] = remap.size();
+      remap.push_back(l);
+    }
+    l = seen[l];
+  }
+  num_blocks_ = remap.size();
+}
+
+std::size_t ceil_log2(std::size_t n) {
+  if (n <= 1) return 0;
+  std::size_t bits = 0;
+  std::size_t cap = 1;
+  while (cap < n) {
+    cap <<= 1;
+    ++bits;
+  }
+  return bits;
+}
+
+}  // namespace stc

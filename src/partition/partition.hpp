@@ -1,0 +1,106 @@
+#pragma once
+// Equivalence relations on {0, ..., n-1} represented as partitions.
+//
+// The paper manipulates equivalence relations with set-theoretic operators:
+// intersection, union-plus-transitive-closure (join), and the subset
+// ordering. A Partition stores, for each element, the id of its block in a
+// canonical normal form (blocks numbered by first occurrence), which makes
+// equality, hashing and the lattice operations cheap.
+//
+// Lattice conventions (matching Hartmanis & Stearns):
+//   * bottom  = identity relation (every element alone)   -- Partition::identity
+//   * top     = universal relation (one block)            -- Partition::universal
+//   * meet    = intersection of relations (common refinement)
+//   * join    = transitive closure of the union
+//   * refines = subset ordering on relations: p.refines(q)  <=>  p <= q
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stc {
+
+class Partition {
+ public:
+  Partition() = default;
+
+  /// Identity relation on n elements: n singleton blocks.
+  static Partition identity(std::size_t n);
+
+  /// Universal relation on n elements: one block.
+  static Partition universal(std::size_t n);
+
+  /// The basis relation rho_{s,t} of the paper: identifies s and t,
+  /// keeps every other element alone.
+  static Partition pair_relation(std::size_t n, std::size_t s, std::size_t t);
+
+  /// Build from an explicit block-id labelling (any labels; normalized).
+  static Partition from_labels(const std::vector<std::size_t>& labels);
+
+  /// Build from a list of blocks (unlisted elements become singletons).
+  static Partition from_blocks(std::size_t n,
+                               const std::vector<std::vector<std::size_t>>& blocks);
+
+  /// Least equivalence relation containing all given pairs
+  /// (union-find + normalization).
+  static Partition from_pairs(std::size_t n,
+                              const std::vector<std::pair<std::size_t, std::size_t>>& pairs);
+
+  std::size_t size() const { return labels_.size(); }          // #elements
+  std::size_t num_blocks() const { return num_blocks_; }        // #classes
+
+  /// Canonical block id of element x (0-based, ordered by first occurrence).
+  std::size_t block_of(std::size_t x) const { return labels_[x]; }
+
+  /// True iff x and y are in the same block.
+  bool same_block(std::size_t x, std::size_t y) const {
+    return labels_[x] == labels_[y];
+  }
+
+  /// Members of each block, in element order.
+  std::vector<std::vector<std::size_t>> blocks() const;
+
+  bool is_identity() const { return num_blocks_ == size(); }
+  bool is_universal() const { return num_blocks_ <= 1; }
+
+  /// Subset ordering on relations: *this <= other, i.e. every block of
+  /// *this is contained in a block of other.
+  bool refines(const Partition& other) const;
+
+  /// Lattice meet: intersection of the relations (common refinement).
+  Partition meet(const Partition& other) const;
+
+  /// Lattice join: transitive closure of the union of the relations.
+  Partition join(const Partition& other) const;
+
+  /// Number of bits needed to encode the blocks: ceil(log2(num_blocks)),
+  /// with the convention that 1 block still needs 0 bits.
+  std::size_t code_bits() const;
+
+  bool operator==(const Partition& o) const { return labels_ == o.labels_; }
+  bool operator!=(const Partition& o) const { return !(*this == o); }
+
+  /// Strict-weak order so partitions can key std::map / sort.
+  bool operator<(const Partition& o) const { return labels_ < o.labels_; }
+
+  std::size_t hash() const;
+
+  /// Human-readable block list, e.g. "{0,1}{2,3}".
+  std::string to_string() const;
+
+ private:
+  void normalize();  // renumber labels by first occurrence, recount blocks
+
+  std::vector<std::size_t> labels_;
+  std::size_t num_blocks_ = 0;
+};
+
+/// ceil(log2(n)) with ceil_log2(0) = ceil_log2(1) = 0.
+std::size_t ceil_log2(std::size_t n);
+
+struct PartitionHash {
+  std::size_t operator()(const Partition& p) const { return p.hash(); }
+};
+
+}  // namespace stc

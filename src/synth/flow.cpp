@@ -1,0 +1,65 @@
+#include "synth/flow.hpp"
+
+namespace stc {
+
+StructureReport measure_structure(const ControllerStructure& cs,
+                                  const FlowOptions& options) {
+  StructureReport rep;
+  rep.kind = cs.kind;
+  rep.flipflops = cs.nl.num_dffs();
+  rep.area_ge = cs.nl.area_ge();
+  rep.depth = cs.nl.depth();
+
+  if (options.with_fault_sim) {
+    const auto faults = enumerate_stuck_faults(cs.nl);
+    rep.total_faults = faults.size();
+
+    CoverageResult cov;
+    if (cs.kind == "fig1") {
+      cov = measure_functional_coverage(cs, options.functional_cycles, faults);
+    } else if (cs.kind == "fig2") {
+      cov = measure_coverage(cs, SelfTestPlan::conventional(2 * options.bist_cycles),
+                             faults);
+    } else {
+      cov = measure_coverage(cs, SelfTestPlan::two_session(options.bist_cycles),
+                             faults);
+    }
+    rep.coverage = cov.coverage();
+
+    if (!cs.feedback_nets.empty()) {
+      std::size_t fb_total = 0, fb_missed = 0;
+      for (const Fault& f : enumerate_stuck_faults(cs.nl)) {
+        bool on_fb = false;
+        for (NetId n : cs.feedback_nets) on_fb = on_fb || (n == f.net);
+        if (!on_fb) continue;
+        ++fb_total;
+        for (const Fault& u : cov.undetected)
+          if (u == f) ++fb_missed;
+      }
+      if (fb_total > 0)
+        rep.feedback_coverage =
+            1.0 - static_cast<double>(fb_missed) / static_cast<double>(fb_total);
+    }
+  }
+  return rep;
+}
+
+FlowResult run_flow(const MealyMachine& fsm, const FlowOptions& options) {
+  fsm.validate();
+  FlowResult res;
+  res.ostr = solve_ostr(fsm, options.ostr);
+  res.realization = build_realization(fsm, res.ostr.best.pi, res.ostr.best.tau);
+  res.verification = verify_realization(fsm, res.realization);
+
+  const Encoding enc = natural_encoding(fsm.num_states());
+  const EncodedFsm encoded = encode_fsm(fsm, enc);
+
+  res.fig1 = measure_structure(build_fig1(encoded, options.minimizer), options);
+  res.fig2 = measure_structure(build_fig2(encoded, options.minimizer), options);
+  res.fig3 = measure_structure(build_fig3(encoded, options.minimizer), options);
+  res.fig4 = measure_structure(build_fig4(fsm, res.realization, options.minimizer),
+                               options);
+  return res;
+}
+
+}  // namespace stc

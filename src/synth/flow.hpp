@@ -1,0 +1,52 @@
+#pragma once
+// End-to-end synthesis flow, following Section 2 of the paper:
+//   1. solve OSTR on the specification machine,
+//   2. build the Theorem-1 realization from the best symmetric pair,
+//   3. state coding + two-level logic minimization,
+//   4. emit the four controller structures (Figs. 1-4) as netlists,
+//   5. (optionally) run the two-session self-test and fault simulation.
+
+#include <optional>
+
+#include "bist/session.hpp"
+#include "ostr/ostr.hpp"
+#include "ostr/verify.hpp"
+
+namespace stc {
+
+struct FlowOptions {
+  OstrOptions ostr;
+  MinimizerKind minimizer = MinimizerKind::kAuto;
+  bool with_fault_sim = false;       // serial fault simulation is the slow part
+  std::size_t bist_cycles = 256;     // per session
+  std::size_t functional_cycles = 512;
+};
+
+/// Area/delay/testability summary of one structure.
+struct StructureReport {
+  std::string kind;
+  std::size_t flipflops = 0;
+  double area_ge = 0.0;
+  std::size_t depth = 0;
+  // Fault-simulation results (only when FlowOptions::with_fault_sim):
+  std::optional<double> coverage;            // all single stuck-at faults
+  std::optional<double> feedback_coverage;   // faults on R -> C lines only
+  std::size_t total_faults = 0;
+};
+
+struct FlowResult {
+  OstrResult ostr;
+  Realization realization;    // from the best OSTR solution
+  VerifyReport verification;  // realization correctness
+  StructureReport fig1, fig2, fig3, fig4;
+};
+
+/// Run the full flow. The machine must be completely specified.
+FlowResult run_flow(const MealyMachine& fsm, const FlowOptions& options = {});
+
+/// Build + measure one structure in isolation (used by the area/coverage
+/// benches to avoid re-running OSTR).
+StructureReport measure_structure(const ControllerStructure& cs,
+                                  const FlowOptions& options);
+
+}  // namespace stc

@@ -1,0 +1,54 @@
+#include "synth/report.hpp"
+
+#include "util/strings.hpp"
+
+namespace stc {
+namespace {
+
+std::string render_structure(const StructureReport& s) {
+  std::string out = strprintf("  %-5s: %2zu FFs, %7.1f GE, depth %2zu", s.kind.c_str(),
+                              s.flipflops, s.area_ge, s.depth);
+  if (s.coverage)
+    out += strprintf(", coverage %5.1f%% (%zu faults)", *s.coverage * 100.0,
+                     s.total_faults);
+  if (s.feedback_coverage)
+    out += strprintf(", feedback-line coverage %5.1f%%", *s.feedback_coverage * 100.0);
+  return out + "\n";
+}
+
+}  // namespace
+
+std::string render_flow_report(const std::string& machine_name, const FlowResult& r) {
+  std::string out;
+  out += strprintf("=== %s ===\n", machine_name.c_str());
+  out += strprintf("OSTR: |S|=%zu -> |S1|=%zu, |S2|=%zu  (%zu FFs; trivial doubling "
+                   "would need %zu)\n",
+                   r.ostr.stats.num_states, r.ostr.best.s1, r.ostr.best.s2,
+                   r.ostr.best.flipflops,
+                   2 * ceil_log2(r.ostr.stats.num_states));
+  out += strprintf("  pi  = %s\n  tau = %s\n", r.ostr.best.pi.to_string().c_str(),
+                   r.ostr.best.tau.to_string().c_str());
+  out += strprintf("  search: basis %zu (tree 2^%zu nodes), investigated %llu, "
+                   "pruned subtrees %llu%s\n",
+                   r.ostr.stats.basis_size, r.ostr.stats.basis_size,
+                   static_cast<unsigned long long>(r.ostr.stats.nodes_investigated),
+                   static_cast<unsigned long long>(r.ostr.stats.nodes_pruned),
+                   r.ostr.stats.exhausted ? "" : " [budget hit]");
+  out += strprintf("  realization verified: %s\n",
+                   r.verification.ok() ? "yes" : ("NO: " + r.verification.detail).c_str());
+  out += render_structure(r.fig1);
+  out += render_structure(r.fig2);
+  out += render_structure(r.fig3);
+  out += render_structure(r.fig4);
+  return out;
+}
+
+std::string render_flow_summary(const std::string& machine_name, const FlowResult& r) {
+  return strprintf("%-10s |S|=%2zu -> %2zu x %2zu, pipeline %zu FFs vs conventional "
+                   "BIST %zu FFs",
+                   machine_name.c_str(), r.ostr.stats.num_states, r.ostr.best.s1,
+                   r.ostr.best.s2, r.ostr.best.flipflops,
+                   2 * ceil_log2(r.ostr.stats.num_states));
+}
+
+}  // namespace stc

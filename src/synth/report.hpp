@@ -1,0 +1,16 @@
+#pragma once
+// Text rendering of flow results for the examples and benches.
+
+#include <string>
+
+#include "synth/flow.hpp"
+
+namespace stc {
+
+/// Multi-line human-readable report of a full flow run.
+std::string render_flow_report(const std::string& machine_name, const FlowResult& r);
+
+/// One-line summary (machine, |S1| x |S2|, FF counts) for table rows.
+std::string render_flow_summary(const std::string& machine_name, const FlowResult& r);
+
+}  // namespace stc

@@ -1,0 +1,114 @@
+#include "util/bitvec.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace stc {
+
+BitVec BitVec::from_string(const std::string& s) {
+  BitVec v(s.size());
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    if (s[i] == '1') {
+      v.set(i, true);
+    } else if (s[i] != '0') {
+      throw std::invalid_argument("BitVec::from_string: bad character");
+    }
+  }
+  return v;
+}
+
+BitVec BitVec::from_word(std::uint64_t word, std::size_t n) {
+  BitVec v(n);
+  for (std::size_t i = 0; i < n && i < 64; ++i) v.set(i, (word >> i) & 1);
+  return v;
+}
+
+void BitVec::resize(std::size_t n, bool value) {
+  const std::size_t old = size_;
+  size_ = n;
+  words_.resize((n + 63) / 64, value ? ~0ULL : 0ULL);
+  if (value && old < n) {
+    for (std::size_t i = old; i < n; ++i) set(i, true);
+  }
+  trim();
+}
+
+void BitVec::clear() {
+  size_ = 0;
+  words_.clear();
+}
+
+bool BitVec::get(std::size_t i) const {
+  if (i >= size_) throw std::out_of_range("BitVec::get");
+  return (words_[i / 64] >> (i % 64)) & 1;
+}
+
+void BitVec::set(std::size_t i, bool v) {
+  if (i >= size_) throw std::out_of_range("BitVec::set");
+  const std::uint64_t mask = 1ULL << (i % 64);
+  if (v) {
+    words_[i / 64] |= mask;
+  } else {
+    words_[i / 64] &= ~mask;
+  }
+}
+
+void BitVec::flip(std::size_t i) { set(i, !get(i)); }
+
+std::size_t BitVec::count() const {
+  std::size_t c = 0;
+  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  return c;
+}
+
+std::uint64_t BitVec::to_word() const {
+  if (words_.empty()) return 0;
+  std::uint64_t w = words_[0];
+  if (size_ < 64) w &= (1ULL << size_) - 1;
+  return w;
+}
+
+std::string BitVec::to_string() const {
+  std::string s(size_, '0');
+  for (std::size_t i = 0; i < size_; ++i)
+    if (get(i)) s[i] = '1';
+  return s;
+}
+
+BitVec& BitVec::operator&=(const BitVec& o) {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] &= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator|=(const BitVec& o) {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] |= o.words_[i];
+  return *this;
+}
+
+BitVec& BitVec::operator^=(const BitVec& o) {
+  if (o.size_ != size_) throw std::invalid_argument("BitVec size mismatch");
+  for (std::size_t i = 0; i < words_.size(); ++i) words_[i] ^= o.words_[i];
+  return *this;
+}
+
+bool BitVec::operator==(const BitVec& o) const {
+  return size_ == o.size_ && words_ == o.words_;
+}
+
+std::size_t BitVec::hash() const {
+  std::size_t h = 1469598103934665603ULL;
+  for (auto w : words_) {
+    h ^= static_cast<std::size_t>(w);
+    h *= 1099511628211ULL;
+  }
+  return h ^ size_;
+}
+
+void BitVec::trim() {
+  const std::size_t rem = size_ % 64;
+  if (rem != 0 && !words_.empty()) words_.back() &= (1ULL << rem) - 1;
+}
+
+}  // namespace stc

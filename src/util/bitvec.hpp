@@ -1,0 +1,67 @@
+#pragma once
+// Dynamic bit vector used for test-pattern streams, signature traces and
+// set representations throughout the BIST substrate.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stc {
+
+/// Fixed-length sequence of bits packed into 64-bit words.
+/// Index 0 is the least-significant bit of word 0.
+class BitVec {
+ public:
+  BitVec() = default;
+  explicit BitVec(std::size_t n, bool value = false) { resize(n, value); }
+
+  /// Parse from a string of '0'/'1' characters, index 0 = leftmost char.
+  static BitVec from_string(const std::string& s);
+
+  /// Build from the low `n` bits of `word` (bit 0 -> index 0).
+  static BitVec from_word(std::uint64_t word, std::size_t n);
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void resize(std::size_t n, bool value = false);
+  void clear();
+
+  bool get(std::size_t i) const;
+  void set(std::size_t i, bool v);
+  void flip(std::size_t i);
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool any() const { return count() > 0; }
+  bool none() const { return count() == 0; }
+  bool all() const { return count() == size_; }
+
+  /// Low `min(size, 64)` bits as a word (index 0 -> bit 0).
+  std::uint64_t to_word() const;
+
+  /// '0'/'1' string, index 0 first.
+  std::string to_string() const;
+
+  BitVec& operator&=(const BitVec& o);
+  BitVec& operator|=(const BitVec& o);
+  BitVec& operator^=(const BitVec& o);
+  friend BitVec operator&(BitVec a, const BitVec& b) { return a &= b; }
+  friend BitVec operator|(BitVec a, const BitVec& b) { return a |= b; }
+  friend BitVec operator^(BitVec a, const BitVec& b) { return a ^= b; }
+
+  bool operator==(const BitVec& o) const;
+  bool operator!=(const BitVec& o) const { return !(*this == o); }
+
+  /// FNV-1a style hash over the payload (for use as map key).
+  std::size_t hash() const;
+
+ private:
+  void trim();  // clear bits beyond size_ in the top word
+
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace stc

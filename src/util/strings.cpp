@@ -1,0 +1,82 @@
+#include "util/strings.hpp"
+
+#include <cctype>
+#include <cstdarg>
+#include <cstdio>
+#include <stdexcept>
+
+namespace stc {
+
+std::vector<std::string> split_ws(std::string_view s) {
+  std::vector<std::string> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && std::isspace(static_cast<unsigned char>(s[i]))) ++i;
+    std::size_t j = i;
+    while (j < s.size() && !std::isspace(static_cast<unsigned char>(s[j]))) ++j;
+    if (j > i) out.emplace_back(s.substr(i, j - i));
+    i = j;
+  }
+  return out;
+}
+
+std::vector<std::string> split_on(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string trim(std::string_view s) {
+  std::size_t b = 0, e = s.size();
+  while (b < e && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return std::string(s.substr(b, e - b));
+}
+
+std::string to_lower(std::string_view s) {
+  std::string out(s);
+  for (auto& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool starts_with(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool ends_with(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() && s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::size_t parse_size(std::string_view s) {
+  if (s.empty()) throw std::invalid_argument("parse_size: empty string");
+  std::size_t value = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') throw std::invalid_argument("parse_size: not a number");
+    value = value * 10 + static_cast<std::size_t>(c - '0');
+  }
+  return value;
+}
+
+std::string strprintf(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<std::size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+}  // namespace stc

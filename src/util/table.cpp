@@ -1,0 +1,56 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stc {
+
+void AsciiTable::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size())
+    throw std::invalid_argument("AsciiTable::add_row: arity mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string AsciiTable::render() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (const auto& r : rows_)
+    for (std::size_t c = 0; c < r.size(); ++c)
+      width[c] = std::max(width[c], r[c].size());
+
+  auto emit_row = [&](const std::vector<std::string>& r, std::string& out) {
+    for (std::size_t c = 0; c < r.size(); ++c) {
+      out += "| ";
+      out += r[c];
+      out.append(width[c] - r[c].size() + 1, ' ');
+    }
+    out += "|\n";
+  };
+
+  std::string sep;
+  for (std::size_t c = 0; c < header_.size(); ++c) {
+    sep += "+";
+    sep.append(width[c] + 2, '-');
+  }
+  sep += "+\n";
+
+  std::string out;
+  if (!title_.empty()) out += title_ + "\n";
+  out += sep;
+  emit_row(header_, out);
+  out += sep;
+  for (const auto& r : rows_) emit_row(r, out);
+  out += sep;
+  return out;
+}
+
+std::string csv_line(const std::vector<std::string>& cells) {
+  std::string out;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i) out += ',';
+    out += cells[i];
+  }
+  return out;
+}
+
+}  // namespace stc

@@ -1,0 +1,36 @@
+#pragma once
+// ASCII table rendering for the benchmark harnesses. The paper's Tables 1
+// and 2 are printed through this so that EXPERIMENTS.md can diff them
+// against the published rows.
+
+#include <string>
+#include <vector>
+
+namespace stc {
+
+/// Column-aligned ASCII table with a header row and optional title.
+class AsciiTable {
+ public:
+  explicit AsciiTable(std::vector<std::string> header)
+      : header_(std::move(header)) {}
+
+  void set_title(std::string title) { title_ = std::move(title); }
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Render with single-space-padded columns and '-' separators.
+  std::string render() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Render a CSV line (no quoting needed for our numeric/identifier cells).
+std::string csv_line(const std::vector<std::string>& cells);
+
+}  // namespace stc

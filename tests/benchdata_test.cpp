@@ -1,0 +1,92 @@
+// Tests for the benchmark corpus (src/benchdata): catalog integrity,
+// loadability, stats matching the IWLS'93 set, determinism.
+
+#include <gtest/gtest.h>
+
+#include "benchdata/iwls93.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/simulate.hpp"
+#include "fsm/generate.hpp"
+
+namespace stc {
+namespace {
+
+TEST(Benchdata, CatalogHasThirteenTable1Machines) {
+  std::size_t n = 0;
+  for (const auto& info : benchmark_catalog())
+    if (info.in_table1) ++n;
+  EXPECT_EQ(n, 13u);  // the paper's Table 1 rows
+}
+
+TEST(Benchdata, NamesAreUniqueAndLoadable) {
+  std::vector<std::string> names = benchmark_names();
+  std::set<std::string> unique(names.begin(), names.end());
+  EXPECT_EQ(unique.size(), names.size());
+  for (const auto& name : names) {
+    const MealyMachine m = load_benchmark(name);
+    EXPECT_TRUE(m.is_complete()) << name;
+    EXPECT_EQ(m.name(), name);
+  }
+}
+
+TEST(Benchdata, UnknownNameThrows) {
+  EXPECT_THROW(load_benchmark("no_such_machine"), std::invalid_argument);
+}
+
+TEST(Benchdata, Table1StatsMatchPublishedCounts) {
+  // Stand-ins must match the IWLS'93 machine's state count and alphabet
+  // widths exactly (that is the substitution contract in DESIGN.md).
+  struct Expect {
+    const char* name;
+    std::size_t states, in_bits, out_bits;
+  };
+  const Expect expected[] = {
+      {"bbara", 10, 4, 2}, {"bbtas", 6, 2, 2},  {"dk14", 7, 3, 5},
+      {"dk15", 4, 3, 5},   {"dk16", 27, 2, 3},  {"dk17", 8, 2, 3},
+      {"dk27", 7, 1, 2},   {"dk512", 15, 1, 3}, {"mc", 4, 3, 5},
+      {"s1", 20, 8, 6},    {"shiftreg", 8, 1, 1}, {"tav", 4, 4, 4},
+      {"tbk", 32, 6, 3},
+  };
+  for (const auto& e : expected) {
+    const MealyMachine m = load_benchmark(e.name);
+    EXPECT_EQ(m.num_states(), e.states) << e.name;
+    EXPECT_EQ(m.input_bits(), e.in_bits) << e.name;
+    EXPECT_EQ(m.output_bits(), e.out_bits) << e.name;
+  }
+}
+
+TEST(Benchdata, PaperRowsPresentForTable1) {
+  for (const auto& info : benchmark_catalog()) {
+    if (info.in_table1) {
+      ASSERT_TRUE(info.paper.has_value()) << info.name;
+      EXPECT_GT(info.paper->states, 0u) << info.name;
+    }
+  }
+}
+
+TEST(Benchdata, LoadsAreDeterministic) {
+  for (const char* name : {"bbara", "dk16", "tbk", "s1"}) {
+    const MealyMachine a = load_benchmark(name);
+    const MealyMachine b = load_benchmark(name);
+    EXPECT_TRUE(a == b) << name;
+  }
+}
+
+TEST(Benchdata, ShiftregIsTheRealShiftRegister) {
+  EXPECT_TRUE(equivalent(load_benchmark("shiftreg"), shift_register_fsm(3)));
+}
+
+TEST(Benchdata, AllTable1MachinesAreReachable) {
+  for (const auto& name : benchmark_names(true)) {
+    const MealyMachine m = load_benchmark(name);
+    EXPECT_EQ(num_reachable(m), m.num_states()) << name;
+  }
+}
+
+TEST(Benchdata, Table1OnlyFilterWorks) {
+  EXPECT_EQ(benchmark_names(true).size(), 13u);
+  EXPECT_GT(benchmark_names(false).size(), 13u);
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,184 @@
+// Tests for the BIST primitives: LFSR, MISR, BILBO, fault enumeration.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "bist/bilbo.hpp"
+#include "bist/faults.hpp"
+#include "bist/lfsr.hpp"
+#include "bist/misr.hpp"
+
+namespace stc {
+namespace {
+
+// --- LFSR ---------------------------------------------------------------------
+
+class LfsrPeriod : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LfsrPeriod, PrimitivePolynomialGivesFullPeriod) {
+  const std::size_t w = GetParam();
+  Lfsr lfsr(w, 1);
+  EXPECT_EQ(lfsr.period(), (std::uint64_t{1} << w) - 1) << "width " << w;
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LfsrPeriod,
+                         ::testing::Values(2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                           14, 15, 16));
+
+TEST(Lfsr, VisitsAllNonzeroStates) {
+  Lfsr lfsr(4, 1);
+  std::set<std::uint64_t> seen;
+  for (int k = 0; k < 15; ++k) {
+    seen.insert(lfsr.state());
+    lfsr.step();
+  }
+  EXPECT_EQ(seen.size(), 15u);
+  EXPECT_FALSE(seen.count(0));
+}
+
+TEST(Lfsr, ZeroSeedCoerced) {
+  Lfsr lfsr(5, 0);
+  EXPECT_NE(lfsr.state(), 0u);
+}
+
+TEST(Lfsr, BadParametersThrow) {
+  EXPECT_THROW(Lfsr(0, 1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(65, 1), std::invalid_argument);
+  EXPECT_THROW(Lfsr(4, {3, 2}, 1), std::invalid_argument);   // missing top tap
+  EXPECT_THROW(Lfsr(4, {4, 9}, 1), std::invalid_argument);   // tap > width
+  EXPECT_THROW(primitive_taps(33), std::invalid_argument);
+}
+
+TEST(Lfsr, NonPrimitivePolynomialShorterPeriod) {
+  // x^4 + x^2 + 1 = (x^2+x+1)^2 is not primitive: period divides 6.
+  Lfsr lfsr(4, {4, 2}, 1);
+  EXPECT_LT(lfsr.period(), 15u);
+}
+
+TEST(Lfsr, DeterministicSequence) {
+  Lfsr a(8, 0xAB), b(8, 0xAB);
+  for (int k = 0; k < 50; ++k) EXPECT_EQ(a.step(), b.step());
+}
+
+// --- MISR ---------------------------------------------------------------------
+
+TEST(Misr, ZeroInputsFollowLfsrRecurrence) {
+  Misr misr(6, 1);
+  Lfsr lfsr(6, 1);
+  for (int k = 0; k < 30; ++k) EXPECT_EQ(misr.absorb(0), lfsr.step());
+}
+
+TEST(Misr, DifferentStreamsDifferentSignatures) {
+  Misr a(16), b(16);
+  for (int k = 0; k < 32; ++k) {
+    a.absorb(static_cast<std::uint64_t>(k));
+    b.absorb(static_cast<std::uint64_t>(k ^ (k == 7 ? 1 : 0)));  // one flipped bit
+  }
+  EXPECT_NE(a.signature(), b.signature());
+}
+
+TEST(Misr, SingleBitErrorNeverAliases) {
+  // A single injected error can never produce the fault-free signature
+  // (linearity: the error syndrome is a nonzero state evolved linearly).
+  for (int pos = 0; pos < 20; ++pos) {
+    Misr good(8), bad(8);
+    for (int k = 0; k < 25; ++k) {
+      const std::uint64_t v = static_cast<std::uint64_t>(37 * k + 11) & 0xFF;
+      good.absorb(v);
+      bad.absorb(k == pos ? v ^ 0x10 : v);
+    }
+    EXPECT_NE(good.signature(), bad.signature()) << "error at " << pos;
+  }
+}
+
+TEST(Misr, ResetClearsState) {
+  Misr m(8, 0x5A);
+  m.absorb(0xFF);
+  m.reset(0x5A);
+  EXPECT_EQ(m.signature(), 0x5Au);
+}
+
+// --- BILBO --------------------------------------------------------------------
+
+TEST(Bilbo, SystemModeLoadsParallelInput) {
+  Bilbo b(4);
+  b.clock(BilboMode::kSystem, 0b1010);
+  EXPECT_EQ(b.state(), 0b1010u);
+}
+
+TEST(Bilbo, GenerateModeMatchesLfsr) {
+  Bilbo b(5, 1);
+  Lfsr l(5, 1);
+  for (int k = 0; k < 20; ++k) {
+    b.clock(BilboMode::kGenerate);
+    EXPECT_EQ(b.state(), l.step());
+  }
+}
+
+TEST(Bilbo, GenerateWidth1Toggles) {
+  Bilbo b(1, 0);
+  b.clock(BilboMode::kGenerate);
+  EXPECT_EQ(b.state(), 1u);
+  b.clock(BilboMode::kGenerate);
+  EXPECT_EQ(b.state(), 0u);
+}
+
+TEST(Bilbo, CompressModeMatchesMisr) {
+  Bilbo b(6, 0);
+  Misr m(6, 0);
+  for (int k = 0; k < 20; ++k) {
+    const std::uint64_t v = static_cast<std::uint64_t>(k * 13) & 0x3F;
+    b.clock(BilboMode::kCompress, v);
+    EXPECT_EQ(b.state(), m.absorb(v));
+  }
+}
+
+TEST(Bilbo, ShiftModeScans) {
+  Bilbo b(3, 0);
+  b.clock(BilboMode::kShift, 0, true);
+  b.clock(BilboMode::kShift, 0, false);
+  b.clock(BilboMode::kShift, 0, true);
+  EXPECT_EQ(b.state(), 0b101u);
+  EXPECT_TRUE(b.scan_out());
+}
+
+TEST(Bilbo, HoldKeepsState) {
+  Bilbo b(4, 0b0110);
+  b.clock(BilboMode::kHold, 0b1111);
+  EXPECT_EQ(b.state(), 0b0110u);
+}
+
+// --- fault enumeration -----------------------------------------------------------
+
+TEST(Faults, TwoPerNetSkippingConstants) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_const(true);
+  const NetId g = nl.add_not(a);
+  nl.add_output(g, "o");
+  nl.finalize();
+  const auto faults = enumerate_stuck_faults(nl);
+  EXPECT_EQ(faults.size(), 4u);  // (input + NOT) x 2, const skipped
+}
+
+TEST(Faults, DescribeMentionsTypeAndPolarity) {
+  Netlist nl;
+  const NetId a = nl.add_input("clk");
+  nl.add_output(nl.add_not(a), "o");
+  nl.finalize();
+  const Fault f{a, true};
+  const std::string d = f.describe(nl);
+  EXPECT_NE(d.find("pi"), std::string::npos);
+  EXPECT_NE(d.find("sa1"), std::string::npos);
+}
+
+TEST(Faults, FaultsOnNetsSubset) {
+  const auto faults = faults_on_nets({3, 7});
+  ASSERT_EQ(faults.size(), 4u);
+  EXPECT_EQ(faults[0].net, 3u);
+  EXPECT_TRUE(faults[1].stuck_value);
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,148 @@
+// Tests for state assignment and encoded truth tables (src/encoding).
+
+#include <gtest/gtest.h>
+
+#include <bit>
+
+#include "encoding/encoded_fsm.hpp"
+#include "fsm/generate.hpp"
+
+namespace stc {
+namespace {
+
+TEST(Encoding, NaturalIsValidMinimalWidth) {
+  const Encoding e = natural_encoding(5);
+  EXPECT_EQ(e.width, 3u);
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(e.code_of(4), 4u);
+}
+
+TEST(Encoding, GrayAdjacentCodesDifferInOneBit) {
+  const Encoding e = gray_encoding(8);
+  EXPECT_TRUE(e.valid());
+  for (std::size_t k = 1; k < 8; ++k)
+    EXPECT_EQ(std::popcount(e.codes[k] ^ e.codes[k - 1]), 1) << k;
+}
+
+TEST(Encoding, OneHotShape) {
+  const Encoding e = one_hot_encoding(6);
+  EXPECT_EQ(e.width, 6u);
+  EXPECT_TRUE(e.valid());
+  for (auto c : e.codes) EXPECT_EQ(std::popcount(c), 1);
+  EXPECT_THROW(one_hot_encoding(65), std::invalid_argument);
+}
+
+TEST(Encoding, ValidRejectsDuplicatesAndOverflow) {
+  Encoding e;
+  e.width = 2;
+  e.codes = {0, 1, 1};
+  EXPECT_FALSE(e.valid());
+  e.codes = {0, 1, 4};  // 4 needs 3 bits
+  EXPECT_FALSE(e.valid());
+}
+
+TEST(Encoding, GreedyBeatsOrMatchesNaturalObjective) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const MealyMachine m = random_mealy(seed, 8, 2, 2);
+    const Encoding nat = natural_encoding(8);
+    const Encoding greedy = greedy_adjacency_encoding(m, 4, seed);
+    EXPECT_TRUE(greedy.valid());
+    EXPECT_EQ(greedy.width, nat.width);
+    EXPECT_LE(encoding_objective(m, greedy), encoding_objective(m, nat))
+        << "seed " << seed;
+  }
+}
+
+TEST(Encoding, GreedyDeterministicForSeed) {
+  const MealyMachine m = random_mealy(3, 7, 2, 2);
+  const Encoding a = greedy_adjacency_encoding(m, 4, 9);
+  const Encoding b = greedy_adjacency_encoding(m, 4, 9);
+  EXPECT_EQ(a.codes, b.codes);
+}
+
+// --- encoded machine tables ----------------------------------------------------
+
+class EncodedFsmCheck : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(EncodedFsmCheck, TablesMatchMachine) {
+  const MealyMachine m = random_mealy(GetParam(), 6, 4, 4);
+  const Encoding enc = natural_encoding(m.num_states());
+  const EncodedFsm e = encode_fsm(m, enc);
+  ASSERT_EQ(e.next_state.size(), enc.width);
+  ASSERT_EQ(e.outputs.size(), m.effective_output_bits());
+
+  for (State s = 0; s < m.num_states(); ++s) {
+    for (Input i = 0; i < m.num_inputs(); ++i) {
+      const Minterm mt = (enc.code_of(s) << e.input_bits) | i;
+      const std::uint64_t next_code = enc.code_of(m.next(s, i));
+      for (std::size_t b = 0; b < enc.width; ++b) {
+        EXPECT_FALSE(e.next_state[b].is_dc(mt));
+        EXPECT_EQ(e.next_state[b].is_on(mt), ((next_code >> b) & 1) != 0);
+      }
+      for (std::size_t b = 0; b < e.output_bits; ++b)
+        EXPECT_EQ(e.outputs[b].is_on(mt), ((m.output(s, i) >> b) & 1) != 0);
+    }
+  }
+}
+
+TEST_P(EncodedFsmCheck, UnusedCodesAreDontCare) {
+  const MealyMachine m = random_mealy(GetParam() + 50, 5, 2, 2);  // 5 < 2^3
+  const EncodedFsm e = encode_fsm(m, natural_encoding(5));
+  // Codes 5, 6, 7 are unused: all their minterms must be DC.
+  for (std::uint64_t code = 5; code < 8; ++code) {
+    for (std::uint64_t in = 0; in < 2; ++in) {
+      const Minterm mt = (code << e.input_bits) | in;
+      for (const auto& t : e.next_state) EXPECT_TRUE(t.is_dc(mt));
+      for (const auto& t : e.outputs) EXPECT_TRUE(t.is_dc(mt));
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EncodedFsmCheck, ::testing::Range<std::uint64_t>(0, 6));
+
+TEST(EncodedFsm, MismatchedEncodingRejected) {
+  const MealyMachine m = random_mealy(1, 4, 2, 2);
+  EXPECT_THROW(encode_fsm(m, natural_encoding(5)), std::invalid_argument);
+  Encoding bad = natural_encoding(4);
+  bad.codes[1] = bad.codes[0];
+  EXPECT_THROW(encode_fsm(m, bad), std::invalid_argument);
+}
+
+TEST(EncodedFactor, FactorTableRoundTrip) {
+  // delta1-style table: 3 domain states x 2 inputs -> 2 range states.
+  const std::vector<State> table{0, 1, 1, 0, 1, 1};
+  const Encoding dom = natural_encoding(3);
+  const Encoding rng = natural_encoding(2);
+  const EncodedFactor f = encode_factor(table, 2, 1, dom, rng);
+  ASSERT_EQ(f.next_state.size(), 1u);
+  for (std::size_t s = 0; s < 3; ++s) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      const Minterm mt = (dom.code_of(static_cast<State>(s)) << 1) | i;
+      EXPECT_EQ(f.next_state[0].is_on(mt), table[s * 2 + i] == 1);
+    }
+  }
+  EXPECT_THROW(encode_factor(table, 3, 1, dom, rng), std::invalid_argument);
+}
+
+TEST(EncodedLambda, LambdaTableRoundTrip) {
+  // 2 x 2 blocks, 2 inputs, 2 output bits.
+  std::vector<Output> lambda(2 * 2 * 2);
+  for (std::size_t k = 0; k < lambda.size(); ++k)
+    lambda[k] = static_cast<Output>(k % 4);
+  const Encoding e1 = natural_encoding(2), e2 = natural_encoding(2);
+  const EncodedLambda el = encode_lambda(lambda, 2, 2, 2, 1, 2, e1, e2);
+  ASSERT_EQ(el.outputs.size(), 2u);
+  for (std::size_t b1 = 0; b1 < 2; ++b1) {
+    for (std::size_t b2 = 0; b2 < 2; ++b2) {
+      for (std::size_t in = 0; in < 2; ++in) {
+        const Minterm mt = (((b1 << 1) | b2) << 1) | in;
+        const Output expect = lambda[(b1 * 2 + b2) * 2 + in];
+        for (std::size_t b = 0; b < 2; ++b)
+          EXPECT_EQ(el.outputs[b].is_on(mt), ((expect >> b) & 1) != 0);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,99 @@
+// Tests for the Verilog / BLIF netlist writers (src/netlist/export.*).
+
+#include <gtest/gtest.h>
+
+#include "benchdata/iwls93.hpp"
+#include "bist/architectures.hpp"
+#include "netlist/export.hpp"
+#include "ostr/ostr.hpp"
+
+namespace stc {
+namespace {
+
+Netlist tiny_netlist() {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId q = nl.add_dff("state", true);
+  const NetId g = nl.add_and({a, q});
+  const NetId h = nl.add_xor({g, b});
+  nl.connect_dff(q, h);
+  nl.add_output(h, "y");
+  nl.finalize();
+  return nl;
+}
+
+TEST(Verilog, ContainsModuleStructure) {
+  const std::string v = write_verilog(tiny_netlist(), "tiny");
+  EXPECT_NE(v.find("module tiny("), std::string::npos);
+  EXPECT_NE(v.find("endmodule"), std::string::npos);
+  EXPECT_NE(v.find("input wire clk"), std::string::npos);
+  EXPECT_NE(v.find("always @(posedge clk or posedge rst)"), std::string::npos);
+  EXPECT_NE(v.find("assign po0"), std::string::npos);
+  // Reset loads the power-up value 1.
+  EXPECT_NE(v.find("<= 1'b1;"), std::string::npos);
+  // Gate operators appear.
+  EXPECT_NE(v.find(" & "), std::string::npos);
+  EXPECT_NE(v.find(" ^ "), std::string::npos);
+}
+
+TEST(Verilog, EveryNetDeclaredOnce) {
+  const Netlist nl = tiny_netlist();
+  const std::string v = write_verilog(nl, "tiny");
+  // Each non-input net appears in exactly one wire/reg declaration.
+  std::size_t decls = 0;
+  for (std::size_t pos = 0; (pos = v.find("  wire ", pos)) != std::string::npos;
+       pos += 7)
+    ++decls;
+  for (std::size_t pos = 0; (pos = v.find("  reg  ", pos)) != std::string::npos;
+       pos += 7)
+    ++decls;
+  std::size_t expected = 0;
+  for (NetId id = 0; id < nl.num_nets(); ++id)
+    if (nl.gate(id).type != GateType::kInput) ++expected;
+  EXPECT_EQ(decls, expected);
+}
+
+TEST(Blif, ContainsModelLatchesAndNames) {
+  const std::string b = write_blif(tiny_netlist(), "tiny");
+  EXPECT_NE(b.find(".model tiny"), std::string::npos);
+  EXPECT_NE(b.find(".inputs"), std::string::npos);
+  EXPECT_NE(b.find(".outputs po0"), std::string::npos);
+  EXPECT_NE(b.find(".latch"), std::string::npos);
+  EXPECT_NE(b.find(" re clk 1"), std::string::npos);  // init value 1
+  EXPECT_NE(b.find(".names"), std::string::npos);
+  EXPECT_NE(b.find(".end"), std::string::npos);
+}
+
+TEST(Blif, XorExpandsToOddParityRows) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId x = nl.add_xor({a, b});
+  nl.add_output(x, "y");
+  nl.finalize();
+  const std::string blif = write_blif(nl, "x");
+  EXPECT_NE(blif.find("10 1"), std::string::npos);
+  EXPECT_NE(blif.find("01 1"), std::string::npos);
+  EXPECT_EQ(blif.find("11 1"), std::string::npos);
+}
+
+TEST(Export, FullPipelineControllerExports) {
+  const MealyMachine m = load_benchmark("shiftreg");
+  const OstrResult ostr = solve_ostr(m);
+  const Realization real = build_realization(m, ostr.best.pi, ostr.best.tau);
+  const ControllerStructure cs = build_fig4(m, real);
+  const std::string v = write_verilog(cs.nl, "shiftreg_pipeline");
+  const std::string b = write_blif(cs.nl, "shiftreg_pipeline");
+  EXPECT_NE(v.find("module shiftreg_pipeline("), std::string::npos);
+  EXPECT_EQ(std::count(b.begin(), b.end(), '\n') > 5, true);
+  // 3 flip-flops -> 3 latches in BLIF.
+  std::size_t latches = 0;
+  for (std::size_t pos = 0; (pos = b.find(".latch", pos)) != std::string::npos;
+       pos += 6)
+    ++latches;
+  EXPECT_EQ(latches, cs.nl.num_dffs());
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,135 @@
+// Corpus-wide integration properties: for every Table-1 machine the whole
+// chain (OSTR -> realization -> verification -> gate level -> self-test)
+// must hold together. These are the tests a downstream user relies on when
+// feeding their own controllers through the flow.
+
+#include <gtest/gtest.h>
+
+#include "benchdata/iwls93.hpp"
+#include "bist/session.hpp"
+#include "fsm/kiss.hpp"
+#include "fsm/minimize.hpp"
+#include "fsm/simulate.hpp"
+#include "ostr/verify.hpp"
+#include "synth/report.hpp"
+
+namespace stc {
+namespace {
+
+class CorpusMachine : public ::testing::TestWithParam<std::string> {
+ protected:
+  /// Budgeted solve so the big stand-ins stay fast in unit tests.
+  OstrResult quick_solve(const MealyMachine& m) const {
+    OstrOptions opts;
+    opts.max_nodes = 20000;
+    return solve_ostr(m, opts);
+  }
+};
+
+TEST_P(CorpusMachine, OstrSolutionIsAlwaysConstructible) {
+  const MealyMachine m = load_benchmark(GetParam());
+  const OstrResult res = quick_solve(m);
+  const Realization real = build_realization(m, res.best.pi, res.best.tau);
+  const VerifyReport rep = verify_realization(m, real);
+  EXPECT_TRUE(rep.ok()) << GetParam() << ": " << rep.detail;
+}
+
+TEST_P(CorpusMachine, RealizationNeverLosesBehavior) {
+  const MealyMachine m = load_benchmark(GetParam());
+  const OstrResult res = quick_solve(m);
+  const Realization real = build_realization(m, res.best.pi, res.best.tau);
+  EXPECT_TRUE(equivalent(m, real.machine)) << GetParam();
+}
+
+TEST_P(CorpusMachine, KissRoundTripPreservesBehavior) {
+  const MealyMachine m = load_benchmark(GetParam());
+  const MealyMachine re = parse_kiss2(write_kiss2(m));
+  EXPECT_TRUE(equivalent(m, re)) << GetParam();
+}
+
+TEST_P(CorpusMachine, EpsilonIsConsistentWithMinimization) {
+  const MealyMachine m = load_benchmark(GetParam());
+  const Partition eps = state_equivalence(m);
+  const MealyMachine min = minimize(m);
+  // Reachable machines: minimized state count == #epsilon blocks.
+  EXPECT_EQ(min.num_states(), eps.num_blocks()) << GetParam();
+  EXPECT_TRUE(equivalent(m, min)) << GetParam();
+}
+
+TEST_P(CorpusMachine, FlipflopCostWithinDoubling) {
+  const MealyMachine m = load_benchmark(GetParam());
+  const OstrResult res = quick_solve(m);
+  EXPECT_LE(res.best.flipflops, conventional_bist_flipflops(m)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(Table1, CorpusMachine,
+                         ::testing::Values("bbara", "bbtas", "dk14", "dk15",
+                                           "dk17", "dk27", "mc", "shiftreg",
+                                           "tav"),
+                         [](const auto& info) { return info.param; });
+
+// The three big stand-ins get a single cheaper smoke test each.
+TEST(CorpusBig, BudgetedSolveStaysValid) {
+  for (const char* name : {"dk16", "dk512", "s1", "tbk"}) {
+    const MealyMachine m = load_benchmark(name);
+    OstrOptions opts;
+    opts.max_nodes = 2000;
+    const OstrResult res = solve_ostr(m, opts);
+    const Realization real = build_realization(m, res.best.pi, res.best.tau);
+    EXPECT_TRUE(verify_realization(m, real, 8, 32).homomorphism_ok) << name;
+    EXPECT_LE(res.best.flipflops, conventional_bist_flipflops(m)) << name;
+  }
+}
+
+// --- end-to-end gate level on a small sample -----------------------------------
+
+TEST(CorpusGateLevel, PipelineSelfTestBeatsConventionalOnFeedback) {
+  for (const char* name : {"paper_fig5", "shiftreg", "tav"}) {
+    const MealyMachine m = load_benchmark(name);
+    const OstrResult ostr = solve_ostr(m);
+    const Realization real = build_realization(m, ostr.best.pi, ostr.best.tau);
+    const EncodedFsm enc = encode_fsm(m, natural_encoding(m.num_states()));
+    const ControllerStructure fig2 = build_fig2(enc);
+    const ControllerStructure fig4 = build_fig4(m, real);
+
+    const auto fb2 = measure_coverage(fig2, SelfTestPlan::conventional(512),
+                                      faults_on_nets(fig2.feedback_nets));
+    EXPECT_EQ(fb2.detected, 0u) << name;  // drawback (3)
+
+    // The aliasing-hardened plan: narrow signature registers (shiftreg's
+    // pipeline has a 1-bit factor) alias systematically under a single
+    // seed; re-seeded sessions recover the coverage.
+    const auto all4 = measure_coverage(fig4, SelfTestPlan::thorough(256));
+    const auto all2 = measure_coverage(fig2, SelfTestPlan::conventional(512));
+    EXPECT_GT(all4.coverage(), all2.coverage()) << name;
+  }
+}
+
+TEST(CorpusGateLevel, AutonomousPlanProducesStableSignatures) {
+  const MealyMachine m = load_benchmark("paper_fig5");
+  const OstrResult ostr = solve_ostr(m);
+  const Realization real = build_realization(m, ostr.best.pi, ostr.best.tau);
+  const ControllerStructure fig4 = build_fig4(m, real);
+  const auto a = run_self_test(fig4, SelfTestPlan::autonomous(128));
+  const auto b = run_self_test(fig4, SelfTestPlan::autonomous(128));
+  EXPECT_EQ(a, b);
+  // Autonomous mode still detects an easy fault (stuck primary input).
+  const Fault f{fig4.pi[0], true};
+  EXPECT_NE(run_self_test(fig4, SelfTestPlan::autonomous(128), f), a);
+}
+
+TEST(CorpusGateLevel, ReportRendersForEveryStructure) {
+  const MealyMachine m = load_benchmark("shiftreg");
+  FlowOptions opts;
+  opts.with_fault_sim = true;
+  opts.bist_cycles = 32;
+  const FlowResult res = run_flow(m, opts);
+  const std::string report = render_flow_report("shiftreg", res);
+  for (const char* needle : {"fig1", "fig2", "fig3", "fig4", "OSTR", "coverage"})
+    EXPECT_NE(report.find(needle), std::string::npos) << needle;
+  const std::string summary = render_flow_summary("shiftreg", res);
+  EXPECT_NE(summary.find("shiftreg"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace stc

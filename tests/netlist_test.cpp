@@ -1,0 +1,235 @@
+// Tests for the gate-level netlist and the SOP builder (src/netlist).
+
+#include <gtest/gtest.h>
+
+#include "logic/qm.hpp"
+#include "netlist/builder.hpp"
+#include "util/rng.hpp"
+
+namespace stc {
+namespace {
+
+TEST(Netlist, CombinationalGateEvaluation) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId g_and = nl.add_and({a, b});
+  const NetId g_or = nl.add_or({a, b});
+  const NetId g_xor = nl.add_xor({a, b});
+  const NetId g_not = nl.add_not(a);
+  nl.add_output(g_and, "and");
+  nl.add_output(g_or, "or");
+  nl.add_output(g_xor, "xor");
+  nl.add_output(g_not, "not");
+  nl.finalize();
+
+  auto st = nl.initial_state();
+  for (int av = 0; av < 2; ++av) {
+    for (int bv = 0; bv < 2; ++bv) {
+      auto out = nl.step({av != 0, bv != 0}, st);
+      EXPECT_EQ(out[0], (av & bv) != 0);
+      EXPECT_EQ(out[1], (av | bv) != 0);
+      EXPECT_EQ(out[2], (av ^ bv) != 0);
+      EXPECT_EQ(out[3], av == 0);
+    }
+  }
+}
+
+TEST(Netlist, ConstantsAndBuf) {
+  Netlist nl;
+  const NetId one = nl.add_const(true);
+  const NetId zero = nl.add_const(false);
+  const NetId buf = nl.add_gate(GateType::kBuf, {one});
+  nl.add_output(buf, "b");
+  nl.add_output(zero, "z");
+  nl.finalize();
+  auto st = nl.initial_state();
+  auto out = nl.step({}, st);
+  EXPECT_TRUE(out[0]);
+  EXPECT_FALSE(out[1]);
+}
+
+TEST(Netlist, DffHoldsStateAcrossCycles) {
+  // Toggle flip-flop: D = NOT Q.
+  Netlist nl;
+  const NetId q = nl.add_dff("t", false);
+  const NetId d = nl.add_not(q);
+  nl.connect_dff(q, d);
+  nl.add_output(q, "q");
+  nl.finalize();
+
+  auto st = nl.initial_state();
+  std::vector<bool> seq;
+  for (int k = 0; k < 4; ++k) seq.push_back(nl.step({}, st)[0]);
+  EXPECT_EQ(seq, (std::vector<bool>{false, true, false, true}));
+}
+
+TEST(Netlist, DffInitValueRespected) {
+  Netlist nl;
+  const NetId q = nl.add_dff("t", true);
+  nl.connect_dff(q, q);
+  nl.add_output(q, "q");
+  nl.finalize();
+  auto st = nl.initial_state();
+  EXPECT_TRUE(nl.step({}, st)[0]);
+}
+
+TEST(Netlist, UnconnectedDffRejected) {
+  Netlist nl;
+  nl.add_dff("q", false);
+  EXPECT_THROW(nl.finalize(), std::logic_error);
+}
+
+TEST(Netlist, CombinationalCycleRejected) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  // Build a cycle through two gates by hand: g2 depends on g1, then force
+  // g1's fanin to g2 via a fresh gate is impossible through the public
+  // API (fanins are fixed at creation), so the only cycle path is via
+  // connect_dff -- which is legal. Verify a DFF-broken loop finalizes.
+  const NetId q = nl.add_dff("q", false);
+  const NetId g = nl.add_and({a, q});
+  nl.connect_dff(q, g);
+  EXPECT_NO_THROW(nl.finalize());
+}
+
+TEST(Netlist, EvaluateRequiresFinalize) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  nl.add_output(nl.add_not(a), "o");
+  auto st = nl.initial_state();
+  std::vector<bool> values;
+  EXPECT_THROW(nl.evaluate({true}, st, values), std::logic_error);
+}
+
+TEST(Netlist, FaultInjectionForcesNet) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId inv = nl.add_not(a);
+  nl.add_output(inv, "o");
+  nl.finalize();
+  auto st = nl.initial_state();
+  // Healthy: out = !a. Fault inv stuck-at-0: out = 0 regardless.
+  EXPECT_TRUE(nl.step({false}, st)[0]);
+  EXPECT_FALSE(nl.step({false}, st, inv, false)[0]);
+  // Fault on the input net itself.
+  EXPECT_FALSE(nl.step({false}, st, a, true)[0]);
+}
+
+TEST(Netlist, AreaAndDepthModel) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const NetId g1 = nl.add_and({a, b, c});  // 3-input AND = 2 GE
+  const NetId g2 = nl.add_not(g1);         // 0.5 GE
+  const NetId q = nl.add_dff("q", false);  // 4 GE
+  nl.connect_dff(q, g2);
+  nl.add_output(q, "o");
+  nl.finalize();
+  EXPECT_DOUBLE_EQ(nl.area_ge(), 2.0 + 0.5 + 4.0);
+  EXPECT_EQ(nl.depth(), 2u);  // AND then NOT
+}
+
+TEST(Netlist, InputArityChecked) {
+  Netlist nl;
+  nl.add_input("a");
+  nl.finalize();
+  auto st = nl.initial_state();
+  std::vector<bool> values;
+  EXPECT_THROW(nl.evaluate({}, st, values), std::invalid_argument);
+  EXPECT_THROW(nl.evaluate({true, false}, st, values), std::invalid_argument);
+}
+
+// --- SOP builder -----------------------------------------------------------------
+
+class SopBuilder : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SopBuilder, NetlistMatchesCoverOnAllMinterms) {
+  Rng rng(GetParam());
+  const std::size_t vars = 2 + rng.below(4);
+  TruthTable tt(vars);
+  for (Minterm m = 0; m < tt.num_minterms(); ++m)
+    if (rng.chance(0.45)) tt.set_on(m);
+  const Cover cover = minimize_qm(tt);
+
+  Netlist nl;
+  std::vector<NetId> var_nets;
+  for (std::size_t v = 0; v < vars; ++v)
+    var_nets.push_back(nl.add_input("v" + std::to_string(v)));
+  const NetId out = build_sop(nl, cover, var_nets);
+  nl.add_output(out, "f");
+  nl.finalize();
+
+  auto st = nl.initial_state();
+  for (Minterm m = 0; m < tt.num_minterms(); ++m) {
+    std::vector<bool> in(vars);
+    for (std::size_t v = 0; v < vars; ++v) in[v] = (m >> v) & 1;
+    EXPECT_EQ(nl.step(in, st)[0], cover.evaluate(m)) << "minterm " << m;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SopBuilder, ::testing::Range<std::uint64_t>(0, 10));
+
+TEST(SopBuilderEdge, EmptyCoverIsConstZero) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId out = build_sop(nl, Cover(1), {a});
+  nl.add_output(out, "f");
+  nl.finalize();
+  auto st = nl.initial_state();
+  EXPECT_FALSE(nl.step({true}, st)[0]);
+}
+
+TEST(SopBuilderEdge, TautologyCubeIsConstOne) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  Cover c(1);
+  c.add(Cube::top());
+  const NetId out = build_sop(nl, c, {a});
+  nl.add_output(out, "f");
+  nl.finalize();
+  auto st = nl.initial_state();
+  EXPECT_TRUE(nl.step({false}, st)[0]);
+}
+
+TEST(SopBuilderEdge, SharedInvertersNotDuplicated) {
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  Cover c(2);
+  c.add(Cube::from_string("00"));
+  c.add(Cube::from_string("0-"));
+  build_sop(nl, c, {a, b});
+  // Only two inverters needed (one per variable), not three.
+  std::size_t inverters = 0;
+  for (NetId id = 0; id < nl.num_nets(); ++id)
+    if (nl.gate(id).type == GateType::kNot) ++inverters;
+  EXPECT_EQ(inverters, 2u);
+}
+
+TEST(Mux, SelectsCorrectly) {
+  Netlist nl;
+  const NetId s = nl.add_input("s");
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  nl.add_output(build_mux(nl, s, a, b), "y");
+  nl.finalize();
+  auto st = nl.initial_state();
+  EXPECT_TRUE(nl.step({true, true, false}, st)[0]);    // sel -> a
+  EXPECT_FALSE(nl.step({true, false, true}, st)[0]);
+  EXPECT_TRUE(nl.step({false, false, true}, st)[0]);   // !sel -> b
+  EXPECT_FALSE(nl.step({false, true, false}, st)[0]);
+}
+
+TEST(RegisterBank, InitEncodesLsbFirst) {
+  Netlist nl;
+  const RegisterBank bank = build_register(nl, "R", 3, 0b101);
+  for (NetId q : bank.q) nl.connect_dff(q, q);
+  nl.finalize();
+  auto st = nl.initial_state();
+  EXPECT_EQ(st.dff, (std::vector<bool>{true, false, true}));
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,112 @@
+// End-to-end reproduction of the paper's worked example (Figures 5-8):
+// the 4-state machine, its symmetric partition pair, the factor tables of
+// Figure 7, and the realization M* of Figure 8.
+
+#include <gtest/gtest.h>
+
+#include "fsm/generate.hpp"
+#include "fsm/minimize.hpp"
+#include "ostr/ostr.hpp"
+#include "ostr/verify.hpp"
+
+namespace stc {
+namespace {
+
+class Fig5 : public ::testing::Test {
+ protected:
+  MealyMachine m = paper_example_fsm();
+  Partition pi = Partition::from_blocks(4, {{0, 1}, {2, 3}});   // {1,2}{3,4}
+  Partition tau = Partition::from_blocks(4, {{0, 3}, {1, 2}});  // {1,4}{2,3}
+};
+
+TEST_F(Fig5, MachineShape) {
+  EXPECT_EQ(m.num_states(), 4u);
+  EXPECT_EQ(m.num_inputs(), 2u);
+  EXPECT_TRUE(m.is_complete());
+  EXPECT_TRUE(is_reduced(m));  // epsilon = identity for this machine
+}
+
+TEST_F(Fig5, Figure6PartitionPairBothWays) {
+  EXPECT_TRUE(is_symmetric_pair(m, pi, tau));
+  EXPECT_TRUE(pi.meet(tau).is_identity());
+}
+
+TEST_F(Fig5, Figure7FactorTables) {
+  Realization r = build_realization(m, pi, tau);
+  ASSERT_EQ(r.tables.n1, 2u);
+  ASSERT_EQ(r.tables.n2, 2u);
+
+  // Block numbering: pi blocks {0,1}->0 ([1]pi), {2,3}->1 ([3]pi);
+  // tau blocks {0,3}->0 ([1]tau), {1,2}->1 ([2]tau).
+  // Figure 7, delta1: [1]pi: i=1 -> [2]tau, i=0 -> [1]tau
+  //                   [3]pi: i=1 -> [1]tau, i=0 -> [2]tau
+  EXPECT_EQ(r.tables.d1(0, 1), 1u);
+  EXPECT_EQ(r.tables.d1(0, 0), 0u);
+  EXPECT_EQ(r.tables.d1(1, 1), 0u);
+  EXPECT_EQ(r.tables.d1(1, 0), 1u);
+  // Figure 7, delta2: [1]tau: i=1 -> [3]pi, i=0 -> [1]pi
+  //                   [2]tau: i=1 -> [1]pi, i=0 -> [3]pi
+  EXPECT_EQ(r.tables.d2(0, 1), 1u);
+  EXPECT_EQ(r.tables.d2(0, 0), 0u);
+  EXPECT_EQ(r.tables.d2(1, 1), 0u);
+  EXPECT_EQ(r.tables.d2(1, 0), 1u);
+}
+
+TEST_F(Fig5, Figure8RealizationRealizesM) {
+  Realization r = build_realization(m, pi, tau);
+  auto report = verify_realization(m, r);
+  EXPECT_TRUE(report.homomorphism_ok) << report.detail;
+  EXPECT_TRUE(report.outputs_ok) << report.detail;
+  EXPECT_TRUE(report.behavior_ok) << report.detail;
+  EXPECT_TRUE(report.cosim_ok) << report.detail;
+}
+
+TEST_F(Fig5, RealizationCostIsTwoFlipflops) {
+  Realization r = build_realization(m, pi, tau);
+  EXPECT_EQ(r.flipflops(), 2u);   // 1 + 1
+  EXPECT_EQ(r.balance(), 0.0);    // |2/2 - 1|
+  EXPECT_FALSE(r.is_trivial());
+}
+
+TEST_F(Fig5, SolverFindsTheTwoByTwoSolution) {
+  OstrResult res = solve_ostr(m);
+  EXPECT_EQ(res.best.s1, 2u);
+  EXPECT_EQ(res.best.s2, 2u);
+  EXPECT_EQ(res.best.flipflops, 2u);
+  EXPECT_TRUE(res.stats.exhausted);
+  EXPECT_TRUE(is_symmetric_pair(m, res.best.pi, res.best.tau));
+
+  // Half the flip-flops of the conventional BIST (Figure 2) structure.
+  EXPECT_EQ(conventional_bist_flipflops(m), 4u);
+}
+
+TEST_F(Fig5, SolverAgreesWithBruteForce) {
+  OstrSolution bf = brute_force_ostr(m);
+  OstrResult res = solve_ostr(m);
+  EXPECT_EQ(res.best.flipflops, bf.flipflops);
+}
+
+TEST_F(Fig5, TrivialDoublingAlwaysAvailable) {
+  // The identity pair corresponds to Figure 3 (doubling); it must verify.
+  Partition id = Partition::identity(4);
+  Realization r = build_realization(m, id, id);
+  EXPECT_TRUE(r.is_trivial());
+  EXPECT_EQ(r.flipflops(), 4u);
+  EXPECT_TRUE(verify_realization(m, r).ok());
+}
+
+TEST_F(Fig5, BuildRealizationRejectsNonPairs) {
+  auto bad = Partition::from_blocks(4, {{0, 2}, {1, 3}});
+  EXPECT_THROW(build_realization(m, bad, tau), std::invalid_argument);
+}
+
+TEST_F(Fig5, BuildRealizationRejectsEpsilonViolation) {
+  // (universal, universal) is a symmetric pair for any machine but the
+  // intersection identifies inequivalent states -> must be rejected.
+  auto uni = Partition::universal(4);
+  ASSERT_TRUE(is_symmetric_pair(m, uni, uni));
+  EXPECT_THROW(build_realization(m, uni, uni), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stc

@@ -1,0 +1,188 @@
+// Unit tests for the partition algebra (src/partition/partition.*).
+
+#include "partition/partition.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace stc {
+namespace {
+
+TEST(Partition, IdentityBasics) {
+  auto p = Partition::identity(5);
+  EXPECT_EQ(p.size(), 5u);
+  EXPECT_EQ(p.num_blocks(), 5u);
+  EXPECT_TRUE(p.is_identity());
+  EXPECT_FALSE(p.is_universal());
+  for (std::size_t i = 0; i < 5; ++i)
+    for (std::size_t j = 0; j < 5; ++j)
+      EXPECT_EQ(p.same_block(i, j), i == j);
+}
+
+TEST(Partition, UniversalBasics) {
+  auto p = Partition::universal(4);
+  EXPECT_EQ(p.num_blocks(), 1u);
+  EXPECT_TRUE(p.is_universal());
+  EXPECT_TRUE(p.same_block(0, 3));
+}
+
+TEST(Partition, SingleElementIdentityIsUniversal) {
+  auto p = Partition::identity(1);
+  EXPECT_TRUE(p.is_identity());
+  EXPECT_TRUE(p.is_universal());
+}
+
+TEST(Partition, PairRelation) {
+  auto p = Partition::pair_relation(4, 1, 3);
+  EXPECT_EQ(p.num_blocks(), 3u);
+  EXPECT_TRUE(p.same_block(1, 3));
+  EXPECT_FALSE(p.same_block(0, 1));
+  EXPECT_FALSE(p.same_block(2, 3));
+}
+
+TEST(Partition, FromLabelsNormalizes) {
+  auto a = Partition::from_labels({7, 7, 2, 2, 9});
+  auto b = Partition::from_labels({0, 0, 1, 1, 2});
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.block_of(0), 0u);
+  EXPECT_EQ(a.block_of(2), 1u);
+  EXPECT_EQ(a.block_of(4), 2u);
+}
+
+TEST(Partition, FromBlocksAndBlocksRoundTrip) {
+  auto p = Partition::from_blocks(6, {{0, 2}, {3, 4, 5}});
+  auto blocks = p.blocks();
+  ASSERT_EQ(blocks.size(), 3u);  // {0,2}, {1}, {3,4,5} reordered canonically
+  EXPECT_TRUE(p.same_block(0, 2));
+  EXPECT_TRUE(p.same_block(3, 5));
+  EXPECT_FALSE(p.same_block(0, 1));
+  std::size_t total = 0;
+  for (const auto& b : blocks) total += b.size();
+  EXPECT_EQ(total, 6u);
+}
+
+TEST(Partition, FromPairsTransitiveClosure) {
+  auto p = Partition::from_pairs(5, {{0, 1}, {1, 2}, {3, 4}});
+  EXPECT_TRUE(p.same_block(0, 2));
+  EXPECT_TRUE(p.same_block(3, 4));
+  EXPECT_FALSE(p.same_block(2, 3));
+  EXPECT_EQ(p.num_blocks(), 2u);
+}
+
+TEST(Partition, RefinesOrdering) {
+  auto fine = Partition::from_blocks(4, {{0, 1}});
+  auto coarse = Partition::from_blocks(4, {{0, 1, 2}});
+  EXPECT_TRUE(fine.refines(coarse));
+  EXPECT_FALSE(coarse.refines(fine));
+  EXPECT_TRUE(Partition::identity(4).refines(fine));
+  EXPECT_TRUE(coarse.refines(Partition::universal(4)));
+  EXPECT_TRUE(fine.refines(fine));  // reflexive
+}
+
+TEST(Partition, RefinesIncomparable) {
+  auto a = Partition::from_blocks(4, {{0, 1}});
+  auto b = Partition::from_blocks(4, {{2, 3}});
+  EXPECT_FALSE(a.refines(b));
+  EXPECT_FALSE(b.refines(a));
+}
+
+TEST(Partition, MeetIsIntersection) {
+  auto a = Partition::from_blocks(6, {{0, 1, 2}, {3, 4, 5}});
+  auto b = Partition::from_blocks(6, {{0, 1}, {2, 3}, {4, 5}});
+  auto m = a.meet(b);
+  EXPECT_TRUE(m.same_block(0, 1));
+  EXPECT_FALSE(m.same_block(1, 2));
+  EXPECT_FALSE(m.same_block(2, 3));
+  EXPECT_TRUE(m.same_block(4, 5));
+  EXPECT_EQ(m.num_blocks(), 4u);  // {0,1},{2},{3},{4,5}
+}
+
+TEST(Partition, JoinIsTransitiveClosureOfUnion) {
+  auto a = Partition::from_blocks(5, {{0, 1}, {2, 3}});
+  auto b = Partition::from_blocks(5, {{1, 2}});
+  auto j = a.join(b);
+  EXPECT_TRUE(j.same_block(0, 3));  // 0~1 (a), 1~2 (b), 2~3 (a)
+  EXPECT_FALSE(j.same_block(0, 4));
+  EXPECT_EQ(j.num_blocks(), 2u);
+}
+
+TEST(Partition, MeetJoinLatticeLawsRandomized) {
+  Rng rng(42);
+  for (int iter = 0; iter < 200; ++iter) {
+    const std::size_t n = 2 + rng.below(10);
+    auto rand_part = [&] {
+      std::vector<std::size_t> labels(n);
+      for (auto& l : labels) l = rng.below(n);
+      return Partition::from_labels(labels);
+    };
+    Partition a = rand_part(), b = rand_part(), c = rand_part();
+
+    // Commutativity.
+    EXPECT_EQ(a.meet(b), b.meet(a));
+    EXPECT_EQ(a.join(b), b.join(a));
+    // Associativity.
+    EXPECT_EQ(a.meet(b.meet(c)), a.meet(b).meet(c));
+    EXPECT_EQ(a.join(b.join(c)), a.join(b).join(c));
+    // Absorption.
+    EXPECT_EQ(a.meet(a.join(b)), a);
+    EXPECT_EQ(a.join(a.meet(b)), a);
+    // Idempotence.
+    EXPECT_EQ(a.meet(a), a);
+    EXPECT_EQ(a.join(a), a);
+    // Order consistency: meet refines both, both refine join.
+    EXPECT_TRUE(a.meet(b).refines(a));
+    EXPECT_TRUE(a.meet(b).refines(b));
+    EXPECT_TRUE(a.refines(a.join(b)));
+    EXPECT_TRUE(b.refines(a.join(b)));
+    // Bounds.
+    EXPECT_EQ(a.meet(Partition::identity(n)), Partition::identity(n));
+    EXPECT_EQ(a.join(Partition::universal(n)), Partition::universal(n));
+    EXPECT_EQ(a.meet(Partition::universal(n)), a);
+    EXPECT_EQ(a.join(Partition::identity(n)), a);
+  }
+}
+
+TEST(Partition, CodeBits) {
+  EXPECT_EQ(Partition::universal(8).code_bits(), 0u);
+  EXPECT_EQ(Partition::identity(8).code_bits(), 3u);
+  EXPECT_EQ(Partition::identity(5).code_bits(), 3u);
+  EXPECT_EQ(Partition::identity(4).code_bits(), 2u);
+}
+
+TEST(Partition, CeilLog2) {
+  EXPECT_EQ(ceil_log2(0), 0u);
+  EXPECT_EQ(ceil_log2(1), 0u);
+  EXPECT_EQ(ceil_log2(2), 1u);
+  EXPECT_EQ(ceil_log2(3), 2u);
+  EXPECT_EQ(ceil_log2(4), 2u);
+  EXPECT_EQ(ceil_log2(5), 3u);
+  EXPECT_EQ(ceil_log2(8), 3u);
+  EXPECT_EQ(ceil_log2(9), 4u);
+  EXPECT_EQ(ceil_log2(1024), 10u);
+}
+
+TEST(Partition, ToStringFormat) {
+  auto p = Partition::from_blocks(4, {{0, 1}, {2, 3}});
+  EXPECT_EQ(p.to_string(), "{0,1}{2,3}");
+}
+
+TEST(Partition, HashDistinguishes) {
+  auto a = Partition::from_blocks(4, {{0, 1}});
+  auto b = Partition::from_blocks(4, {{2, 3}});
+  EXPECT_NE(a.hash(), b.hash());
+  EXPECT_EQ(a.hash(), Partition::from_blocks(4, {{1, 0}}).hash());
+}
+
+TEST(Partition, OutOfRangeThrows) {
+  EXPECT_THROW(Partition::pair_relation(3, 0, 3), std::out_of_range);
+  EXPECT_THROW(Partition::from_pairs(2, {{0, 5}}), std::out_of_range);
+  auto a = Partition::identity(3);
+  auto b = Partition::identity(4);
+  EXPECT_THROW(a.meet(b), std::invalid_argument);
+  EXPECT_THROW(a.join(b), std::invalid_argument);
+  EXPECT_THROW(a.refines(b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stc
