@@ -1,6 +1,6 @@
 #include "bist/bilbo.hpp"
 
-#include <bit>
+#include "util/bitvec.hpp"
 #include <stdexcept>
 
 #include "bist/lfsr.hpp"
@@ -16,7 +16,7 @@ Bilbo::Bilbo(std::size_t width, std::uint64_t init) : width_(width) {
 }
 
 std::uint64_t Bilbo::feedback() const {
-  return static_cast<std::uint64_t>(std::popcount(state_ & tap_mask_) & 1);
+  return static_cast<std::uint64_t>(popcount64(state_ & tap_mask_) & 1);
 }
 
 void Bilbo::clock(BilboMode mode, std::uint64_t parallel_in, bool scan_in) {

@@ -1,6 +1,6 @@
 #include "bist/lfsr.hpp"
 
-#include <bit>
+#include "util/bitvec.hpp"
 #include <stdexcept>
 
 namespace stc {
@@ -68,7 +68,7 @@ void Lfsr::seed(std::uint64_t s) {
 }
 
 std::uint64_t Lfsr::feedback(std::uint64_t s) const {
-  return static_cast<std::uint64_t>(std::popcount(s & tap_mask_) & 1);
+  return static_cast<std::uint64_t>(popcount64(s & tap_mask_) & 1);
 }
 
 std::uint64_t Lfsr::step() {

@@ -1,6 +1,6 @@
 #include "bist/misr.hpp"
 
-#include <bit>
+#include "util/bitvec.hpp"
 #include <stdexcept>
 
 #include "bist/lfsr.hpp"
@@ -24,7 +24,7 @@ Misr::Misr(std::size_t width, std::vector<unsigned> taps, std::uint64_t init)
 
 std::uint64_t Misr::absorb(std::uint64_t parallel_in) {
   const std::uint64_t fb =
-      static_cast<std::uint64_t>(std::popcount(state_ & tap_mask_) & 1);
+      static_cast<std::uint64_t>(popcount64(state_ & tap_mask_) & 1);
   state_ = (((state_ << 1) | fb) ^ parallel_in) & mask_;
   return state_;
 }

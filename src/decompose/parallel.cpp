@@ -31,34 +31,41 @@ MealyMachine sp_quotient(const MealyMachine& fsm, const Partition& pi,
 }  // namespace
 
 std::optional<ParallelDecomposition> find_parallel_decomposition(
-    const MealyMachine& fsm, const ParallelOptions& options) {
+    const MealyMachine& fsm, const ParallelOptions& options,
+    PartitionStore& store) {
   fsm.validate();
-  const Partition eps = state_equivalence(fsm);
-  const auto sps = enumerate_sp_lattice(fsm, options.max_lattice);
+  const PartitionId eps_id = store.intern(state_equivalence(fsm));
+  const auto sps = enumerate_sp_lattice(fsm, store, options.max_lattice);
   if (sps.empty()) return std::nullopt;
+  std::vector<PartitionId> ids;
+  ids.reserve(sps.size());
+  for (const auto& p : sps) ids.push_back(store.intern(p));
 
   std::optional<ParallelDecomposition> best;
-  auto cost = [](const Partition& a, const Partition& b) {
-    return a.code_bits() + b.code_bits();
-  };
+  std::size_t best_cost = 0;
 
-  for (std::size_t i = 0; i < sps.size(); ++i) {
-    for (std::size_t j = i; j < sps.size(); ++j) {
-      const Partition& a = sps[i];
-      const Partition& b = sps[j];
+  for (std::size_t i = 0; i < ids.size(); ++i) {
+    for (std::size_t j = i; j < ids.size(); ++j) {
       // Exclude trivial splits: an identity component replicates the whole
       // machine, a universal component carries no information (the "pair"
-      // would just be state minimization).
-      if (a.is_identity() || b.is_identity()) continue;
-      if (a.is_universal() || b.is_universal()) continue;
-      if (!a.meet(b).refines(eps)) continue;
-      const std::size_t c = cost(a, b);
-      if (best && cost(best->pi1, best->pi2) <= c) continue;
+      // would just be state minimization). References into the store pool
+      // are not held across meet(): interning can reallocate the pool.
+      {
+        const Partition& a = store.get(ids[i]);
+        const Partition& b = store.get(ids[j]);
+        if (a.is_identity() || b.is_identity()) continue;
+        if (a.is_universal() || b.is_universal()) continue;
+      }
+      const std::size_t c =
+          store.get(ids[i]).code_bits() + store.get(ids[j]).code_bits();
+      if (best && best_cost <= c) continue;
+      if (!store.refines(store.meet(ids[i], ids[j]), eps_id)) continue;
       ParallelDecomposition d;
-      d.pi1 = a;
-      d.pi2 = b;
+      d.pi1 = store.get(ids[i]);
+      d.pi2 = store.get(ids[j]);
       d.flipflops = c;
       best = std::move(d);
+      best_cost = c;
     }
   }
   if (!best) return std::nullopt;
@@ -66,6 +73,12 @@ std::optional<ParallelDecomposition> find_parallel_decomposition(
   best->component1 = sp_quotient(fsm, best->pi1, fsm.name() + ".p1");
   best->component2 = sp_quotient(fsm, best->pi2, fsm.name() + ".p2");
   return best;
+}
+
+std::optional<ParallelDecomposition> find_parallel_decomposition(
+    const MealyMachine& fsm, const ParallelOptions& options) {
+  PartitionStore store(&fsm);
+  return find_parallel_decomposition(fsm, options, store);
 }
 
 MealyMachine compose_parallel(const MealyMachine& fsm,

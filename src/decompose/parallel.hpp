@@ -41,6 +41,12 @@ struct ParallelOptions {
 std::optional<ParallelDecomposition> find_parallel_decomposition(
     const MealyMachine& fsm, const ParallelOptions& options = {});
 
+/// Same, sharing a caller-owned interner (must be bound to `fsm`): the SP
+/// lattice enumeration and the pairwise meet/refines scans all run as
+/// memoized store lookups.
+std::optional<ParallelDecomposition> find_parallel_decomposition(
+    const MealyMachine& fsm, const ParallelOptions& options, PartitionStore& store);
+
 /// Rebuild a flat machine from two components: states are reachable
 /// (b1, b2) pairs; outputs come from the joint lookup in the original
 /// machine. Used to verify the decomposition behaviorally.

@@ -1,7 +1,7 @@
 #include "encoding/encoding.hpp"
 
 #include <algorithm>
-#include <bit>
+#include "util/bitvec.hpp"
 #include <set>
 #include <stdexcept>
 
@@ -31,6 +31,22 @@ Encoding gray_encoding(std::size_t num_states) {
   e.width = std::max<std::size_t>(1, ceil_log2(num_states));
   e.codes.resize(num_states);
   for (std::size_t k = 0; k < num_states; ++k) e.codes[k] = k ^ (k >> 1);
+  return e;
+}
+
+Encoding pair_encoding(const Partition& pi, const Partition& tau) {
+  if (pi.size() != tau.size())
+    throw std::invalid_argument("pair_encoding: partition size mismatch");
+  if (!pi.meet(tau).is_identity())
+    throw std::invalid_argument("pair_encoding: pi meet tau must be identity");
+  const std::size_t w1 = std::max<std::size_t>(1, pi.code_bits());
+  const std::size_t w2 = std::max<std::size_t>(1, tau.code_bits());
+  Encoding e;
+  e.width = w1 + w2;
+  e.codes.resize(pi.size());
+  for (std::size_t s = 0; s < pi.size(); ++s)
+    e.codes[s] = (static_cast<std::uint64_t>(pi.block_of(s)) << w2) |
+                 static_cast<std::uint64_t>(tau.block_of(s));
   return e;
 }
 
@@ -81,7 +97,7 @@ double objective(const std::vector<std::vector<double>>& w,
   double total = 0.0;
   for (std::size_t s = 0; s < codes.size(); ++s)
     for (std::size_t t = s + 1; t < codes.size(); ++t)
-      total += w[s][t] * static_cast<double>(std::popcount(codes[s] ^ codes[t]));
+      total += w[s][t] * static_cast<double>(popcount64(codes[s] ^ codes[t]));
   return total;
 }
 
@@ -119,7 +135,7 @@ Encoding greedy_adjacency_encoding(const MealyMachine& fsm, std::size_t restarts
         double cost = 0.0;
         for (std::size_t t = 0; t < n; ++t)
           if (codes[t] != UINT64_MAX)
-            cost += w[s][t] * static_cast<double>(std::popcount(c ^ codes[t]));
+            cost += w[s][t] * static_cast<double>(popcount64(c ^ codes[t]));
         if (cost < best_cost) {
           best_cost = cost;
           best_code = c;

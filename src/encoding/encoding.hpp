@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "fsm/mealy.hpp"
+#include "partition/partition.hpp"
 #include "util/rng.hpp"
 
 namespace stc {
@@ -49,5 +50,14 @@ Encoding greedy_adjacency_encoding(const MealyMachine& fsm, std::size_t restarts
 /// matrix (the objective greedy_adjacency_encoding minimizes); exposed
 /// for tests and the encoding ablation bench.
 double encoding_objective(const MealyMachine& fsm, const Encoding& enc);
+
+/// Structured coding induced by a partition pair: state s maps to the
+/// concatenation (pi-block code, tau-block code) with widths
+/// pi.code_bits() / tau.code_bits() (minimum 1 bit each so registers stay
+/// non-degenerate). This is exactly the register split of the paper's
+/// Theorem-1 realization (R1 holds [s]pi, R2 holds [s]tau). Requires
+/// pi meet tau = identity so the codes are distinct; throws
+/// std::invalid_argument otherwise.
+Encoding pair_encoding(const Partition& pi, const Partition& tau);
 
 }  // namespace stc

@@ -1,6 +1,6 @@
 #include "logic/cost.hpp"
 
-#include <bit>
+#include "util/bitvec.hpp"
 
 namespace stc {
 
@@ -17,7 +17,7 @@ LogicCost cover_cost(const Cover& cover) {
     complemented |= cube.care & ~cube.value;
   }
   if (c.cubes >= 2) ge += static_cast<double>(c.cubes - 1);
-  ge += 0.5 * static_cast<double>(std::popcount(complemented));
+  ge += 0.5 * static_cast<double>(popcount64(complemented));
   c.gate_equivalents = ge;
   return c;
 }

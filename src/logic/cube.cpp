@@ -1,6 +1,6 @@
 #include "logic/cube.hpp"
 
-#include <bit>
+#include "util/bitvec.hpp"
 #include <stdexcept>
 
 namespace stc {
@@ -30,18 +30,18 @@ Cube Cube::from_string(const std::string& s) {
 }
 
 std::size_t Cube::num_literals() const {
-  return static_cast<std::size_t>(std::popcount(care));
+  return static_cast<std::size_t>(popcount64(care));
 }
 
 std::size_t Cube::conflict_count(const Cube& other) const {
   return static_cast<std::size_t>(
-      std::popcount((value ^ other.value) & care & other.care));
+      popcount64((value ^ other.value) & care & other.care));
 }
 
 bool Cube::try_merge(const Cube& other, Cube* merged) const {
   if (care != other.care) return false;
   const std::uint64_t diff = value ^ other.value;
-  if (std::popcount(diff) != 1) return false;
+  if (popcount64(diff) != 1) return false;
   merged->care = care & ~diff;
   merged->value = value & ~diff;
   return true;

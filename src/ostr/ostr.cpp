@@ -1,6 +1,11 @@
 #include "ostr/ostr.hpp"
 
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <memory>
 #include <stdexcept>
+#include <thread>
 
 #include "fsm/minimize.hpp"
 
@@ -14,6 +19,11 @@ bool OstrSolution::better_than(const OstrSolution& o, bool use_balance) const {
 
 namespace {
 
+double balance_of(std::size_t s1, std::size_t s2) {
+  return s2 == 0 ? 0.0
+                 : std::abs(static_cast<double>(s1) / static_cast<double>(s2) - 1.0);
+}
+
 OstrSolution make_solution(const Partition& pi, const Partition& tau) {
   OstrSolution s;
   s.pi = pi;
@@ -21,69 +31,151 @@ OstrSolution make_solution(const Partition& pi, const Partition& tau) {
   s.s1 = pi.num_blocks();
   s.s2 = tau.num_blocks();
   s.flipflops = ceil_log2(s.s1) + ceil_log2(s.s2);
-  s.balance = s.s2 == 0 ? 0.0
-                        : std::abs(static_cast<double>(s.s1) / static_cast<double>(s.s2) -
-                                   1.0);
+  s.balance = balance_of(s.s1, s.s2);
   return s;
 }
 
-/// Shared state of the depth-first search.
-struct Search {
-  const MealyMachine& fsm;
-  const OstrOptions& opt;
-  const Partition eps;
-  std::vector<Partition> basis;
-  OstrResult result;
+/// (flipflops, balance) packed so that the lexicographic solution order is
+/// plain integer order: flip-flops in the high word, the IEEE bits of
+/// balance-as-float in the low word (balance >= 0, so float bit patterns
+/// are monotone).
+std::uint64_t pack_cost(std::size_t ff, double balance) {
+  const float f = static_cast<float>(balance);
+  std::uint32_t bits;
+  std::memcpy(&bits, &f, sizeof(bits));
+  return (static_cast<std::uint64_t>(ff) << 32) | bits;
+}
 
-  Search(const MealyMachine& f, const OstrOptions& o)
-      : fsm(f), opt(o), eps(state_equivalence(f)), basis(mm_basis(f)) {}
+/// Best-solution bound shared by all workers (lock-free CAS-min).
+struct SharedBound {
+  std::atomic<std::uint64_t> packed{UINT64_MAX};
 
-  void offer(const Partition& pi, const Partition& tau) {
-    ++result.stats.solutions_seen;
-    OstrSolution cand = make_solution(pi, tau);
-    if (cand.better_than(result.best, opt.balance_tiebreak)) {
-      result.best = cand;
-      improved_flag_ = true;
-      if (opt.keep_history) result.history.push_back(cand);
+  void offer(std::uint64_t v) {
+    std::uint64_t cur = packed.load(std::memory_order_relaxed);
+    while (v < cur &&
+           !packed.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
   }
+  std::uint64_t load() const { return packed.load(std::memory_order_relaxed); }
+};
 
-  bool improved_flag_ = false;
+/// Outcome of one independent unit of search (the identity root, or one
+/// top-level subtree). Results are merged in task order, which makes the
+/// final best independent of how tasks were scheduled onto threads.
+struct TaskResult {
+  bool has_best = false;
+  OstrSolution best;
+  std::vector<OstrSolution> history;
+  std::uint64_t nodes = 0;
+  std::uint64_t pruned = 0;
+  std::uint64_t seen = 0;
+  bool exhausted = true;
+};
+
+/// Per-worker state: a private interner plus the interned search anchors.
+/// Ids are store-relative, so everything a task touches lives here.
+struct WorkerCtx {
+  const MealyMachine& fsm;
+  const OstrOptions& opt;
+  PartitionStore& store;
+  SharedBound& bound;
+  PartitionId eps_id;
+  PartitionId identity_id;
+  std::vector<PartitionId> basis_ids;
+  std::vector<PartitionId> rho_ids;  // lazily interned pair relations
+  std::vector<PartitionId> frame_kappa;  // reusable DFS stack
+  std::vector<std::size_t> frame_next;
+
+  WorkerCtx(const MealyMachine& f, const OstrOptions& o, PartitionStore& s,
+            const Partition& eps, const std::vector<Partition>& basis,
+            SharedBound& b)
+      : fsm(f), opt(o), store(s), bound(b) {
+    eps_id = store.intern(eps);
+    identity_id = store.identity_id(fsm.num_states());
+    basis_ids.reserve(basis.size());
+    for (const auto& p : basis) basis_ids.push_back(store.intern(p));
+    rho_ids.assign(fsm.num_states() * (fsm.num_states() + 1) / 2, kNoPartition);
+  }
+
+  PartitionId rho(std::size_t s, std::size_t t) {
+    const std::size_t n = fsm.num_states();
+    const std::size_t idx = s * (2 * n - s - 1) / 2 + (t - s - 1);
+    if (rho_ids[idx] == kNoPartition)
+      rho_ids[idx] = store.intern(Partition::pair_relation(n, s, t));
+    return rho_ids[idx];
+  }
+};
+
+/// One task: the iterative DFS over a single top-level subtree (or the
+/// identity root alone), with a task-local incumbent seeded at the trivial
+/// doubling solution. Candidate generation depends only on the task and
+/// the machine -- never on other tasks or timing -- which is what makes
+/// multi-threaded runs return the same cost as single-threaded ones.
+struct TaskRun {
+  WorkerCtx& w;
+  std::uint64_t quota;
+  TaskResult res;
+  OstrSolution incumbent;  // starts as the doubling solution
+  bool improved = false;   // reset per node; gates greedy_coarsen
+
+  TaskRun(WorkerCtx& ctx, std::uint64_t q, const OstrSolution& doubling)
+      : w(ctx), quota(q), incumbent(doubling) {}
+
+  void offer(PartitionId pi, PartitionId tau) {
+    ++res.seen;
+    const Partition& p = w.store.get(pi);
+    const Partition& t = w.store.get(tau);
+    const std::size_t s1 = p.num_blocks();
+    const std::size_t s2 = t.num_blocks();
+    const std::size_t ff = ceil_log2(s1) + ceil_log2(s2);
+    const double bal = balance_of(s1, s2);
+    const bool better =
+        ff != incumbent.flipflops
+            ? ff < incumbent.flipflops
+            : (w.opt.balance_tiebreak && bal < incumbent.balance);
+    if (!better) return;
+    incumbent = make_solution(p, t);
+    improved = true;
+    res.has_best = true;
+    res.best = incumbent;
+    if (w.opt.keep_history) res.history.push_back(incumbent);
+    w.bound.offer(pack_cost(ff, bal));
+  }
 
   /// Examine the node kappa; returns false if (by Lemma 1) the subtree
   /// below it cannot contain a solution.
-  bool visit(const Partition& kappa) {
-    ++result.stats.nodes_investigated;
-    improved_flag_ = false;
+  bool visit(PartitionId kappa) {
+    ++res.nodes;
+    improved = false;
 
     // Lemma 1 / minimal-intersection argument: m(kappa) meet kappa is the
     // least intersection over the whole interval of pairs anchored at this
     // Mm-pair. If it already violates epsilon, neither this node nor any
     // successor can yield a solution.
-    const Partition mk = m_operator(fsm, kappa);
-    if (!mk.meet(kappa).refines(eps)) return false;
+    const PartitionId mk = w.store.m_of(kappa);
+    if (!w.store.refines(w.store.meet(mk, kappa), w.eps_id)) return false;
 
     // Preferred candidate: the Mm-pair (M(kappa), kappa); pi as coarse as
     // possible means the fewest R1 states.
-    const Partition Mk = M_operator(fsm, kappa);
-    if (Mk.meet(kappa).refines(eps) && is_partition_pair(fsm, kappa, Mk)) {
+    const PartitionId Mk = w.store.M_of(kappa);
+    if (w.store.refines(w.store.meet(Mk, kappa), w.eps_id) &&
+        w.store.refines(mk, Mk)) {  // (kappa, M(kappa)) is a pair
       offer(Mk, kappa);
-    } else if (is_partition_pair(fsm, mk, kappa) &&
-               is_partition_pair(fsm, kappa, mk)) {
+    } else if (w.store.refines(w.store.m_of(mk), kappa)) {
       // Fallback of Section 3: (m(kappa), kappa) has the minimal
       // intersection in the interval; by the check above it refines eps.
       offer(mk, kappa);
     }
 
-    if (opt.extended_candidates) {
+    if (w.opt.extended_candidates) {
       // Completion of the paper's candidate set (see DESIGN.md): the
       // Theorem-2 interval around the Mm-pair contains symmetric pairs
       // whose components are strictly *between* the evaluated endpoints
       // (e.g. product machines where M(kappa) over-coarsens past epsilon
       // but an intermediate pi works). Greedily coarsen (m(kappa), kappa)
       // inside the validity region. Gated to small machines or nodes that
-      // just improved the incumbent, to keep large searches fast.
-      if (fsm.num_states() <= 12 || improved_flag_) {
+      // just improved the task incumbent, to keep large searches fast.
+      if (w.fsm.num_states() <= 12 || improved) {
         greedy_coarsen(mk, kappa);
       }
     }
@@ -92,27 +184,28 @@ struct Search {
 
   /// Greedily coarsen pi, then tau, one pair-join at a time, while the
   /// result stays a symmetric partition pair whose meet refines epsilon.
-  /// Every accepted step is offered as a candidate.
-  void greedy_coarsen(Partition pi, Partition tau) {
-    const std::size_t n = fsm.num_states();
+  /// Every accepted step is offered as a candidate. All lattice steps and
+  /// pair checks are memoized store lookups after first touch.
+  void greedy_coarsen(PartitionId pi, PartitionId tau) {
+    const std::size_t n = w.fsm.num_states();
     bool progress = true;
     while (progress) {
       progress = false;
       for (int side = 0; side < 2 && !progress; ++side) {
-        Partition& target = side == 0 ? pi : tau;
-        const Partition& other = side == 0 ? tau : pi;
+        const PartitionId other = side == 0 ? tau : pi;
         for (std::size_t s = 0; s < n && !progress; ++s) {
           for (std::size_t t = s + 1; t < n && !progress; ++t) {
-            if (target.same_block(s, t)) continue;
-            Partition cand = target.join(Partition::pair_relation(n, s, t));
-            if (!cand.meet(other).refines(eps)) continue;
-            const Partition& new_pi = side == 0 ? cand : pi;
-            const Partition& new_tau = side == 0 ? tau : cand;
-            if (!is_partition_pair(fsm, new_pi, new_tau) ||
-                !is_partition_pair(fsm, new_tau, new_pi))
+            const PartitionId target = side == 0 ? pi : tau;
+            if (w.store.get(target).same_block(s, t)) continue;
+            const PartitionId cand = w.store.join(target, w.rho(s, t));
+            if (!w.store.refines(w.store.meet(cand, other), w.eps_id)) continue;
+            const PartitionId new_pi = side == 0 ? cand : pi;
+            const PartitionId new_tau = side == 0 ? tau : cand;
+            if (!w.store.is_pair(new_pi, new_tau) ||
+                !w.store.is_pair(new_tau, new_pi))
               continue;
-            target = std::move(cand);
-            offer(side == 0 ? target : pi, side == 0 ? tau : target);
+            (side == 0 ? pi : tau) = cand;
+            offer(new_pi, new_tau);
             progress = true;
           }
         }
@@ -120,40 +213,263 @@ struct Search {
     }
   }
 
-  void dfs(const Partition& kappa, std::size_t first) {
-    if (result.stats.nodes_investigated >= opt.max_nodes) {
-      result.stats.exhausted = false;
+  /// Visit the identity root node only (children are the per-subtree
+  /// tasks). Returns the Lemma-1 viability of the root.
+  bool run_root() { return visit(w.identity_id); }
+
+  /// Iterative pre-order DFS over the subtree rooted at basis element k,
+  /// expanding with basis indices > k. Child kappa = one memoized join.
+  void run_subtree(std::size_t k) {
+    const PartitionId root = w.basis_ids[k];
+    if (root == w.identity_id) return;  // join leaves kappa unchanged
+    if (quota == 0) {
+      res.exhausted = false;
       return;
     }
-    const bool viable = visit(kappa);
-    if (!viable && opt.prune) {
-      ++result.stats.nodes_pruned;
+    const bool viable = visit(root);
+    if (!viable && w.opt.prune) {
+      ++res.pruned;
       return;
     }
-    for (std::size_t k = first; k < basis.size(); ++k) {
-      Partition child = kappa.join(basis[k]);
-      if (child == kappa) continue;  // same node; subset differs but kappa equal
-      dfs(child, k + 1);
-      if (!result.stats.exhausted) return;
+    const std::size_t num_basis = w.basis_ids.size();
+    auto& kap = w.frame_kappa;
+    auto& nxt = w.frame_next;
+    kap.clear();
+    nxt.clear();
+    kap.push_back(root);
+    nxt.push_back(k + 1);
+    while (!kap.empty()) {
+      if (nxt.back() >= num_basis) {
+        kap.pop_back();
+        nxt.pop_back();
+        continue;
+      }
+      const std::size_t j = nxt.back()++;
+      const PartitionId child = w.store.join(kap.back(), w.basis_ids[j]);
+      if (child == kap.back()) continue;
+      if (res.nodes >= quota) {
+        res.exhausted = false;
+        return;
+      }
+      const bool v = visit(child);
+      if (!v && w.opt.prune) {
+        ++res.pruned;
+        continue;
+      }
+      kap.push_back(child);
+      nxt.push_back(j + 1);
     }
   }
 };
+
+/// Deterministic node quota for the task at position `rank` of the current
+/// round's active list: geometric in the rank (subtree k ranges over basis
+/// indices > k, so its node count upper bound halves with each k), floored
+/// so deep tasks always get a share. Quotas depend only on (budget, rank)
+/// -- never on how other tasks were scheduled -- which keeps budgeted
+/// searches identical across thread counts. Tasks that hit their quota are
+/// re-run in a later round with the leftover budget redistributed (see
+/// run_search), so a generous global budget is never stranded on small
+/// subtrees.
+std::uint64_t task_quota(std::uint64_t budget, std::size_t rank) {
+  const std::size_t shift = std::min<std::size_t>(rank + 1, 14);
+  return std::max<std::uint64_t>(1, budget >> shift);
+}
+
+OstrResult run_search(const MealyMachine& fsm, const OstrOptions& opt,
+                      PartitionStore& caller_store) {
+  const Partition eps = state_equivalence(fsm);
+  const std::vector<Partition> basis = mm_basis(fsm);
+  const std::size_t num_tasks = basis.size();
+
+  OstrResult out;
+  out.stats.num_states = fsm.num_states();
+  out.stats.basis_size = num_tasks;
+
+  const PartitionStore::Stats caller_before = caller_store.stats();
+
+  // The trivial doubling solution (identity, identity) always exists and
+  // seeds every incumbent.
+  const Partition id = Partition::identity(fsm.num_states());
+  const OstrSolution doubling = make_solution(id, id);
+  out.best = doubling;
+
+  SharedBound bound;
+  bound.offer(pack_cost(doubling.flipflops, doubling.balance));
+
+  // Nothing can beat (ceil_log2(|S/eps|), 0): s1*s2 >= |meet blocks| >=
+  // |eps blocks| and balance >= 0. Once the shared bound reaches this
+  // floor, remaining tasks cannot improve the cost and may be skipped.
+  const std::uint64_t floor_packed = pack_cost(ceil_log2(eps.num_blocks()), 0.0);
+  const auto reached_floor = [&](std::uint64_t b) {
+    return opt.balance_tiebreak ? b <= floor_packed
+                                : (b >> 32) <= (floor_packed >> 32);
+  };
+
+  if (opt.max_nodes == 0) {
+    out.stats.exhausted = false;
+    out.stats.cache = caller_store.stats().delta(caller_before);
+    return out;
+  }
+
+  WorkerCtx main_ctx(fsm, opt, caller_store, eps, basis, bound);
+
+  // Root node (kappa = identity) on the calling thread.
+  TaskRun root_run(main_ctx, 1, doubling);
+  const bool root_viable = root_run.run_root();
+  TaskResult root_res = std::move(root_run.res);
+
+  std::vector<TaskResult> task_results(num_tasks);
+  PartitionStore::Stats worker_cache;
+
+  if (!root_viable && opt.prune) {
+    ++root_res.pruned;  // Lemma 1 cuts the entire tree at the root
+  } else if (num_tasks > 0) {
+    const std::size_t num_threads =
+        std::max<std::size_t>(1, std::min(opt.num_threads, num_tasks));
+
+    // Budget rounds: every round hands the still-unfinished tasks
+    // deterministic geometric quotas from the remaining budget; tasks that
+    // hit their quota are restarted next round with a bigger share (their
+    // already-visited prefix replays through the memo tables cheaply).
+    // Round boundaries are barriers, so the schedule never leaks into the
+    // results: any thread count produces the same per-task outcome.
+    std::uint64_t budget = opt.max_nodes - 1;
+    std::vector<std::size_t> active(num_tasks);
+    for (std::size_t k = 0; k < num_tasks; ++k) active[k] = k;
+    constexpr int kMaxRounds = 16;
+
+    if (budget == 0) {
+      // Root consumed the whole budget; any real subtree goes unvisited.
+      for (const auto& b : basis)
+        if (!b.is_identity()) out.stats.exhausted = false;
+    }
+
+    // Worker stores persist across budget rounds so a restarted task's
+    // replayed prefix really does hit the memo tables.
+    std::vector<std::unique_ptr<PartitionStore>> worker_stores;
+    std::vector<std::unique_ptr<WorkerCtx>> worker_ctxs;
+    if (num_threads > 1) {
+      for (std::size_t w = 0; w < num_threads; ++w) {
+        worker_stores.push_back(std::make_unique<PartitionStore>(&fsm));
+        worker_ctxs.push_back(std::make_unique<WorkerCtx>(
+            fsm, opt, *worker_stores[w], eps, basis, bound));
+      }
+    }
+
+    for (int round = 0; round < kMaxRounds && !active.empty() && budget > 0;
+         ++round) {
+      // A restart only makes sense when the new quota goes deeper than the
+      // task already got; otherwise the task is parked (its previous,
+      // deeper result stands and it stays marked un-exhausted).
+      std::vector<std::size_t> run_tasks;
+      std::vector<std::uint64_t> quotas;
+      for (std::size_t rank = 0; rank < active.size(); ++rank) {
+        const std::uint64_t q = task_quota(budget, rank);
+        if (q > task_results[active[rank]].nodes) {
+          run_tasks.push_back(active[rank]);
+          quotas.push_back(q);
+        }
+      }
+      if (run_tasks.empty()) break;
+      active = run_tasks;
+
+      if (num_threads <= 1) {
+        for (std::size_t rank = 0; rank < active.size(); ++rank) {
+          if (reached_floor(bound.load())) break;  // optimum already in hand
+          TaskRun t(main_ctx, quotas[rank], doubling);
+          t.run_subtree(active[rank]);
+          task_results[active[rank]] = std::move(t.res);
+        }
+      } else {
+        std::atomic<std::size_t> next_rank{0};
+        std::vector<std::exception_ptr> errors(num_threads);
+        std::vector<std::thread> threads;
+        threads.reserve(num_threads);
+        for (std::size_t w = 0; w < num_threads; ++w) {
+          threads.emplace_back([&, w] {
+            try {
+              WorkerCtx& ctx = *worker_ctxs[w];
+              for (;;) {
+                const std::size_t rank =
+                    next_rank.fetch_add(1, std::memory_order_relaxed);
+                if (rank >= active.size()) break;
+                if (reached_floor(bound.load())) break;
+                TaskRun t(ctx, quotas[rank], doubling);
+                t.run_subtree(active[rank]);
+                task_results[active[rank]] = std::move(t.res);
+              }
+            } catch (...) {
+              errors[w] = std::current_exception();
+            }
+          });
+        }
+        for (auto& t : threads) t.join();
+        for (auto& e : errors)
+          if (e) std::rethrow_exception(e);
+      }
+
+      // Deterministic accounting: every node visited this round (including
+      // replayed prefixes of restarted tasks) draws down the budget.
+      std::uint64_t spent = 0;
+      std::vector<std::size_t> still_active;
+      for (const std::size_t k : active) {
+        spent += task_results[k].nodes;
+        if (!task_results[k].exhausted) still_active.push_back(k);
+      }
+      budget = spent >= budget ? 0 : budget - spent;
+      active = std::move(still_active);
+      if (reached_floor(bound.load())) break;
+    }
+
+    for (const auto& store : worker_stores) worker_cache += store->stats();
+  }
+
+  // Deterministic merge in task order (root first): the earliest task with
+  // a strictly better ((i),(ii)) cost wins, matching sequential DFS order.
+  auto absorb = [&](TaskResult& r) {
+    out.stats.nodes_investigated += r.nodes;
+    out.stats.nodes_pruned += r.pruned;
+    out.stats.solutions_seen += r.seen;
+    out.stats.exhausted = out.stats.exhausted && r.exhausted;
+    if (opt.keep_history) {
+      for (auto& sol : r.history) {
+        if (sol.better_than(out.best, opt.balance_tiebreak)) {
+          out.best = sol;
+          out.history.push_back(std::move(sol));
+        }
+      }
+    } else if (r.has_best &&
+               r.best.better_than(out.best, opt.balance_tiebreak)) {
+      out.best = std::move(r.best);
+    }
+  };
+  absorb(root_res);
+  for (auto& r : task_results) absorb(r);
+
+  // A bound at the problem floor certifies optimality even when some task
+  // was truncated: the answer is final, so the search counts as exhausted.
+  if (reached_floor(bound.load())) out.stats.exhausted = true;
+
+  out.stats.cache = caller_store.stats().delta(caller_before);
+  out.stats.cache += worker_cache;
+  return out;
+}
 
 }  // namespace
 
 OstrResult solve_ostr(const MealyMachine& fsm, const OstrOptions& options) {
   fsm.validate();
-  Search search(fsm, options);
-  search.result.stats.num_states = fsm.num_states();
-  search.result.stats.basis_size = search.basis.size();
+  PartitionStore store(&fsm);
+  return run_search(fsm, options, store);
+}
 
-  // The trivial doubling solution (identity, identity) always exists and
-  // seeds the incumbent.
-  const Partition id = Partition::identity(fsm.num_states());
-  search.result.best = make_solution(id, id);
-
-  search.dfs(id, 0);
-  return search.result;
+OstrResult solve_ostr(const MealyMachine& fsm, const OstrOptions& options,
+                      PartitionStore& store) {
+  fsm.validate();
+  if (store.machine() != &fsm)
+    throw std::invalid_argument("solve_ostr: store bound to a different machine");
+  return run_search(fsm, options, store);
 }
 
 std::vector<Partition> all_partitions(std::size_t n) {

@@ -12,6 +12,15 @@
 // the Mm-pair (M(kappa), kappa) is examined, falling back to
 // (m(kappa), kappa). Lemma 1: if m(kappa) meet kappa does not refine
 // epsilon, no node in the subtree can yield a solution -> prune.
+//
+// Engine: the search runs as an explicit iterative frontier over interned
+// PartitionIds (see partition/store.hpp). Each child kappa is one memoized
+// join of the parent kappa with a basis element; all m/M/meet/refines
+// queries hit the store's memo tables. The top-level subtrees (one per
+// basis element) are independent tasks with deterministic node quotas, so
+// OstrOptions::num_threads > 1 fans them across worker threads and returns
+// the same optimal cost as the single-threaded search (see DESIGN.md
+// "Interner architecture" for the determinism argument).
 
 #include <cstdint>
 #include <optional>
@@ -19,14 +28,17 @@
 
 #include "ostr/realization.hpp"
 #include "partition/lattice.hpp"
+#include "partition/store.hpp"
 
 namespace stc {
 
 struct OstrOptions {
   /// Apply Lemma-1 pruning (Table 2 ablates this).
   bool prune = true;
-  /// Abort after visiting this many search-tree nodes (paper: "timeout"
-  /// for tbk). The best solution found so far is returned.
+  /// Abort after visiting (approximately) this many search-tree nodes
+  /// (paper: "timeout" for tbk). The budget is split across the top-level
+  /// subtrees with deterministic geometric quotas, so results do not depend
+  /// on thread count; the best solution found so far is returned.
   std::uint64_t max_nodes = 5'000'000;
   /// Use cost criterion (ii) as tie-break; when false, the first solution
   /// with minimal (i) wins (ablation bench).
@@ -39,6 +51,11 @@ struct OstrOptions {
   bool extended_candidates = true;
   /// Collect every improving solution (for reporting/ablation).
   bool keep_history = false;
+  /// Number of worker threads for the top-level subtree fan-out. 0 or 1 =
+  /// run everything on the calling thread. Workers share an atomic
+  /// best-solution bound; each worker owns a private PartitionStore. The
+  /// returned best cost ((i),(ii)) is identical for every thread count.
+  std::size_t num_threads = 1;
 };
 
 /// One candidate solution of problem OSTR.
@@ -61,6 +78,9 @@ struct OstrStats {
   std::uint64_t nodes_pruned = 0;      // subtree roots cut by Lemma 1
   std::uint64_t solutions_seen = 0;    // candidate symmetric pairs evaluated
   bool exhausted = true;               // false if max_nodes hit
+  /// Interner/memo counters aggregated over all worker stores (deltas for
+  /// this solve when an external long-lived store was supplied).
+  PartitionStore::Stats cache;
 };
 
 struct OstrResult {
@@ -72,6 +92,12 @@ struct OstrResult {
 /// Run the Section-3 depth-first search. The machine must be completely
 /// specified.
 OstrResult solve_ostr(const MealyMachine& fsm, const OstrOptions& options = {});
+
+/// Same, but reuse a caller-owned interner (one per machine across a whole
+/// synthesis flow). The store must be bound to `fsm`. Used by the
+/// single-threaded path; worker threads always own private stores.
+OstrResult solve_ostr(const MealyMachine& fsm, const OstrOptions& options,
+                      PartitionStore& store);
 
 /// Reference implementation: enumerate *all* partitions of S (Bell-number
 /// many -- use only for |S| <= ~8) and return the optimum over all

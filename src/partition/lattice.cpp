@@ -1,14 +1,47 @@
 #include "partition/lattice.hpp"
 
 #include <algorithm>
-#include <set>
+#include <stdexcept>
+#include <unordered_set>
 
 #include "util/strings.hpp"
 
 namespace stc {
+namespace {
+
+void check_store(const MealyMachine& fsm, const PartitionStore& store) {
+  if (store.machine() != &fsm)
+    throw std::invalid_argument("lattice: store bound to a different machine");
+}
+
+/// Close a seed id-set under memoized pairwise joins with the basis.
+/// Returns false (and clears `members`) if the closure exceeds the guard.
+bool close_under_join(PartitionStore& store, const std::vector<PartitionId>& basis,
+                      std::vector<PartitionId>& members, std::size_t max_elements) {
+  std::unordered_set<PartitionId> seen(members.begin(), members.end());
+  std::vector<PartitionId> work(members);
+  while (!work.empty()) {
+    const PartitionId cur = work.back();
+    work.pop_back();
+    for (const PartitionId b : basis) {
+      const PartitionId j = store.join(cur, b);
+      if (seen.insert(j).second) {
+        if (seen.size() > max_elements) {
+          members.clear();
+          return false;
+        }
+        members.push_back(j);
+        work.push_back(j);
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace
 
 std::vector<Partition> mm_basis(const MealyMachine& fsm) {
-  std::set<Partition> seen;
+  std::unordered_set<Partition, PartitionHash> seen;
   std::vector<Partition> basis;
   const std::size_t n = fsm.num_states();
   for (std::size_t s = 0; s < n; ++s) {
@@ -27,65 +60,75 @@ std::vector<Partition> mm_basis(const MealyMachine& fsm) {
 }
 
 std::vector<MmPair> enumerate_mm_lattice(const MealyMachine& fsm,
+                                         PartitionStore& store,
                                          std::size_t max_elements) {
+  check_store(fsm, store);
   const auto basis = mm_basis(fsm);
-  std::set<Partition> taus;
-  taus.insert(Partition::identity(fsm.num_states()));
-  for (const auto& b : basis) taus.insert(b);
+  std::vector<PartitionId> basis_ids;
+  basis_ids.reserve(basis.size());
+  for (const auto& b : basis) basis_ids.push_back(store.intern(b));
 
-  // Close under pairwise join (worklist until fixpoint).
-  std::vector<Partition> work(taus.begin(), taus.end());
-  while (!work.empty()) {
-    Partition cur = work.back();
-    work.pop_back();
-    for (const auto& b : basis) {
-      Partition j = cur.join(b);
-      if (taus.insert(j).second) {
-        if (taus.size() > max_elements) return {};
-        work.push_back(std::move(j));
-      }
-    }
-  }
+  std::vector<PartitionId> members;
+  std::unordered_set<PartitionId> seed;
+  members.push_back(store.identity_id(fsm.num_states()));
+  seed.insert(members[0]);
+  for (const PartitionId b : basis_ids)
+    if (seed.insert(b).second) members.push_back(b);
+
+  if (!close_under_join(store, basis_ids, members, max_elements)) return {};
 
   std::vector<MmPair> out;
-  out.reserve(taus.size());
-  for (const auto& tau : taus) out.push_back({M_operator(fsm, tau), tau});
+  out.reserve(members.size());
+  for (const PartitionId tau : members)
+    out.push_back({store.get(store.M_of(tau)), store.get(tau)});
+  // Stable presentation order (matches the historical std::set iteration).
+  std::sort(out.begin(), out.end(),
+            [](const MmPair& a, const MmPair& b) { return a.tau < b.tau; });
+  return out;
+}
+
+std::vector<MmPair> enumerate_mm_lattice(const MealyMachine& fsm,
+                                         std::size_t max_elements) {
+  PartitionStore store(&fsm);
+  return enumerate_mm_lattice(fsm, store, max_elements);
+}
+
+std::vector<Partition> enumerate_sp_lattice(const MealyMachine& fsm,
+                                            PartitionStore& store,
+                                            std::size_t max_elements) {
+  check_store(fsm, store);
+  // SP basis: close each rho_{s,t} under delta (repeated m-joins) to the
+  // least SP partition identifying s and t.
+  const std::size_t n = fsm.num_states();
+  std::unordered_set<PartitionId> seed;
+  seed.insert(store.identity_id(n));
+  std::vector<PartitionId> basis;
+  for (std::size_t s = 0; s < n; ++s) {
+    for (std::size_t t = s + 1; t < n; ++t) {
+      PartitionId p = store.intern(Partition::pair_relation(n, s, t));
+      for (;;) {
+        const PartitionId next = store.join(p, store.m_of(p));
+        if (next == p) break;
+        p = next;
+      }
+      if (seed.insert(p).second) basis.push_back(p);
+    }
+  }
+  std::vector<PartitionId> members(seed.begin(), seed.end());
+  // Joins of SP partitions are SP.
+  if (!close_under_join(store, basis, members, max_elements)) return {};
+
+  std::vector<Partition> out;
+  out.reserve(members.size());
+  for (const PartitionId id : members) out.push_back(store.get(id));
+  std::sort(out.begin(), out.end());
   return out;
 }
 
 std::vector<Partition> enumerate_sp_lattice(const MealyMachine& fsm,
                                             std::size_t max_elements) {
-  // SP basis: close each rho_{s,t} under delta (repeated m-joins) to the
-  // least SP partition identifying s and t.
-  const std::size_t n = fsm.num_states();
-  std::set<Partition> sps;
-  sps.insert(Partition::identity(n));
-  std::vector<Partition> basis;
-  for (std::size_t s = 0; s < n; ++s) {
-    for (std::size_t t = s + 1; t < n; ++t) {
-      Partition p = Partition::pair_relation(n, s, t);
-      for (;;) {
-        Partition next = p.join(m_operator(fsm, p));
-        if (next == p) break;
-        p = std::move(next);
-      }
-      if (sps.insert(p).second) basis.push_back(p);
-    }
-  }
-  std::vector<Partition> work(basis);
-  while (!work.empty()) {
-    Partition cur = work.back();
-    work.pop_back();
-    for (const auto& b : basis) {
-      Partition j = cur.join(b);
-      // Joins of SP partitions are SP.
-      if (sps.insert(j).second) {
-        if (sps.size() > max_elements) return {};
-        work.push_back(std::move(j));
-      }
-    }
-  }
-  return {sps.begin(), sps.end()};
+  PartitionStore store(&fsm);
+  return enumerate_sp_lattice(fsm, store, max_elements);
 }
 
 std::string describe_mm_lattice(const MealyMachine& fsm,

@@ -6,11 +6,17 @@
 // ([16] Hartmanis/Stearns; Section 3 of the paper). The OSTR search tree
 // ranges over subsets of this basis; the explorer below also enumerates
 // the full lattice for small machines.
+//
+// The enumerations run on a PartitionStore interner: lattice elements are
+// deduplicated by id and every join/M step is a memoized store lookup.
+// Overloads taking a store let callers share one interner per machine
+// across the whole flow; the store-less overloads spin up a private one.
 
 #include <utility>
 #include <vector>
 
 #include "partition/pairs.hpp"
+#include "partition/store.hpp"
 
 namespace stc {
 
@@ -31,10 +37,20 @@ struct MmPair {
 std::vector<MmPair> enumerate_mm_lattice(const MealyMachine& fsm,
                                          std::size_t max_elements = 100000);
 
+/// Same, sharing a caller-owned interner (must be bound to `fsm`).
+std::vector<MmPair> enumerate_mm_lattice(const MealyMachine& fsm,
+                                         PartitionStore& store,
+                                         std::size_t max_elements = 100000);
+
 /// All partitions with the substitution property ((pi,pi) a pair), i.e.
 /// the classic closed-partition lattice, computed by closing the pairwise
 /// SP basis under join. Guarded like enumerate_mm_lattice.
 std::vector<Partition> enumerate_sp_lattice(const MealyMachine& fsm,
+                                            std::size_t max_elements = 100000);
+
+/// Same, sharing a caller-owned interner (must be bound to `fsm`).
+std::vector<Partition> enumerate_sp_lattice(const MealyMachine& fsm,
+                                            PartitionStore& store,
                                             std::size_t max_elements = 100000);
 
 /// Render a lattice Hasse-style summary (block structures plus covering

@@ -1,60 +1,113 @@
 #include "partition/pairs.hpp"
 
+#include <numeric>
+#include <unordered_map>
+
 namespace stc {
+namespace {
+
+constexpr std::uint32_t kUnseen = UINT32_MAX;
+
+std::uint32_t uf_find(std::uint32_t* parent, std::uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
+  }
+  return x;
+}
+
+void uf_unite(std::uint32_t* parent, std::uint32_t a, std::uint32_t b) {
+  parent[uf_find(parent, a)] = uf_find(parent, b);
+}
+
+}  // namespace
 
 Partition m_operator(const MealyMachine& fsm, const Partition& pi) {
   // Least tau containing (delta(s,i), delta(t,i)) for all s ~pi t. It is
-  // enough to link successors of consecutive members of each pi-block.
-  std::vector<std::pair<std::size_t, std::size_t>> pairs;
-  for (const auto& block : pi.blocks()) {
-    for (std::size_t k = 1; k < block.size(); ++k) {
-      const State s = static_cast<State>(block[k - 1]);
-      const State t = static_cast<State>(block[k]);
-      for (Input i = 0; i < fsm.num_inputs(); ++i)
-        pairs.emplace_back(fsm.next(s, i), fsm.next(t, i));
+  // enough to link each block member's successors to those of the block's
+  // first member (union-find closes the chain). Runs on thread-local
+  // scratch, no per-call allocation.
+  const std::size_t n = fsm.num_states();
+  static thread_local std::vector<std::uint32_t> parent, first;
+  parent.resize(n);
+  std::iota(parent.begin(), parent.end(), std::uint32_t{0});
+  first.assign(pi.num_blocks(), kUnseen);
+  const std::size_t num_inputs = fsm.num_inputs();
+  for (std::uint32_t x = 0; x < n; ++x) {
+    std::uint32_t& f = first[pi.block_of(x)];
+    if (f == kUnseen) {
+      f = x;
+    } else {
+      for (Input i = 0; i < num_inputs; ++i)
+        uf_unite(parent.data(), fsm.next(static_cast<State>(f), i),
+                 fsm.next(static_cast<State>(x), i));
     }
   }
-  return Partition::from_pairs(fsm.num_states(), pairs);
+  for (std::uint32_t x = 0; x < n; ++x) parent[x] = uf_find(parent.data(), x);
+  return Partition::from_labels(parent.data(), n);
 }
 
 Partition M_operator(const MealyMachine& fsm, const Partition& tau) {
-  // Coarsest pi with s ~pi t iff all successors are tau-equivalent.
-  // Group states by the signature (tau-block of delta(s, i))_i.
+  // Coarsest pi with s ~pi t iff all successors are tau-equivalent: group
+  // states by the signature (tau-block of delta(s, i))_i, built up one
+  // input at a time by successive refinement of the class labelling.
   const std::size_t n = fsm.num_states();
-  std::vector<std::vector<std::size_t>> sig(n);
-  for (State s = 0; s < n; ++s) {
-    sig[s].reserve(fsm.num_inputs());
-    for (Input i = 0; i < fsm.num_inputs(); ++i)
-      sig[s].push_back(tau.block_of(fsm.next(s, i)));
-  }
-  std::vector<std::size_t> labels(n);
-  std::vector<std::vector<std::size_t>> seen;
-  for (State s = 0; s < n; ++s) {
-    std::size_t id = SIZE_MAX;
-    for (std::size_t k = 0; k < seen.size(); ++k) {
-      if (seen[k] == sig[s]) {
-        id = k;
-        break;
+  static thread_local std::vector<std::uint32_t> cur, next_labels;
+  cur.assign(n, 0);
+  next_labels.resize(n);
+  std::uint32_t num_classes = n == 0 ? 0 : 1;
+  const std::uint64_t k = tau.num_blocks() == 0 ? 1 : tau.num_blocks();
+  for (Input i = 0; i < fsm.num_inputs(); ++i) {
+    // Composite label (current class, tau-block of the i-successor),
+    // renumbered by first occurrence.
+    const std::uint64_t span = static_cast<std::uint64_t>(num_classes) * k;
+    std::uint32_t fresh = 0;
+    if (span < 4 * static_cast<std::uint64_t>(n) + 1024) {
+      static thread_local std::vector<std::uint32_t> remap;
+      remap.assign(static_cast<std::size_t>(span), kUnseen);
+      for (std::uint32_t s = 0; s < n; ++s) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(cur[s]) * k +
+            tau.block_of(fsm.next(static_cast<State>(s), i));
+        std::uint32_t& slot = remap[static_cast<std::size_t>(key)];
+        if (slot == kUnseen) slot = fresh++;
+        next_labels[s] = slot;
+      }
+    } else {
+      std::unordered_map<std::uint64_t, std::uint32_t> remap;
+      remap.reserve(n);
+      for (std::uint32_t s = 0; s < n; ++s) {
+        const std::uint64_t key =
+            static_cast<std::uint64_t>(cur[s]) * k +
+            tau.block_of(fsm.next(static_cast<State>(s), i));
+        auto [it, ins] = remap.emplace(key, fresh);
+        if (ins) ++fresh;
+        next_labels[s] = it->second;
       }
     }
-    if (id == SIZE_MAX) {
-      id = seen.size();
-      seen.push_back(sig[s]);
-    }
-    labels[s] = id;
+    cur.swap(next_labels);
+    num_classes = fresh;
   }
-  return Partition::from_labels(labels);
+  return Partition::from_labels(cur.data(), n);
 }
 
 bool is_partition_pair(const MealyMachine& fsm, const Partition& pi,
                        const Partition& tau) {
-  for (const auto& block : pi.blocks()) {
-    for (std::size_t k = 1; k < block.size(); ++k) {
-      const State s = static_cast<State>(block[k - 1]);
-      const State t = static_cast<State>(block[k]);
-      for (Input i = 0; i < fsm.num_inputs(); ++i)
-        if (!tau.same_block(fsm.next(s, i), fsm.next(t, i))) return false;
+  // s ~pi t must imply delta(s,i) ~tau delta(t,i); comparing every member
+  // against the block's first member is equivalent by transitivity.
+  const std::size_t n = fsm.num_states();
+  static thread_local std::vector<std::uint32_t> first;
+  first.assign(pi.num_blocks(), kUnseen);
+  for (std::uint32_t x = 0; x < n; ++x) {
+    std::uint32_t& f = first[pi.block_of(x)];
+    if (f == kUnseen) {
+      f = x;
+      continue;
     }
+    for (Input i = 0; i < fsm.num_inputs(); ++i)
+      if (!tau.same_block(fsm.next(static_cast<State>(f), i),
+                          fsm.next(static_cast<State>(x), i)))
+        return false;
   }
   return true;
 }

@@ -2,103 +2,228 @@
 
 #include <numeric>
 #include <stdexcept>
+#include <unordered_map>
 
 namespace stc {
 namespace {
 
-/// Plain union-find over indices 0..n-1 with path halving.
-class UnionFind {
- public:
-  explicit UnionFind(std::size_t n) : parent_(n) {
-    std::iota(parent_.begin(), parent_.end(), std::size_t{0});
+constexpr std::uint32_t kUnseen32 = UINT32_MAX;
+
+/// Thread-local scratch buffers: the hot lattice operations (meet, join,
+/// refines, normalization) run allocation-free in steady state.
+std::vector<std::uint32_t>& scratch_u32(int which, std::size_t n,
+                                        std::uint32_t fill) {
+  static thread_local std::vector<std::uint32_t> bufs[4];
+  auto& b = bufs[which];
+  b.assign(n, fill);
+  return b;
+}
+
+std::vector<std::uint64_t>& scratch_u64(std::size_t n) {
+  static thread_local std::vector<std::uint64_t> buf;
+  buf.resize(n);
+  return buf;
+}
+
+/// Union-find with path halving over a caller-provided parent array.
+std::uint32_t uf_find(std::uint32_t* parent, std::uint32_t x) {
+  while (parent[x] != x) {
+    parent[x] = parent[parent[x]];
+    x = parent[x];
   }
+  return x;
+}
 
-  std::size_t find(std::size_t x) {
-    while (parent_[x] != x) {
-      parent_[x] = parent_[parent_[x]];
-      x = parent_[x];
-    }
-    return x;
-  }
-
-  void unite(std::size_t a, std::size_t b) { parent_[find(a)] = find(b); }
-
-  std::vector<std::size_t> labels() {
-    std::vector<std::size_t> out(parent_.size());
-    for (std::size_t i = 0; i < parent_.size(); ++i) out[i] = find(i);
-    return out;
-  }
-
- private:
-  std::vector<std::size_t> parent_;
-};
+void uf_unite(std::uint32_t* parent, std::uint32_t a, std::uint32_t b) {
+  parent[uf_find(parent, a)] = uf_find(parent, b);
+}
 
 }  // namespace
 
+void Partition::allocate(std::size_t n) {
+  if (n > kMaxElements)
+    throw std::invalid_argument("Partition: more than 65535 elements");
+  size_ = static_cast<std::uint32_t>(n);
+  if (n > kInlineCapacity) heap_ = new Label[n];
+}
+
+void Partition::copy_from(const Partition& o) {
+  size_ = o.size_;
+  num_blocks_ = o.num_blocks_;
+  hash_ = o.hash_;
+  if (size_ > kInlineCapacity) heap_ = new Label[size_];
+  std::memcpy(data(), o.data(), size_ * sizeof(Label));
+}
+
+void Partition::steal_from(Partition& o) noexcept {
+  size_ = o.size_;
+  num_blocks_ = o.num_blocks_;
+  hash_ = o.hash_;
+  if (size_ > kInlineCapacity) {
+    heap_ = o.heap_;
+  } else {
+    std::memcpy(inline_, o.inline_, size_ * sizeof(Label));
+  }
+  o.size_ = 0;
+  o.num_blocks_ = 0;
+  o.hash_ = kEmptyHash;
+}
+
+void Partition::rehash() {
+  std::size_t h = kEmptyHash;
+  const Label* l = data();
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    h ^= l[i];
+    h *= 1099511628211ULL;
+  }
+  hash_ = h;
+}
+
+void Partition::normalize_packed() {
+  // Labels are already < size_; renumber by first occurrence.
+  auto& remap = scratch_u32(0, size_, kUnseen32);
+  Label* l = data();
+  std::uint32_t next = 0;
+  for (std::uint32_t i = 0; i < size_; ++i) {
+    std::uint32_t& slot = remap[l[i]];
+    if (slot == kUnseen32) slot = next++;
+    l[i] = static_cast<Label>(slot);
+  }
+  num_blocks_ = next;
+  rehash();
+}
+
 Partition Partition::identity(std::size_t n) {
-  std::vector<std::size_t> labels(n);
-  std::iota(labels.begin(), labels.end(), std::size_t{0});
-  return from_labels(labels);
+  Partition p;
+  p.allocate(n);
+  Label* l = p.data();
+  for (std::size_t i = 0; i < n; ++i) l[i] = static_cast<Label>(i);
+  p.num_blocks_ = static_cast<std::uint32_t>(n);
+  p.rehash();
+  return p;
 }
 
 Partition Partition::universal(std::size_t n) {
-  return from_labels(std::vector<std::size_t>(n, 0));
+  Partition p;
+  p.allocate(n);
+  std::memset(p.data(), 0, n * sizeof(Label));
+  p.num_blocks_ = n == 0 ? 0 : 1;
+  p.rehash();
+  return p;
 }
 
 Partition Partition::pair_relation(std::size_t n, std::size_t s, std::size_t t) {
   if (s >= n || t >= n) throw std::out_of_range("Partition::pair_relation");
-  Partition p = identity(n);
-  p.labels_[t] = p.labels_[s];
-  p.normalize();
+  Partition p;
+  p.allocate(n);
+  Label* l = p.data();
+  for (std::size_t i = 0; i < n; ++i) l[i] = static_cast<Label>(i);
+  l[std::max(s, t)] = static_cast<Label>(std::min(s, t));
+  p.normalize_packed();
   return p;
 }
 
+namespace {
+
+/// Generic first-occurrence renumbering for raw (possibly sparse) labels,
+/// writing the canonical packed labelling into `out`. Dense remap when the
+/// label range is modest, hash map fallback otherwise.
+template <typename T>
+std::uint32_t canonicalize(const T* labels, std::size_t n, Partition::Label* out) {
+  T max_label = 0;
+  for (std::size_t i = 0; i < n; ++i) max_label = std::max(max_label, labels[i]);
+  std::uint32_t next = 0;
+  if (static_cast<std::uint64_t>(max_label) < 4 * n + 1024) {
+    auto& remap = scratch_u32(1, static_cast<std::size_t>(max_label) + 1, kUnseen32);
+    for (std::size_t i = 0; i < n; ++i) {
+      std::uint32_t& slot = remap[static_cast<std::size_t>(labels[i])];
+      if (slot == kUnseen32) slot = next++;
+      out[i] = static_cast<Partition::Label>(slot);
+    }
+  } else {
+    std::unordered_map<std::uint64_t, std::uint32_t> remap;
+    remap.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      auto [it, fresh] = remap.emplace(static_cast<std::uint64_t>(labels[i]), next);
+      if (fresh) ++next;
+      out[i] = static_cast<Partition::Label>(it->second);
+    }
+  }
+  return next;
+}
+
+}  // namespace
+
 Partition Partition::from_labels(const std::vector<std::size_t>& labels) {
   Partition p;
-  p.labels_ = labels;
-  p.normalize();
+  p.allocate(labels.size());
+  p.num_blocks_ = canonicalize(labels.data(), labels.size(), p.data());
+  p.rehash();
+  return p;
+}
+
+Partition Partition::from_labels(const std::uint32_t* labels, std::size_t n) {
+  Partition p;
+  p.allocate(n);
+  p.num_blocks_ = canonicalize(labels, n, p.data());
+  p.rehash();
   return p;
 }
 
 Partition Partition::from_blocks(
     std::size_t n, const std::vector<std::vector<std::size_t>>& blocks) {
-  UnionFind uf(n);
+  if (n > kMaxElements)
+    throw std::invalid_argument("Partition: more than 65535 elements");
+  auto& parent = scratch_u32(2, n, 0);
+  std::iota(parent.begin(), parent.end(), std::uint32_t{0});
   for (const auto& b : blocks) {
     for (std::size_t i = 1; i < b.size(); ++i) {
       if (b[0] >= n || b[i] >= n) throw std::out_of_range("Partition::from_blocks");
-      uf.unite(b[0], b[i]);
+      uf_unite(parent.data(), static_cast<std::uint32_t>(b[0]),
+               static_cast<std::uint32_t>(b[i]));
     }
   }
-  return from_labels(uf.labels());
+  for (std::size_t i = 0; i < n; ++i)
+    parent[i] = uf_find(parent.data(), static_cast<std::uint32_t>(i));
+  return from_labels(parent.data(), n);
 }
 
 Partition Partition::from_pairs(
     std::size_t n, const std::vector<std::pair<std::size_t, std::size_t>>& pairs) {
-  UnionFind uf(n);
+  if (n > kMaxElements)
+    throw std::invalid_argument("Partition: more than 65535 elements");
+  auto& parent = scratch_u32(2, n, 0);
+  std::iota(parent.begin(), parent.end(), std::uint32_t{0});
   for (auto [a, b] : pairs) {
     if (a >= n || b >= n) throw std::out_of_range("Partition::from_pairs");
-    uf.unite(a, b);
+    uf_unite(parent.data(), static_cast<std::uint32_t>(a),
+             static_cast<std::uint32_t>(b));
   }
-  return from_labels(uf.labels());
+  for (std::size_t i = 0; i < n; ++i)
+    parent[i] = uf_find(parent.data(), static_cast<std::uint32_t>(i));
+  return from_labels(parent.data(), n);
 }
 
 std::vector<std::vector<std::size_t>> Partition::blocks() const {
   std::vector<std::vector<std::size_t>> out(num_blocks_);
-  for (std::size_t x = 0; x < labels_.size(); ++x) out[labels_[x]].push_back(x);
+  const Label* l = data();
+  for (std::size_t x = 0; x < size_; ++x) out[l[x]].push_back(x);
   return out;
 }
 
 bool Partition::refines(const Partition& other) const {
-  if (other.size() != size()) throw std::invalid_argument("Partition size mismatch");
+  if (other.size_ != size_) throw std::invalid_argument("Partition size mismatch");
   // p <= q iff elements sharing a p-block share a q-block. Since labels are
   // canonical it suffices to check one representative pair per adjacency:
   // map each p-block to the q-label of its first member.
-  std::vector<std::size_t> rep(num_blocks_, SIZE_MAX);
-  for (std::size_t x = 0; x < labels_.size(); ++x) {
-    const std::size_t b = labels_[x];
-    if (rep[b] == SIZE_MAX) {
-      rep[b] = other.labels_[x];
-    } else if (rep[b] != other.labels_[x]) {
+  auto& rep = scratch_u32(0, num_blocks_, kUnseen32);
+  const Label* l = data();
+  const Label* ol = other.data();
+  for (std::uint32_t x = 0; x < size_; ++x) {
+    std::uint32_t& r = rep[l[x]];
+    if (r == kUnseen32) {
+      r = ol[x];
+    } else if (r != ol[x]) {
       return false;
     }
   }
@@ -106,50 +231,51 @@ bool Partition::refines(const Partition& other) const {
 }
 
 Partition Partition::meet(const Partition& other) const {
-  if (other.size() != size()) throw std::invalid_argument("Partition size mismatch");
+  if (other.size_ != size_) throw std::invalid_argument("Partition size mismatch");
   // Blocks of the meet are nonempty intersections of blocks; label each
   // element by the pair (label, other.label) and normalize.
-  std::vector<std::size_t> labels(size());
-  const std::size_t stride = other.num_blocks_ == 0 ? 1 : other.num_blocks_;
-  for (std::size_t x = 0; x < size(); ++x)
-    labels[x] = labels_[x] * stride + other.labels_[x];
-  return from_labels(labels);
+  auto& composite = scratch_u64(size_);
+  const Label* l = data();
+  const Label* ol = other.data();
+  const std::uint64_t stride = other.num_blocks_ == 0 ? 1 : other.num_blocks_;
+  for (std::uint32_t x = 0; x < size_; ++x)
+    composite[x] = static_cast<std::uint64_t>(l[x]) * stride + ol[x];
+  Partition p;
+  p.allocate(size_);
+  p.num_blocks_ = canonicalize(composite.data(), size_, p.data());
+  p.rehash();
+  return p;
 }
 
 Partition Partition::join(const Partition& other) const {
-  if (other.size() != size()) throw std::invalid_argument("Partition size mismatch");
+  if (other.size_ != size_) throw std::invalid_argument("Partition size mismatch");
   // Transitive closure of the union: unite each element with the first
   // representative of both its blocks.
-  std::vector<std::pair<std::size_t, std::size_t>> pairs;
-  std::vector<std::size_t> first_a(num_blocks_, SIZE_MAX);
-  std::vector<std::size_t> first_b(other.num_blocks_, SIZE_MAX);
-  for (std::size_t x = 0; x < size(); ++x) {
-    auto& fa = first_a[labels_[x]];
-    if (fa == SIZE_MAX) {
+  auto& parent = scratch_u32(2, size_, 0);
+  std::iota(parent.begin(), parent.end(), std::uint32_t{0});
+  auto& first_a = scratch_u32(0, num_blocks_, kUnseen32);
+  auto& first_b = scratch_u32(1, other.num_blocks_, kUnseen32);
+  const Label* l = data();
+  const Label* ol = other.data();
+  for (std::uint32_t x = 0; x < size_; ++x) {
+    std::uint32_t& fa = first_a[l[x]];
+    if (fa == kUnseen32) {
       fa = x;
     } else {
-      pairs.emplace_back(fa, x);
+      uf_unite(parent.data(), fa, x);
     }
-    auto& fb = first_b[other.labels_[x]];
-    if (fb == SIZE_MAX) {
+    std::uint32_t& fb = first_b[ol[x]];
+    if (fb == kUnseen32) {
       fb = x;
     } else {
-      pairs.emplace_back(fb, x);
+      uf_unite(parent.data(), fb, x);
     }
   }
-  return from_pairs(size(), pairs);
+  for (std::uint32_t x = 0; x < size_; ++x) parent[x] = uf_find(parent.data(), x);
+  return from_labels(parent.data(), size_);
 }
 
 std::size_t Partition::code_bits() const { return ceil_log2(num_blocks_); }
-
-std::size_t Partition::hash() const {
-  std::size_t h = 1469598103934665603ULL;
-  for (auto l : labels_) {
-    h ^= l;
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
 
 std::string Partition::to_string() const {
   std::string out;
@@ -162,20 +288,6 @@ std::string Partition::to_string() const {
     out += '}';
   }
   return out;
-}
-
-void Partition::normalize() {
-  std::vector<std::size_t> remap;
-  std::vector<std::size_t> seen;
-  for (auto& l : labels_) {
-    if (l >= seen.size()) seen.resize(l + 1, SIZE_MAX);
-    if (seen[l] == SIZE_MAX) {
-      seen[l] = remap.size();
-      remap.push_back(l);
-    }
-    l = seen[l];
-  }
-  num_blocks_ = remap.size();
 }
 
 std::size_t ceil_log2(std::size_t n) {

@@ -7,6 +7,14 @@
 // canonical normal form (blocks numbered by first occurrence), which makes
 // equality, hashing and the lattice operations cheap.
 //
+// Representation: block labels are packed std::uint16_t values (machines
+// beyond 65535 states are rejected), stored inline for up to
+// kInlineCapacity elements and on the heap beyond that. The FNV-1a hash of
+// the canonical labelling is computed once at normalization time and
+// cached, so hash-table lookups (PartitionStore interning, memo tables)
+// never rescan the labels. The meet/join/refines implementations reuse
+// thread-local scratch buffers and are allocation-free in steady state.
+//
 // Lattice conventions (matching Hartmanis & Stearns):
 //   * bottom  = identity relation (every element alone)   -- Partition::identity
 //   * top     = universal relation (one block)            -- Partition::universal
@@ -14,8 +22,10 @@
 //   * join    = transitive closure of the union
 //   * refines = subset ordering on relations: p.refines(q)  <=>  p <= q
 
+#include <algorithm>
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -23,7 +33,31 @@ namespace stc {
 
 class Partition {
  public:
+  /// Packed canonical block label of one element.
+  using Label = std::uint16_t;
+
+  /// Hard limit of the packed representation.
+  static constexpr std::size_t kMaxElements = 65535;
+
   Partition() = default;
+  ~Partition() { release(); }
+
+  Partition(const Partition& o) { copy_from(o); }
+  Partition(Partition&& o) noexcept { steal_from(o); }
+  Partition& operator=(const Partition& o) {
+    if (this != &o) {
+      release();
+      copy_from(o);
+    }
+    return *this;
+  }
+  Partition& operator=(Partition&& o) noexcept {
+    if (this != &o) {
+      release();
+      steal_from(o);
+    }
+    return *this;
+  }
 
   /// Identity relation on n elements: n singleton blocks.
   static Partition identity(std::size_t n);
@@ -38,6 +72,10 @@ class Partition {
   /// Build from an explicit block-id labelling (any labels; normalized).
   static Partition from_labels(const std::vector<std::size_t>& labels);
 
+  /// Build from a raw 32-bit labelling (any labels; normalized). This is
+  /// the allocation-free construction path used by the m/M operators.
+  static Partition from_labels(const std::uint32_t* labels, std::size_t n);
+
   /// Build from a list of blocks (unlisted elements become singletons).
   static Partition from_blocks(std::size_t n,
                                const std::vector<std::vector<std::size_t>>& blocks);
@@ -47,21 +85,24 @@ class Partition {
   static Partition from_pairs(std::size_t n,
                               const std::vector<std::pair<std::size_t, std::size_t>>& pairs);
 
-  std::size_t size() const { return labels_.size(); }          // #elements
+  std::size_t size() const { return size_; }                    // #elements
   std::size_t num_blocks() const { return num_blocks_; }        // #classes
 
   /// Canonical block id of element x (0-based, ordered by first occurrence).
-  std::size_t block_of(std::size_t x) const { return labels_[x]; }
+  std::size_t block_of(std::size_t x) const { return data()[x]; }
+
+  /// Raw canonical labelling (packed, read-only).
+  const Label* labels() const { return data(); }
 
   /// True iff x and y are in the same block.
   bool same_block(std::size_t x, std::size_t y) const {
-    return labels_[x] == labels_[y];
+    return data()[x] == data()[y];
   }
 
   /// Members of each block, in element order.
   std::vector<std::vector<std::size_t>> blocks() const;
 
-  bool is_identity() const { return num_blocks_ == size(); }
+  bool is_identity() const { return num_blocks_ == size_; }
   bool is_universal() const { return num_blocks_ <= 1; }
 
   /// Subset ordering on relations: *this <= other, i.e. every block of
@@ -78,22 +119,52 @@ class Partition {
   /// with the convention that 1 block still needs 0 bits.
   std::size_t code_bits() const;
 
-  bool operator==(const Partition& o) const { return labels_ == o.labels_; }
+  bool operator==(const Partition& o) const {
+    return size_ == o.size_ && hash_ == o.hash_ &&
+           std::memcmp(data(), o.data(), size_ * sizeof(Label)) == 0;
+  }
   bool operator!=(const Partition& o) const { return !(*this == o); }
 
   /// Strict-weak order so partitions can key std::map / sort.
-  bool operator<(const Partition& o) const { return labels_ < o.labels_; }
+  bool operator<(const Partition& o) const {
+    return std::lexicographical_compare(data(), data() + size_, o.data(),
+                                        o.data() + o.size_);
+  }
 
-  std::size_t hash() const;
+  /// Cached FNV-1a hash of the canonical labelling (computed once at
+  /// normalization time; O(1) per call).
+  std::size_t hash() const { return hash_; }
 
   /// Human-readable block list, e.g. "{0,1}{2,3}".
   std::string to_string() const;
 
  private:
-  void normalize();  // renumber labels by first occurrence, recount blocks
+  static constexpr std::size_t kInlineCapacity = 32;
+  static constexpr std::size_t kEmptyHash = 1469598103934665603ULL;
 
-  std::vector<std::size_t> labels_;
-  std::size_t num_blocks_ = 0;
+  Label* data() { return size_ <= kInlineCapacity ? inline_ : heap_; }
+  const Label* data() const { return size_ <= kInlineCapacity ? inline_ : heap_; }
+
+  /// Allocate storage for n elements (labels uninitialized).
+  void allocate(std::size_t n);
+  void release() {
+    if (size_ > kInlineCapacity) delete[] heap_;
+  }
+  void copy_from(const Partition& o);
+  void steal_from(Partition& o) noexcept;
+
+  /// Renumber already-canonical-range labels (< size_) by first occurrence,
+  /// recount blocks, recompute the cached hash.
+  void normalize_packed();
+  void rehash();
+
+  std::uint32_t size_ = 0;
+  std::uint32_t num_blocks_ = 0;
+  std::size_t hash_ = kEmptyHash;
+  union {
+    Label inline_[kInlineCapacity];
+    Label* heap_;
+  };
 };
 
 /// ceil(log2(n)) with ceil_log2(0) = ceil_log2(1) = 0.

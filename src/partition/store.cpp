@@ -1,0 +1,99 @@
+#include "partition/store.hpp"
+
+#include <stdexcept>
+
+#include "partition/pairs.hpp"
+
+namespace stc {
+
+PartitionId PartitionStore::intern(Partition p) {
+  const std::size_t h = p.hash();
+  auto [lo, hi] = index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it)
+    if (pool_[it->second] == p) return it->second;
+  const PartitionId id = static_cast<PartitionId>(pool_.size());
+  pool_.push_back(std::move(p));
+  index_.emplace(h, id);
+  m_memo_.push_back(kNoPartition);
+  M_memo_.push_back(kNoPartition);
+  return id;
+}
+
+PartitionId PartitionStore::join(PartitionId a, PartitionId b) {
+  ++stats_.join.lookups;
+  if (a == b) {
+    ++stats_.join.hits;
+    return a;
+  }
+  const std::uint64_t key = symmetric_key(a, b);
+  auto it = join_memo_.find(key);
+  if (it != join_memo_.end()) {
+    ++stats_.join.hits;
+    return it->second;
+  }
+  const PartitionId r = intern(pool_[a].join(pool_[b]));
+  join_memo_.emplace(key, r);
+  return r;
+}
+
+PartitionId PartitionStore::meet(PartitionId a, PartitionId b) {
+  ++stats_.meet.lookups;
+  if (a == b) {
+    ++stats_.meet.hits;
+    return a;
+  }
+  const std::uint64_t key = symmetric_key(a, b);
+  auto it = meet_memo_.find(key);
+  if (it != meet_memo_.end()) {
+    ++stats_.meet.hits;
+    return it->second;
+  }
+  const PartitionId r = intern(pool_[a].meet(pool_[b]));
+  meet_memo_.emplace(key, r);
+  return r;
+}
+
+bool PartitionStore::refines(PartitionId a, PartitionId b) {
+  ++stats_.refines.lookups;
+  if (a == b) {
+    ++stats_.refines.hits;
+    return true;
+  }
+  const std::uint64_t key = ordered_key(a, b);
+  auto it = refines_memo_.find(key);
+  if (it != refines_memo_.end()) {
+    ++stats_.refines.hits;
+    return it->second;
+  }
+  const bool r = pool_[a].refines(pool_[b]);
+  refines_memo_.emplace(key, r);
+  return r;
+}
+
+PartitionId PartitionStore::m_of(PartitionId pi) {
+  if (fsm_ == nullptr)
+    throw std::logic_error("PartitionStore::m_of: no machine bound");
+  ++stats_.m_op.lookups;
+  if (m_memo_[pi] != kNoPartition) {
+    ++stats_.m_op.hits;
+    return m_memo_[pi];
+  }
+  const PartitionId r = intern(m_operator(*fsm_, pool_[pi]));
+  m_memo_[pi] = r;  // intern may have grown m_memo_; pi stays valid
+  return r;
+}
+
+PartitionId PartitionStore::M_of(PartitionId tau) {
+  if (fsm_ == nullptr)
+    throw std::logic_error("PartitionStore::M_of: no machine bound");
+  ++stats_.M_op.lookups;
+  if (M_memo_[tau] != kNoPartition) {
+    ++stats_.M_op.hits;
+    return M_memo_[tau];
+  }
+  const PartitionId r = intern(M_operator(*fsm_, pool_[tau]));
+  M_memo_[tau] = r;
+  return r;
+}
+
+}  // namespace stc

@@ -47,7 +47,10 @@ StructureReport measure_structure(const ControllerStructure& cs,
 FlowResult run_flow(const MealyMachine& fsm, const FlowOptions& options) {
   fsm.validate();
   FlowResult res;
-  res.ostr = solve_ostr(fsm, options.ostr);
+  // One interner per machine: the OSTR search (and any later partition
+  // work on this machine) shares a single partition universe + memo set.
+  PartitionStore store(&fsm);
+  res.ostr = solve_ostr(fsm, options.ostr, store);
   res.realization = build_realization(fsm, res.ostr.best.pi, res.ostr.best.tau);
   res.verification = verify_realization(fsm, res.realization);
 

@@ -1,6 +1,5 @@
 #include "util/bitvec.hpp"
 
-#include <bit>
 #include <stdexcept>
 
 namespace stc {
@@ -57,7 +56,7 @@ void BitVec::flip(std::size_t i) { set(i, !get(i)); }
 
 std::size_t BitVec::count() const {
   std::size_t c = 0;
-  for (auto w : words_) c += static_cast<std::size_t>(std::popcount(w));
+  for (auto w : words_) c += static_cast<std::size_t>(popcount64(w));
   return c;
 }
 

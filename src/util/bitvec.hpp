@@ -9,6 +9,20 @@
 
 namespace stc {
 
+/// C++17-portable popcount (std::popcount is C++20).
+inline int popcount64(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_popcountll(x);
+#else
+  int c = 0;
+  while (x) {
+    x &= x - 1;
+    ++c;
+  }
+  return c;
+#endif
+}
+
 /// Fixed-length sequence of bits packed into 64-bit words.
 /// Index 0 is the least-significant bit of word 0.
 class BitVec {

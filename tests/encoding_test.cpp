@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include <bit>
+#include "util/bitvec.hpp"
 
 #include "encoding/encoded_fsm.hpp"
 #include "fsm/generate.hpp"
@@ -21,14 +21,44 @@ TEST(Encoding, GrayAdjacentCodesDifferInOneBit) {
   const Encoding e = gray_encoding(8);
   EXPECT_TRUE(e.valid());
   for (std::size_t k = 1; k < 8; ++k)
-    EXPECT_EQ(std::popcount(e.codes[k] ^ e.codes[k - 1]), 1) << k;
+    EXPECT_EQ(popcount64(e.codes[k] ^ e.codes[k - 1]), 1) << k;
+}
+
+TEST(Encoding, PairEncodingConcatenatesBlockCodes) {
+  // The Figure-6 pair of the paper's example: pi = {0,1}{2,3},
+  // tau = {0,3}{1,2}; codes are (pi-block << 1) | tau-block.
+  const auto pi = Partition::from_blocks(4, {{0, 1}, {2, 3}});
+  const auto tau = Partition::from_blocks(4, {{0, 3}, {1, 2}});
+  const Encoding e = pair_encoding(pi, tau);
+  EXPECT_EQ(e.width, 2u);
+  EXPECT_TRUE(e.valid());
+  EXPECT_EQ(e.code_of(0), 0b00u);
+  EXPECT_EQ(e.code_of(1), 0b01u);
+  EXPECT_EQ(e.code_of(2), 0b11u);
+  EXPECT_EQ(e.code_of(3), 0b10u);
+}
+
+TEST(Encoding, PairEncodingRejectsNonSeparatingPairs) {
+  // meet = {0,1}{2,3} != identity: states 0 and 1 would share a code.
+  const auto pi = Partition::from_blocks(4, {{0, 1}, {2, 3}});
+  EXPECT_THROW(pair_encoding(pi, pi), std::invalid_argument);
+  EXPECT_THROW(pair_encoding(pi, Partition::identity(3)), std::invalid_argument);
+}
+
+TEST(Encoding, PairEncodingIdentityFactorsKeepMinimumWidth) {
+  // A universal factor still gets one bit so the register is realizable.
+  const auto id = Partition::identity(4);
+  const auto uni = Partition::universal(4);
+  const Encoding e = pair_encoding(id, uni);
+  EXPECT_EQ(e.width, 3u);  // 2 bits for pi, forced 1 bit for tau
+  EXPECT_TRUE(e.valid());
 }
 
 TEST(Encoding, OneHotShape) {
   const Encoding e = one_hot_encoding(6);
   EXPECT_EQ(e.width, 6u);
   EXPECT_TRUE(e.valid());
-  for (auto c : e.codes) EXPECT_EQ(std::popcount(c), 1);
+  for (auto c : e.codes) EXPECT_EQ(popcount64(c), 1);
   EXPECT_THROW(one_hot_encoding(65), std::invalid_argument);
 }
 

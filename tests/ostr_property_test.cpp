@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "benchdata/iwls93.hpp"
 #include "fsm/generate.hpp"
 #include "fsm/minimize.hpp"
 #include "fsm/simulate.hpp"
@@ -218,6 +219,86 @@ TEST(OstrDeterminism, SameInputSameResult) {
   EXPECT_EQ(a.best.pi, b.best.pi);
   EXPECT_EQ(a.best.tau, b.best.tau);
   EXPECT_EQ(a.stats.nodes_investigated, b.stats.nodes_investigated);
+}
+
+TEST(OstrDeterminism, ExternalStoreGivesSameResult) {
+  const MealyMachine m = random_mealy(43, 7, 2, 2);
+  const OstrResult a = solve_ostr(m);
+  PartitionStore store(&m);
+  const OstrResult b = solve_ostr(m, {}, store);
+  // Reusing a warm store must not change anything either.
+  const OstrResult c = solve_ostr(m, {}, store);
+  EXPECT_EQ(a.best.pi, b.best.pi);
+  EXPECT_EQ(a.best.tau, b.best.tau);
+  EXPECT_EQ(a.best.pi, c.best.pi);
+  EXPECT_EQ(a.stats.nodes_investigated, c.stats.nodes_investigated);
+  EXPECT_GT(store.size(), 0u);
+}
+
+TEST(OstrDeterminism, StoreBoundToWrongMachineThrows) {
+  const MealyMachine a = random_mealy(1, 5, 2, 2);
+  const MealyMachine b = random_mealy(2, 5, 2, 2);
+  PartitionStore store(&a);
+  EXPECT_THROW(solve_ostr(b, {}, store), std::invalid_argument);
+}
+
+TEST(OstrDeterminism, CacheStatsAreReported) {
+  const MealyMachine m = random_mealy(44, 8, 2, 2);
+  const OstrResult res = solve_ostr(m);
+  // The iterative engine funnels every lattice step through the store, so
+  // a non-trivial search must show memo traffic and real hits.
+  EXPECT_GT(res.stats.cache.interned, 0u);
+  EXPECT_GT(res.stats.cache.join.lookups, 0u);
+  EXPECT_GT(res.stats.cache.m_op.hits, 0u);
+}
+
+// --- multi-threaded fan-out ----------------------------------------------------
+
+TEST(OstrThreads, RandomMachinesMatchSingleThreadCost) {
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    const MealyMachine m = random_mealy(seed + 500, 8, 2, 2);
+    OstrOptions single;
+    const OstrResult a = solve_ostr(m, single);
+    for (std::size_t threads : {2, 4}) {
+      OstrOptions multi;
+      multi.num_threads = threads;
+      const OstrResult b = solve_ostr(m, multi);
+      EXPECT_EQ(a.best.flipflops, b.best.flipflops)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_EQ(a.best.balance, b.best.balance)
+          << "seed " << seed << " threads " << threads;
+      EXPECT_TRUE(is_symmetric_pair(m, b.best.pi, b.best.tau));
+    }
+  }
+}
+
+TEST(OstrThreads, CorpusMachinesMatchSingleThreadCost) {
+  // Acceptance gate of the interner PR: criteria (i) and (ii) of the best
+  // solution must be bit-identical across thread counts on every bundled
+  // machine, including budget-bound ones (per-task quotas and the merge
+  // are deterministic by construction).
+  for (const auto& name : benchmark_names()) {
+    const MealyMachine m = load_benchmark(name);
+    OstrOptions opts;
+    opts.max_nodes = 10000;
+    const OstrResult a = solve_ostr(m, opts);
+    OstrOptions multi = opts;
+    multi.num_threads = 4;
+    const OstrResult b = solve_ostr(m, multi);
+    EXPECT_EQ(a.best.flipflops, b.best.flipflops) << name;
+    EXPECT_EQ(a.best.balance, b.best.balance) << name;
+    EXPECT_TRUE(is_symmetric_pair(m, b.best.pi, b.best.tau)) << name;
+  }
+}
+
+TEST(OstrThreads, BudgetedParallelSolveStaysValid) {
+  const MealyMachine m = load_benchmark("dk16");
+  OstrOptions opts;
+  opts.max_nodes = 1000;
+  opts.num_threads = 4;
+  const OstrResult res = solve_ostr(m, opts);
+  EXPECT_TRUE(is_symmetric_pair(m, res.best.pi, res.best.tau));
+  EXPECT_LE(res.best.flipflops, 2 * ceil_log2(m.num_states()));
 }
 
 }  // namespace

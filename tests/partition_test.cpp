@@ -174,6 +174,57 @@ TEST(Partition, HashDistinguishes) {
   EXPECT_EQ(a.hash(), Partition::from_blocks(4, {{1, 0}}).hash());
 }
 
+TEST(Partition, HashAgreesAcrossConstructionPaths) {
+  // Regression for the cached-hash refactor: every construction path must
+  // normalize to the same canonical labelling and therefore the same
+  // cached hash. {0,2}{1,3}{4} built five different ways:
+  const auto a = Partition::from_labels({7, 9, 7, 9, 3});
+  const auto b = Partition::from_blocks(5, {{2, 0}, {3, 1}});
+  const auto c = Partition::from_pairs(5, {{0, 2}, {1, 3}});
+  const auto d =
+      Partition::pair_relation(5, 0, 2).join(Partition::pair_relation(5, 1, 3));
+  const std::vector<std::uint32_t> raw = {4, 0, 4, 0, 2};
+  const auto e = Partition::from_labels(raw.data(), raw.size());
+  for (const auto* p : {&b, &c, &d, &e}) {
+    EXPECT_EQ(a, *p);
+    EXPECT_EQ(a.hash(), p->hash());
+  }
+  // Copies and moves carry the cached hash.
+  Partition copy = a;
+  EXPECT_EQ(copy.hash(), a.hash());
+  Partition moved = std::move(copy);
+  EXPECT_EQ(moved.hash(), a.hash());
+}
+
+TEST(Partition, HashIsStableAcrossCalls) {
+  // The hash is computed once at normalization time; repeated calls must
+  // return the identical cached value.
+  const auto p = Partition::from_blocks(40, {{0, 1, 2}, {10, 20, 30}});
+  const std::size_t h = p.hash();
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(p.hash(), h);
+}
+
+TEST(Partition, HeapSizedPartitionsBehaveLikeInline) {
+  // 100 elements exceeds the small-buffer capacity; the packed heap path
+  // must agree with the inline path on all operations.
+  const std::size_t n = 100;
+  auto p = Partition::pair_relation(n, 3, 97);
+  auto q = Partition::pair_relation(n, 97, 99);
+  EXPECT_EQ(p.num_blocks(), n - 1);
+  auto j = p.join(q);
+  EXPECT_TRUE(j.same_block(3, 99));
+  EXPECT_TRUE(p.refines(j));
+  EXPECT_EQ(p.meet(q), Partition::identity(n));
+  auto copy = j;
+  EXPECT_EQ(copy, j);
+  EXPECT_EQ(copy.hash(), j.hash());
+}
+
+TEST(Partition, RejectsMoreThanMaxElements) {
+  std::vector<std::size_t> labels(Partition::kMaxElements + 1, 0);
+  EXPECT_THROW(Partition::from_labels(labels), std::invalid_argument);
+}
+
 TEST(Partition, OutOfRangeThrows) {
   EXPECT_THROW(Partition::pair_relation(3, 0, 3), std::out_of_range);
   EXPECT_THROW(Partition::from_pairs(2, {{0, 5}}), std::out_of_range);

@@ -1,0 +1,133 @@
+// Property tests for the PartitionStore interner (src/partition/store.*):
+// interned operator results must be identical to the direct Partition /
+// pairs operators across randomly generated machines, ids must be stable
+// and canonical, and the memo tables must actually hit.
+
+#include "partition/store.hpp"
+
+#include <gtest/gtest.h>
+
+#include "fsm/generate.hpp"
+#include "partition/lattice.hpp"
+#include "partition/pairs.hpp"
+
+namespace stc {
+namespace {
+
+TEST(PartitionStore, InternDeduplicates) {
+  PartitionStore store;
+  const PartitionId a = store.intern(Partition::from_labels({0, 0, 1, 2}));
+  const PartitionId b = store.intern(Partition::from_labels({5, 5, 7, 9}));
+  const PartitionId c = store.intern(Partition::from_labels({0, 1, 1, 2}));
+  EXPECT_EQ(a, b);  // same canonical partition
+  EXPECT_NE(a, c);
+  EXPECT_EQ(store.size(), 2u);
+  EXPECT_EQ(store.get(a), Partition::from_blocks(4, {{0, 1}}));
+}
+
+TEST(PartitionStore, IdsAreDenseAndStable) {
+  PartitionStore store;
+  std::vector<PartitionId> ids;
+  for (std::size_t k = 0; k < 6; ++k)
+    ids.push_back(store.intern(Partition::pair_relation(8, 0, k + 1)));
+  for (std::size_t k = 0; k < 6; ++k) {
+    EXPECT_LT(ids[k], store.size());
+    EXPECT_EQ(store.intern(Partition::pair_relation(8, 0, k + 1)), ids[k]);
+  }
+}
+
+TEST(PartitionStore, OperatorsRequireMachine) {
+  PartitionStore store;  // no machine bound
+  const PartitionId a = store.intern(Partition::identity(4));
+  EXPECT_THROW(store.m_of(a), std::logic_error);
+  EXPECT_THROW(store.M_of(a), std::logic_error);
+}
+
+class StoreProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StoreProperty, InternedLatticeOpsMatchDirectOps) {
+  const MealyMachine m = random_mealy(GetParam(), 9, 2, 2);
+  PartitionStore store(&m);
+  // A diverse partition population: the Mm basis, pair relations, and
+  // partial joins thereof.
+  std::vector<Partition> pop = mm_basis(m);
+  pop.push_back(Partition::identity(m.num_states()));
+  pop.push_back(Partition::universal(m.num_states()));
+  for (std::size_t s = 0; s + 1 < m.num_states(); s += 2)
+    pop.push_back(Partition::pair_relation(m.num_states(), s, s + 1));
+  const std::size_t base_count = pop.size();
+  for (std::size_t i = 1; i < base_count; ++i)
+    pop.push_back(pop[i - 1].join(pop[i]));
+
+  std::vector<PartitionId> ids;
+  for (const auto& p : pop) ids.push_back(store.intern(p));
+
+  for (std::size_t i = 0; i < pop.size(); ++i) {
+    for (std::size_t j = 0; j < pop.size(); ++j) {
+      EXPECT_EQ(store.get(store.join(ids[i], ids[j])), pop[i].join(pop[j]));
+      EXPECT_EQ(store.get(store.meet(ids[i], ids[j])), pop[i].meet(pop[j]));
+      EXPECT_EQ(store.refines(ids[i], ids[j]), pop[i].refines(pop[j]));
+    }
+    EXPECT_EQ(store.get(store.m_of(ids[i])), m_operator(m, pop[i]));
+    EXPECT_EQ(store.get(store.M_of(ids[i])), M_operator(m, pop[i]));
+    for (std::size_t j = 0; j < pop.size(); ++j)
+      EXPECT_EQ(store.is_pair(ids[i], ids[j]),
+                is_partition_pair(m, pop[i], pop[j]));
+  }
+}
+
+TEST_P(StoreProperty, MemoizationHitsOnRepeatedQueries) {
+  const MealyMachine m = random_mealy(GetParam() + 50, 7, 2, 2);
+  PartitionStore store(&m);
+  const auto basis = mm_basis(m);
+  std::vector<PartitionId> ids;
+  for (const auto& p : basis) ids.push_back(store.intern(p));
+  ASSERT_GE(ids.size(), 2u);
+
+  const PartitionId j1 = store.join(ids[0], ids[1]);
+  const auto before = store.stats();
+  const PartitionId j2 = store.join(ids[0], ids[1]);
+  const PartitionId j3 = store.join(ids[1], ids[0]);  // symmetric key
+  const auto after = store.stats();
+  EXPECT_EQ(j1, j2);
+  EXPECT_EQ(j1, j3);
+  EXPECT_EQ(after.join.hits - before.join.hits, 2u);
+
+  store.m_of(ids[0]);
+  const auto b2 = store.stats();
+  store.m_of(ids[0]);
+  EXPECT_EQ(store.stats().m_op.hits - b2.m_op.hits, 1u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreProperty,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+// --- store-backed lattice enumeration matches the store-less one -------------
+
+TEST(StoreLattice, EnumerationsMatchStoreLessOverloads) {
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    const MealyMachine m = random_mealy(seed, 6, 2, 2);
+    PartitionStore store(&m);
+    const auto mm_a = enumerate_mm_lattice(m);
+    const auto mm_b = enumerate_mm_lattice(m, store);
+    ASSERT_EQ(mm_a.size(), mm_b.size()) << "seed " << seed;
+    for (std::size_t i = 0; i < mm_a.size(); ++i) {
+      EXPECT_EQ(mm_a[i].pi, mm_b[i].pi);
+      EXPECT_EQ(mm_a[i].tau, mm_b[i].tau);
+    }
+    const auto sp_a = enumerate_sp_lattice(m);
+    const auto sp_b = enumerate_sp_lattice(m, store);
+    EXPECT_EQ(sp_a, sp_b) << "seed " << seed;
+  }
+}
+
+TEST(StoreLattice, StoreBoundToWrongMachineThrows) {
+  const MealyMachine a = random_mealy(1, 5, 2, 2);
+  const MealyMachine b = random_mealy(2, 5, 2, 2);
+  PartitionStore store(&a);
+  EXPECT_THROW(enumerate_mm_lattice(b, store), std::invalid_argument);
+  EXPECT_THROW(enumerate_sp_lattice(b, store), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace stc
