@@ -1,10 +1,16 @@
-// Fault-simulation throughput (google-benchmark): cost of a full serial
-// stuck-at campaign on the pipeline structure, and of a single self-test
-// session, as a function of test length.
+// Fault-simulation throughput (google-benchmark): serial stuck-at
+// campaigns vs the bit-parallel (PPSFP) engine on the pipeline structure,
+// single-session cost as a function of test length, and the compiled
+// 64-lane evaluator against the scalar interpreter.
+//
+// The headline comparison is BM_FullFaultCampaign (one self-test run per
+// fault) against BM_CampaignBitParallel (63 faults per run on uint64_t
+// lanes + structural collapsing): the acceptance bar is >= 20x on dk27.
 
 #include <benchmark/benchmark.h>
 
 #include "benchdata/iwls93.hpp"
+#include "netlist/eval64.hpp"
 #include "synth/flow.hpp"
 
 namespace {
@@ -18,6 +24,11 @@ ControllerStructure pipeline_for(const char* name) {
   return build_fig4(m, real);
 }
 
+ControllerStructure fig1_for(const char* name) {
+  const MealyMachine m = load_benchmark(name);
+  return build_fig1(encode_fsm(m, natural_encoding(m.num_states())));
+}
+
 void BM_SelfTestSession(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("dk27");
   const std::size_t cycles = static_cast<std::size_t>(state.range(0));
@@ -29,6 +40,8 @@ void BM_SelfTestSession(benchmark::State& state) {
                           static_cast<std::int64_t>(2 * cycles));
 }
 BENCHMARK(BM_SelfTestSession)->Arg(64)->Arg(256)->Arg(1024);
+
+// --- full campaigns: serial oracle vs bit-parallel engine --------------------
 
 void BM_FullFaultCampaign(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("dk27");
@@ -44,18 +57,101 @@ void BM_FullFaultCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFaultCampaign);
 
+void BM_CampaignBitParallel(benchmark::State& state) {
+  static const ControllerStructure cs = pipeline_for("dk27");
+  CampaignOptions opt;
+  opt.num_threads = static_cast<std::size_t>(state.range(0));
+  CampaignResult res;
+  for (auto _ : state) {
+    res = run_fault_campaign(cs, SelfTestPlan::two_session(128), opt);
+    benchmark::DoNotOptimize(res.raw.detected);
+  }
+  state.counters["faults"] = static_cast<double>(res.raw.total);
+  state.counters["detected"] = static_cast<double>(res.raw.detected);
+  state.counters["classes"] = static_cast<double>(res.collapsed_total);
+  state.counters["session_runs"] = static_cast<double>(res.session_runs);
+}
+BENCHMARK(BM_CampaignBitParallel)->Arg(1)->Arg(2)->Arg(4);
+
+// The larger conventional structures stress the compiled evaluator with
+// thousands of nets; the serial variant is bounded to tbk to keep the
+// bench runnable (s1's serial campaign takes minutes).
+void BM_FullFaultCampaignTbkFig1(benchmark::State& state) {
+  static const ControllerStructure cs = fig1_for("tbk");
+  for (auto _ : state) {
+    const auto cov = measure_coverage(cs, SelfTestPlan::two_session(64));
+    benchmark::DoNotOptimize(cov.detected);
+  }
+}
+BENCHMARK(BM_FullFaultCampaignTbkFig1);
+
+void BM_CampaignBitParallelTbkFig1(benchmark::State& state) {
+  static const ControllerStructure cs = fig1_for("tbk");
+  CampaignOptions opt;
+  opt.num_threads = static_cast<std::size_t>(state.range(0));
+  CampaignResult res;
+  for (auto _ : state) {
+    res = run_fault_campaign(cs, SelfTestPlan::two_session(64), opt);
+    benchmark::DoNotOptimize(res.raw.detected);
+  }
+  state.counters["faults"] = static_cast<double>(res.raw.total);
+  state.counters["classes"] = static_cast<double>(res.collapsed_total);
+  state.counters["session_runs"] = static_cast<double>(res.session_runs);
+}
+BENCHMARK(BM_CampaignBitParallelTbkFig1)->Arg(1)->Arg(2)->Arg(4);
+
+// shiftreg: the other machine named by the acceptance bar.
+void BM_CampaignSerialShiftreg(benchmark::State& state) {
+  static const ControllerStructure cs = pipeline_for("shiftreg");
+  for (auto _ : state) {
+    const auto cov = measure_coverage(cs, SelfTestPlan::two_session(128));
+    benchmark::DoNotOptimize(cov.detected);
+  }
+}
+BENCHMARK(BM_CampaignSerialShiftreg);
+
+void BM_CampaignBitParallelShiftreg(benchmark::State& state) {
+  static const ControllerStructure cs = pipeline_for("shiftreg");
+  for (auto _ : state) {
+    const auto res = run_fault_campaign(cs, SelfTestPlan::two_session(128));
+    benchmark::DoNotOptimize(res.raw.detected);
+  }
+}
+BENCHMARK(BM_CampaignBitParallelShiftreg);
+
+// --- evaluator microbenchmarks ----------------------------------------------
+
 void BM_NetlistStep(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("shiftreg");
   auto st = cs.nl.initial_state();
   std::vector<bool> in(cs.nl.num_inputs(), false);
+  std::vector<bool> values, out;
   std::size_t k = 0;
   for (auto _ : state) {
     in[0] = (++k) & 1;
-    auto out = cs.nl.step(in, st);
+    cs.nl.step(in, st, values, out);
     benchmark::DoNotOptimize(out.size());
   }
 }
 BENCHMARK(BM_NetlistStep);
+
+void BM_CompiledEval64(benchmark::State& state) {
+  static const ControllerStructure cs = fig1_for("tbk");
+  const Netlist& nl = cs.nl;
+  CompiledNetlist cn(nl);
+  std::vector<std::uint64_t> in_lanes(nl.num_inputs(), 0);
+  std::vector<std::uint64_t> dff_lanes(nl.num_dffs(), 0);
+  std::vector<std::uint64_t> values(nl.num_nets());
+  std::size_t k = 0;
+  for (auto _ : state) {
+    in_lanes[0] = (++k) & 1 ? ~std::uint64_t{0} : 0;
+    cn.evaluate(in_lanes.data(), dff_lanes.data(), values.data());
+    benchmark::DoNotOptimize(values[nl.num_nets() - 1]);
+  }
+  // 64 machine copies per evaluation.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+}
+BENCHMARK(BM_CompiledEval64);
 
 }  // namespace
 

@@ -55,8 +55,8 @@ int main() {
     const ControllerStructure fig4 = build_fig4(m, real);
     std::printf("  cycles  coverage\n");
     for (std::size_t cycles : {4, 8, 16, 32, 64, 128, 256, 512}) {
-      const auto cov = measure_coverage(fig4, SelfTestPlan::two_session(cycles));
-      std::printf("  %6zu  %6.1f%%\n", cycles, cov.coverage() * 100.0);
+      const auto camp = run_fault_campaign(fig4, SelfTestPlan::two_session(cycles));
+      std::printf("  %6zu  %6.1f%%\n", cycles, camp.coverage() * 100.0);
     }
   }
   return 0;

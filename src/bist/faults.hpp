@@ -28,4 +28,23 @@ std::vector<Fault> enumerate_stuck_faults(const Netlist& nl);
 /// feedback lines from R to C when reproducing the paper's drawback (3)).
 std::vector<Fault> faults_on_nets(const std::vector<NetId>& nets);
 
+/// Structural fault collapsing: partition a fault list into equivalence
+/// classes whose members are guaranteed to produce identical behaviour at
+/// every observable net, so a campaign only needs to simulate one
+/// representative per class. Collapsing is *exact* (equivalence, not
+/// dominance): a fault on net `a` merges with a fault on the output of the
+/// single gate `g` it feeds only when `a` has exactly one structural reader
+/// (gate fanin or DFF D-pin) and is not itself a primary output. Rules:
+///   BUF: in sa-v  == out sa-v      NOT: in sa-v == out sa-!v
+///   AND: in sa-0  == out sa-0      OR:  in sa-1 == out sa-1
+/// (classes are the transitive closure, e.g. along buffer chains).
+struct CollapsedFaults {
+  std::vector<Fault> representatives;   // first list member of each class
+  std::vector<std::size_t> class_of;    // parallel to the input list:
+                                        // index into representatives
+  std::size_t num_classes() const { return representatives.size(); }
+};
+
+CollapsedFaults collapse_faults(const Netlist& nl, const std::vector<Fault>& faults);
+
 }  // namespace stc

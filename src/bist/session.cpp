@@ -1,8 +1,11 @@
 #include "bist/session.hpp"
 
+#include <algorithm>
 #include <stdexcept>
+#include <thread>
 
 #include "bist/lfsr.hpp"
+#include "netlist/eval64.hpp"
 
 namespace stc {
 
@@ -106,6 +109,60 @@ class Bank {
   Bilbo reg_;
 };
 
+/// Where each functional input / the test-mode pin sits in the netlist's
+/// primary-input slot order; computed once per run instead of the former
+/// O(|pi| * |slots|) scan every cycle.
+struct PinMap {
+  std::vector<std::size_t> pi_slot;
+  std::size_t test_slot = SIZE_MAX;
+};
+
+PinMap map_pins(const ControllerStructure& cs) {
+  PinMap pm;
+  const std::vector<NetId>& slots = cs.nl.inputs();
+  pm.pi_slot.reserve(cs.pi.size());
+  for (NetId net : cs.pi) {
+    std::size_t found = SIZE_MAX;
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      if (slots[k] == net) {
+        found = k;
+        break;
+      }
+    if (found == SIZE_MAX)
+      throw std::logic_error("session: pi net is not a primary input");
+    pm.pi_slot.push_back(found);
+  }
+  if (cs.test_mode != kNoNet)
+    for (std::size_t k = 0; k < slots.size(); ++k)
+      if (slots[k] == cs.test_mode) {
+        pm.test_slot = k;
+        break;
+      }
+  return pm;
+}
+
+/// Compact the observed primary outputs into the MISR in width-sized
+/// chunks so *every* output bit influences the signature. (The former
+/// single-absorb path silently discarded outputs beyond the MISR width
+/// and beyond bit 63.) For machines with <= width observed outputs this
+/// performs exactly one absorb per cycle with the same value as before.
+void absorb_outputs(Misr& misr, const std::vector<bool>& values,
+                    const std::vector<NetId>& po) {
+  const std::size_t w = misr.width();
+  std::uint64_t chunk = 0;
+  std::size_t j = 0, absorbed = 0;
+  for (NetId net : po) {
+    if (values[net]) chunk |= std::uint64_t{1} << j;
+    if (++j == w) {
+      misr.absorb(chunk);
+      chunk = 0;
+      j = 0;
+      ++absorbed;
+    }
+  }
+  if (j > 0 || absorbed == 0) misr.absorb(chunk);
+}
+
 }  // namespace
 
 Signatures run_self_test(const ControllerStructure& cs, const SelfTestPlan& plan,
@@ -114,9 +171,12 @@ Signatures run_self_test(const ControllerStructure& cs, const SelfTestPlan& plan
   if (!nl.finalized()) throw std::logic_error("run_self_test: netlist not finalized");
   const NetId fnet = fault ? fault->net : kNoNet;
   const bool fval = fault ? fault->stuck_value : false;
+  const PinMap pins = map_pins(cs);
 
   Signatures sigs;
   Misr out_misr(plan.output_misr_width);
+  std::vector<bool> in(nl.num_inputs(), false);
+  std::vector<bool> values;  // scratch reused across cycles and sessions
 
   for (const SessionSpec& spec : plan.sessions) {
     Bank bank_a(nl, cs.reg_a, spec.role_a, spec.gen_seed);
@@ -126,29 +186,18 @@ Signatures run_self_test(const ControllerStructure& cs, const SelfTestPlan& plan
     Lfsr input_gen(std::max<std::size_t>(8, cs.pi.size()), spec.input_seed);
 
     Netlist::SimState state = nl.initial_state();
-    std::vector<bool> values;
     for (std::size_t cycle = 0; cycle < spec.cycles; ++cycle) {
       // Drive primary inputs from the input LFSR; assert test_mode.
-      std::vector<bool> in(nl.num_inputs(), false);
-      for (std::size_t k = 0; k < cs.pi.size(); ++k) {
-        // cs.pi holds net ids; map to the input slot order.
-        for (std::size_t slot = 0; slot < nl.inputs().size(); ++slot)
-          if (nl.inputs()[slot] == cs.pi[k]) in[slot] = input_gen.bit(k);
-      }
-      if (cs.test_mode != kNoNet) {
-        for (std::size_t slot = 0; slot < nl.inputs().size(); ++slot)
-          if (nl.inputs()[slot] == cs.test_mode) in[slot] = true;
-      }
+      std::fill(in.begin(), in.end(), false);
+      for (std::size_t k = 0; k < cs.pi.size(); ++k)
+        in[pins.pi_slot[k]] = input_gen.bit(k);
+      if (pins.test_slot != SIZE_MAX) in[pins.test_slot] = true;
 
       bank_a.deposit(state);
       bank_b.deposit(state);
       nl.evaluate(in, state, values, fnet, fval);
 
-      // Output compaction.
-      std::uint64_t po = 0;
-      for (std::size_t k = 0; k < cs.po.size() && k < 64; ++k)
-        if (values[cs.po[k]]) po |= std::uint64_t{1} << k;
-      out_misr.absorb(po);
+      absorb_outputs(out_misr, values, cs.po);
 
       bank_a.clock(values);
       bank_b.clock(values);
@@ -182,6 +231,278 @@ CoverageResult measure_coverage(const ControllerStructure& cs, const SelfTestPla
   return res;
 }
 
+// --- bit-parallel engine -----------------------------------------------------
+
+namespace {
+
+/// Lanes whose signature bits differ from lane 0, as a bit mask: for each
+/// bit word, lane 0's value is broadcast and XOR-compared per lane.
+std::uint64_t lanes_differing_from_lane0(const std::vector<std::uint64_t>& bits) {
+  std::uint64_t diff = 0;
+  for (const std::uint64_t w : bits) diff |= (w & 1) ? ~w : w;
+  return diff;
+}
+
+/// Lane-sliced register bank: bit k of the bank is a uint64_t word holding
+/// that bit's value in all 64 lanes. All BILBO modes are linear bitwise
+/// operations per bit, so the lane evolution is the scalar Bilbo recurrence
+/// applied word-wise — including the per-clock escape from the all-zero
+/// LFSR fixed point and the 1-bit toggle special case.
+class LaneBank {
+ public:
+  LaneBank(const Netlist& nl, const std::vector<std::size_t>& idx, RegRole role,
+           std::uint64_t seed)
+      : idx_(&idx), role_(role), width_(idx.empty() ? 1 : idx.size()) {
+    taps_ = primitive_taps(width_);
+    bits_.assign(width_, 0);
+    d_.assign(width_, 0);
+    d_net_.assign(width_, kNoNet);
+    const std::uint64_t init =
+        role == RegRole::kGenerate ? (seed == 0 ? 1 : seed) : 0;
+    for (std::size_t k = 0; k < width_ && k < 64; ++k)
+      bits_[k] = ((init >> k) & 1) ? ~std::uint64_t{0} : 0;
+    for (std::size_t k = 0; k < idx.size(); ++k)
+      d_net_[k] = nl.gate(nl.dffs()[idx[k]]).fanins[0];
+  }
+
+  bool empty() const { return idx_->empty(); }
+
+  void deposit(std::uint64_t* dff_lanes) const {
+    for (std::size_t k = 0; k < idx_->size(); ++k) dff_lanes[(*idx_)[k]] = bits_[k];
+  }
+
+  void clock(const std::uint64_t* values) {
+    for (std::size_t k = 0; k < width_; ++k)
+      d_[k] = d_net_[k] == kNoNet ? 0 : values[d_net_[k]];
+    switch (role_) {
+      case RegRole::kGenerate: {
+        if (width_ == 1) {
+          bits_[0] = ~bits_[0];  // 1-bit LFSR degenerates to a toggle
+          break;
+        }
+        std::uint64_t nonzero = 0;
+        for (std::size_t k = 0; k < width_; ++k) nonzero |= bits_[k];
+        bits_[0] |= ~nonzero;  // lanes at the all-zero fixed point -> 1
+        const std::uint64_t fb = feedback();
+        for (std::size_t k = width_; k-- > 1;) bits_[k] = bits_[k - 1];
+        bits_[0] = fb;
+        break;
+      }
+      case RegRole::kCompress: {
+        const std::uint64_t fb = feedback();
+        for (std::size_t k = width_; k-- > 1;) bits_[k] = bits_[k - 1] ^ d_[k];
+        bits_[0] = fb ^ d_[0];
+        break;
+      }
+      case RegRole::kSystem:
+        for (std::size_t k = 0; k < width_; ++k) bits_[k] = d_[k];
+        break;
+      case RegRole::kHold:
+        break;
+    }
+  }
+
+  /// OR into `diff` the lanes whose bank contents differ from lane 0.
+  void accumulate_diff(std::uint64_t& diff) const {
+    diff |= lanes_differing_from_lane0(bits_);
+  }
+
+ private:
+  std::uint64_t feedback() const {
+    std::uint64_t fb = 0;
+    for (unsigned t : taps_) fb ^= bits_[t - 1];
+    return fb;
+  }
+
+  const std::vector<std::size_t>* idx_;
+  RegRole role_;
+  std::size_t width_;
+  std::vector<unsigned> taps_;
+  std::vector<std::uint64_t> bits_;
+  std::vector<std::uint64_t> d_;
+  std::vector<NetId> d_net_;
+};
+
+/// Lane-sliced output MISR with the same chunked compaction as
+/// absorb_outputs above.
+class LaneMisr {
+ public:
+  explicit LaneMisr(std::size_t width) : width_(width) {
+    taps_ = primitive_taps(width_);
+    bits_.assign(width_, 0);
+    chunk_.assign(width_, 0);
+  }
+
+  void absorb_outputs(const std::uint64_t* values, const std::vector<NetId>& po) {
+    std::size_t j = 0, absorbed = 0;
+    for (NetId net : po) {
+      chunk_[j] = values[net];
+      if (++j == width_) {
+        absorb(j);
+        j = 0;
+        ++absorbed;
+      }
+    }
+    if (j > 0 || absorbed == 0) absorb(j);
+  }
+
+  void accumulate_diff(std::uint64_t& diff) const {
+    diff |= lanes_differing_from_lane0(bits_);
+  }
+
+ private:
+  /// state <- ((state << 1) | feedback) ^ chunk, word-wise per bit; chunk
+  /// positions >= n absorb 0 (matching the masked scalar absorb).
+  void absorb(std::size_t n) {
+    std::uint64_t fb = 0;
+    for (unsigned t : taps_) fb ^= bits_[t - 1];
+    for (std::size_t k = width_; k-- > 1;) bits_[k] = bits_[k - 1] ^ (k < n ? chunk_[k] : 0);
+    bits_[0] = fb ^ (n > 0 ? chunk_[0] : 0);
+  }
+
+  std::size_t width_;
+  std::vector<unsigned> taps_;
+  std::vector<std::uint64_t> bits_;
+  std::vector<std::uint64_t> chunk_;
+};
+
+/// One full self-test execution over 64 lanes; returns the set of lanes
+/// (as a bit mask, lane 0 excluded) whose final signatures differ from the
+/// fault-free lane 0 — i.e. the detected faults of this batch.
+std::uint64_t run_self_test_lanes(const ControllerStructure& cs,
+                                  const SelfTestPlan& plan, const PinMap& pins,
+                                  CompiledNetlist& cn,
+                                  const std::vector<LaneFault>& faults,
+                                  std::vector<std::uint64_t>& in_lanes,
+                                  std::vector<std::uint64_t>& dff_lanes,
+                                  std::vector<std::uint64_t>& values) {
+  const Netlist& nl = cs.nl;
+  cn.set_faults(faults);
+  in_lanes.assign(nl.num_inputs(), 0);
+  dff_lanes.assign(nl.num_dffs(), 0);
+  values.assign(nl.num_nets(), 0);
+
+  LaneMisr out_misr(plan.output_misr_width);
+  std::uint64_t diff = 0;
+  const Netlist::SimState init = nl.initial_state();
+
+  for (const SessionSpec& spec : plan.sessions) {
+    LaneBank bank_a(nl, cs.reg_a, spec.role_a, spec.gen_seed);
+    LaneBank bank_b(nl, cs.reg_b, spec.role_b, spec.gen_seed * 3 + 1);
+    Lfsr input_gen(std::max<std::size_t>(8, cs.pi.size()), spec.input_seed);
+
+    for (std::size_t k = 0; k < dff_lanes.size(); ++k)
+      dff_lanes[k] = init.dff[k] ? ~std::uint64_t{0} : 0;
+
+    for (std::size_t cycle = 0; cycle < spec.cycles; ++cycle) {
+      std::fill(in_lanes.begin(), in_lanes.end(), 0);
+      for (std::size_t k = 0; k < cs.pi.size(); ++k)
+        if (input_gen.bit(k)) in_lanes[pins.pi_slot[k]] = ~std::uint64_t{0};
+      if (pins.test_slot != SIZE_MAX) in_lanes[pins.test_slot] = ~std::uint64_t{0};
+
+      bank_a.deposit(dff_lanes.data());
+      bank_b.deposit(dff_lanes.data());
+      cn.evaluate(in_lanes.data(), dff_lanes.data(), values.data());
+
+      out_misr.absorb_outputs(values.data(), cs.po);
+
+      bank_a.clock(values.data());
+      bank_b.clock(values.data());
+      input_gen.step();
+    }
+
+    if (spec.role_a == RegRole::kCompress) bank_a.accumulate_diff(diff);
+    if (spec.role_b == RegRole::kCompress && !bank_b.empty())
+      bank_b.accumulate_diff(diff);
+  }
+  out_misr.accumulate_diff(diff);
+  cn.clear_faults();
+  return diff & ~std::uint64_t{1};
+}
+
+}  // namespace
+
+CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestPlan& plan,
+                                  const CampaignOptions& options,
+                                  std::optional<std::vector<Fault>> faults) {
+  const Netlist& nl = cs.nl;
+  if (!nl.finalized())
+    throw std::logic_error("run_fault_campaign: netlist not finalized");
+  const std::vector<Fault> list =
+      faults ? std::move(*faults) : enumerate_stuck_faults(nl);
+
+  CampaignResult res;
+  res.raw.total = list.size();
+
+  std::vector<Fault> reps;
+  std::vector<std::size_t> class_of;
+  if (options.collapse) {
+    CollapsedFaults cf = collapse_faults(nl, list);
+    reps = std::move(cf.representatives);
+    class_of = std::move(cf.class_of);
+  } else {
+    reps = list;
+    class_of.resize(list.size());
+    for (std::size_t i = 0; i < list.size(); ++i) class_of[i] = i;
+  }
+  res.collapsed_total = reps.size();
+
+  std::vector<char> rep_detected(reps.size(), 0);
+
+  if (!options.bit_parallel) {
+    const Signatures golden = run_self_test(cs, plan);
+    for (std::size_t i = 0; i < reps.size(); ++i)
+      rep_detected[i] = run_self_test(cs, plan, reps[i]) != golden ? 1 : 0;
+    res.session_runs = reps.size() + 1;
+  } else if (!reps.empty()) {
+    const PinMap pins = map_pins(cs);
+    const std::size_t num_batches = (reps.size() + 62) / 63;
+    res.session_runs = num_batches;
+    const std::size_t num_threads =
+        std::max<std::size_t>(1, std::min(options.num_threads, num_batches));
+
+    // Batch b covers reps [63b, 63b+63); worker w takes batches w, w+T, ...
+    // Workers write disjoint rep_detected ranges, so the result is
+    // identical for every thread count.
+    auto worker = [&](std::size_t w) {
+      CompiledNetlist cn(nl);
+      std::vector<std::uint64_t> in_lanes, dff_lanes, values;
+      std::vector<LaneFault> batch;
+      for (std::size_t b = w; b < num_batches; b += num_threads) {
+        const std::size_t begin = b * 63;
+        const std::size_t end = std::min(reps.size(), begin + 63);
+        batch.clear();
+        for (std::size_t i = begin; i < end; ++i)
+          batch.push_back({reps[i].net, reps[i].stuck_value,
+                           static_cast<unsigned>(i - begin + 1)});
+        const std::uint64_t diff = run_self_test_lanes(
+            cs, plan, pins, cn, batch, in_lanes, dff_lanes, values);
+        for (std::size_t i = begin; i < end; ++i)
+          if ((diff >> (i - begin + 1)) & 1) rep_detected[i] = 1;
+      }
+    };
+
+    if (num_threads == 1) {
+      worker(0);
+    } else {
+      std::vector<std::thread> pool;
+      pool.reserve(num_threads);
+      for (std::size_t w = 0; w < num_threads; ++w) pool.emplace_back(worker, w);
+      for (std::thread& t : pool) t.join();
+    }
+  }
+
+  for (std::size_t i = 0; i < list.size(); ++i) {
+    if (rep_detected[class_of[i]]) {
+      ++res.raw.detected;
+    } else {
+      res.raw.undetected.push_back(list[i]);
+    }
+  }
+  for (char d : rep_detected) res.collapsed_detected += d ? 1 : 0;
+  return res;
+}
+
 CoverageResult measure_functional_coverage(const ControllerStructure& cs,
                                            std::size_t cycles,
                                            std::optional<std::vector<Fault>> faults,
@@ -189,21 +510,24 @@ CoverageResult measure_functional_coverage(const ControllerStructure& cs,
   const Netlist& nl = cs.nl;
   const std::vector<Fault> list =
       faults ? std::move(*faults) : enumerate_stuck_faults(cs.nl);
+  const PinMap pins = map_pins(cs);
 
-  // Golden output trace.
+  // Golden output trace. Scratch buffers are hoisted so the per-cycle
+  // inner loop performs no heap allocation.
+  std::vector<bool> in(nl.num_inputs(), false);
+  std::vector<bool> values, outs;
   auto run_trace = [&](std::optional<Fault> fault) {
     const NetId fnet = fault ? fault->net : kNoNet;
     const bool fval = fault ? fault->stuck_value : false;
     Lfsr gen(std::max<std::size_t>(8, cs.pi.size()), seed);
     Netlist::SimState state = nl.initial_state();
     std::vector<bool> trace;
+    trace.reserve(cycles * nl.num_outputs());
     for (std::size_t cycle = 0; cycle < cycles; ++cycle) {
-      std::vector<bool> in(nl.num_inputs(), false);
-      for (std::size_t k = 0; k < cs.pi.size(); ++k)
-        for (std::size_t slot = 0; slot < nl.inputs().size(); ++slot)
-          if (nl.inputs()[slot] == cs.pi[k]) in[slot] = gen.bit(k);
+      std::fill(in.begin(), in.end(), false);
+      for (std::size_t k = 0; k < cs.pi.size(); ++k) in[pins.pi_slot[k]] = gen.bit(k);
       // test_mode (if any) stays 0: functional operation.
-      auto outs = nl.step(in, state, fnet, fval);
+      nl.step(in, state, values, outs, fnet, fval);
       trace.insert(trace.end(), outs.begin(), outs.end());
       gen.step();
     }

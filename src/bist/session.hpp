@@ -81,9 +81,51 @@ struct CoverageResult {
 };
 
 /// Serial fault simulation of the full single-stuck-at list (or a caller-
-/// supplied subset) under the plan.
+/// supplied subset) under the plan. One complete self-test run per fault:
+/// exact but slow; kept as the differential-testing oracle for the
+/// bit-parallel engine below.
 CoverageResult measure_coverage(const ControllerStructure& cs, const SelfTestPlan& plan,
                                 std::optional<std::vector<Fault>> faults = std::nullopt);
+
+/// --- bit-parallel campaign engine (PPSFP) -------------------------------
+///
+/// Simulates 63 faults per self-test run on uint64_t lanes of a compiled
+/// levelized netlist (lane 0 = fault-free reference), so a campaign costs
+/// ceil(F/63) runs instead of F+1. Detection is signature-exact: a lane is
+/// detected iff any final compacting-register or output-MISR signature
+/// differs from lane 0 — the same criterion as the serial oracle, so the
+/// detected-fault sets are identical by construction.
+
+struct CampaignOptions {
+  /// Fan fault batches across worker threads (mirrors
+  /// OstrOptions::num_threads). Results are identical for any value.
+  std::size_t num_threads = 1;
+  /// Structural fault collapsing: simulate one representative per
+  /// equivalence class (see collapse_faults) and expand the verdicts.
+  bool collapse = true;
+  /// When false, fall back to one serial self-test per simulated fault
+  /// (still honoring `collapse`); for differential testing.
+  bool bit_parallel = true;
+};
+
+struct CampaignResult {
+  CoverageResult raw;                  // over the full input fault list
+  std::size_t collapsed_total = 0;     // simulated equivalence classes
+  std::size_t collapsed_detected = 0;
+  std::size_t session_runs = 0;        // full self-test executions performed
+
+  double coverage() const { return raw.coverage(); }
+  double collapsed_coverage() const {
+    return collapsed_total == 0
+               ? 1.0
+               : static_cast<double>(collapsed_detected) /
+                     static_cast<double>(collapsed_total);
+  }
+};
+
+CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestPlan& plan,
+                                  const CampaignOptions& options = {},
+                                  std::optional<std::vector<Fault>> faults = std::nullopt);
 
 /// Functional (non-BIST) baseline: drive `cycles` LFSR input patterns in
 /// system mode and compare primary outputs cycle by cycle. This is what an

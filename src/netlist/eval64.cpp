@@ -1,0 +1,101 @@
+#include "netlist/eval64.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace stc {
+
+CompiledNetlist::CompiledNetlist(const Netlist& nl) {
+  if (!nl.finalized()) throw std::logic_error("CompiledNetlist: finalize() not called");
+  num_nets_ = nl.num_nets();
+  inputs_ = nl.inputs();
+  dffs_ = nl.dffs();
+  dff_d_.reserve(dffs_.size());
+  for (NetId q : dffs_) dff_d_.push_back(nl.gate(q).fanins[0]);
+
+  init_.assign(num_nets_, 0);
+  for (NetId id = 0; id < num_nets_; ++id)
+    if (nl.gate(id).type == GateType::kConst1) init_[id] = ~std::uint64_t{0};
+
+  const auto& order = nl.topo_order();
+  ops_.reserve(order.size());
+  for (NetId id : order) {
+    const Gate& g = nl.gate(id);
+    Op op;
+    op.type = g.type;
+    op.out = id;
+    op.fanin_begin = static_cast<std::uint32_t>(fanins_.size());
+    op.fanin_count = static_cast<std::uint32_t>(g.fanins.size());
+    fanins_.insert(fanins_.end(), g.fanins.begin(), g.fanins.end());
+    ops_.push_back(op);
+  }
+
+  and_mask_.assign(num_nets_, ~std::uint64_t{0});
+  or_mask_.assign(num_nets_, 0);
+}
+
+void CompiledNetlist::set_faults(const std::vector<LaneFault>& faults) {
+  clear_faults();
+  for (const LaneFault& f : faults) {
+    if (f.net >= num_nets_) throw std::out_of_range("set_faults: bad net");
+    if (f.lane == 0 || f.lane > 63)
+      throw std::invalid_argument("set_faults: lane must be in 1..63");
+    if (and_mask_[f.net] == ~std::uint64_t{0} && or_mask_[f.net] == 0)
+      dirty_.push_back(f.net);
+    if (f.stuck_value)
+      or_mask_[f.net] |= std::uint64_t{1} << f.lane;
+    else
+      and_mask_[f.net] &= ~(std::uint64_t{1} << f.lane);
+  }
+}
+
+void CompiledNetlist::clear_faults() {
+  for (NetId n : dirty_) {
+    and_mask_[n] = ~std::uint64_t{0};
+    or_mask_[n] = 0;
+  }
+  dirty_.clear();
+}
+
+void CompiledNetlist::evaluate(const std::uint64_t* input_lanes,
+                               const std::uint64_t* dff_lanes,
+                               std::uint64_t* values) const {
+  std::copy(init_.begin(), init_.end(), values);
+  for (std::size_t k = 0; k < inputs_.size(); ++k) values[inputs_[k]] = input_lanes[k];
+  for (std::size_t k = 0; k < dffs_.size(); ++k) values[dffs_[k]] = dff_lanes[k];
+  // Source nets (inputs, DFF outputs, consts) get their masks here; the op
+  // loop below re-applies masks to combinational nets after driving them.
+  for (NetId n : dirty_) values[n] = (values[n] & and_mask_[n]) | or_mask_[n];
+
+  const std::uint32_t* pool = fanins_.data();
+  for (const Op& op : ops_) {
+    const std::uint32_t* f = pool + op.fanin_begin;
+    std::uint64_t v;
+    switch (op.type) {
+      case GateType::kBuf:
+        v = values[f[0]];
+        break;
+      case GateType::kNot:
+        v = ~values[f[0]];
+        break;
+      case GateType::kAnd:
+        v = ~std::uint64_t{0};
+        for (std::uint32_t k = 0; k < op.fanin_count; ++k) v &= values[f[k]];
+        break;
+      case GateType::kOr:
+        v = 0;
+        for (std::uint32_t k = 0; k < op.fanin_count; ++k) v |= values[f[k]];
+        break;
+      case GateType::kXor:
+        v = 0;
+        for (std::uint32_t k = 0; k < op.fanin_count; ++k) v ^= values[f[k]];
+        break;
+      default:
+        v = 0;
+        break;
+    }
+    values[op.out] = (v & and_mask_[op.out]) | or_mask_[op.out];
+  }
+}
+
+}  // namespace stc

@@ -1,0 +1,77 @@
+#pragma once
+// Compiled bit-parallel netlist evaluator (PPSFP-style, 64 lanes).
+//
+// `CompiledNetlist` flattens a finalized Netlist into a levelized program:
+// one opcode record per combinational gate in topological order, with all
+// fanins in a single contiguous uint32_t pool (no per-gate std::vector
+// chasing in the hot loop). Evaluation operates on uint64_t words, one bit
+// per simulation lane, so a single pass computes 64 machine copies at
+// once. By convention lane 0 is the fault-free reference and lanes 1..63
+// carry one injected stuck-at fault each.
+//
+// Faults are injected with per-net AND/OR lane masks applied branchlessly
+// after every net is driven: sa-0 in lane l clears bit l of the net's
+// and-mask, sa-1 sets bit l of its or-mask. The masks default to the
+// identity (~0 / 0), so fault-free lanes are untouched.
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/netlist.hpp"
+
+namespace stc {
+
+/// A stuck-at fault pinned to one simulation lane (lane 0 is reserved for
+/// the fault-free reference).
+struct LaneFault {
+  NetId net = kNoNet;
+  bool stuck_value = false;
+  unsigned lane = 1;  // 1..63
+};
+
+class CompiledNetlist {
+ public:
+  /// Compiles the netlist; requires nl.finalize() to have been called.
+  explicit CompiledNetlist(const Netlist& nl);
+
+  std::size_t num_nets() const { return num_nets_; }
+  std::size_t num_inputs() const { return inputs_.size(); }
+  std::size_t num_dffs() const { return dffs_.size(); }
+
+  /// D-input net of flip-flop k (dffs() order), for clocking.
+  NetId dff_d(std::size_t k) const { return dff_d_[k]; }
+
+  /// Install the lane masks for a fault batch (at most 63 faults, lanes
+  /// 1..63). Replaces any previously installed batch.
+  void set_faults(const std::vector<LaneFault>& faults);
+  void clear_faults();
+
+  /// Evaluate all 64 lanes of the combinational logic.
+  ///   input_lanes: one word per primary-input slot, inputs() order;
+  ///   dff_lanes:   one word per flip-flop, dffs() order;
+  ///   values:      out, one word per net (size num_nets()).
+  /// Fault masks are applied to every net, including inputs/DFFs/consts.
+  void evaluate(const std::uint64_t* input_lanes, const std::uint64_t* dff_lanes,
+                std::uint64_t* values) const;
+
+ private:
+  struct Op {
+    GateType type;
+    std::uint32_t out;
+    std::uint32_t fanin_begin;
+    std::uint32_t fanin_count;
+  };
+
+  std::size_t num_nets_ = 0;
+  std::vector<NetId> inputs_;
+  std::vector<NetId> dffs_;
+  std::vector<NetId> dff_d_;
+  std::vector<Op> ops_;               // levelized combinational program
+  std::vector<std::uint32_t> fanins_; // flat fanin pool
+  std::vector<std::uint64_t> init_;   // template: consts pre-driven, rest 0
+  std::vector<std::uint64_t> and_mask_;
+  std::vector<std::uint64_t> or_mask_;
+  std::vector<NetId> dirty_;          // nets with non-identity masks
+};
+
+}  // namespace stc

@@ -176,8 +176,16 @@ void Netlist::evaluate(const std::vector<bool>& input_values, const SimState& st
   auto apply_fault = [&](NetId id) {
     if (id == forced_net) values[id] = forced_value;
   };
-  for (NetId in : inputs_) apply_fault(in);
-  for (NetId q : dffs_) apply_fault(q);
+  // Source nets (inputs, DFF outputs, constants) take the fault here;
+  // combinational nets take it right after being driven, below. Constants
+  // are included so the injection semantics match the bit-parallel
+  // evaluator's per-net masks exactly.
+  if (forced_net != kNoNet) {
+    const GateType t = gates_[forced_net].type;
+    if (t == GateType::kInput || t == GateType::kDff ||
+        t == GateType::kConst0 || t == GateType::kConst1)
+      values[forced_net] = forced_value;
+  }
 
   for (NetId id : topo_) {
     const Gate& g = gates_[id];
@@ -211,14 +219,19 @@ void Netlist::evaluate(const std::vector<bool>& input_values, const SimState& st
 
 std::vector<bool> Netlist::step(const std::vector<bool>& input_values, SimState& state,
                                 NetId forced_net, bool forced_value) const {
-  std::vector<bool> values;
+  std::vector<bool> values, out;
+  step(input_values, state, values, out, forced_net, forced_value);
+  return out;
+}
+
+void Netlist::step(const std::vector<bool>& input_values, SimState& state,
+                   std::vector<bool>& values, std::vector<bool>& out,
+                   NetId forced_net, bool forced_value) const {
   evaluate(input_values, state, values, forced_net, forced_value);
-  std::vector<bool> out;
-  out.reserve(outputs_.size());
-  for (NetId o : outputs_) out.push_back(values[o]);
+  out.resize(outputs_.size());
+  for (std::size_t k = 0; k < outputs_.size(); ++k) out[k] = values[outputs_[k]];
   for (std::size_t k = 0; k < dffs_.size(); ++k)
     state.dff[k] = values[gates_[dffs_[k]].fanins[0]];
-  return out;
 }
 
 std::string Netlist::stats() const {

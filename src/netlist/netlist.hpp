@@ -96,6 +96,17 @@ class Netlist {
   std::vector<bool> step(const std::vector<bool>& input_values, SimState& state,
                          NetId forced_net = kNoNet, bool forced_value = false) const;
 
+  /// Allocation-free variant of step: `values` and `out` are caller-owned
+  /// scratch buffers reused across cycles (resized on first use). `out`
+  /// receives the primary-output values in outputs() order.
+  void step(const std::vector<bool>& input_values, SimState& state,
+            std::vector<bool>& values, std::vector<bool>& out,
+            NetId forced_net = kNoNet, bool forced_value = false) const;
+
+  /// Levelized combinational evaluation order (valid after finalize());
+  /// used by the compiled bit-parallel evaluator.
+  const std::vector<NetId>& topo_order() const { return topo_; }
+
   /// Human-readable structural statistics.
   std::string stats() const;
 

@@ -18,11 +18,13 @@ StructureReport measure_structure(const ControllerStructure& cs,
     if (cs.kind == "fig1") {
       cov = measure_functional_coverage(cs, options.functional_cycles, faults);
     } else if (cs.kind == "fig2") {
-      cov = measure_coverage(cs, SelfTestPlan::conventional(2 * options.bist_cycles),
-                             faults);
+      cov = run_fault_campaign(cs, SelfTestPlan::conventional(2 * options.bist_cycles),
+                               options.campaign, faults)
+                .raw;
     } else {
-      cov = measure_coverage(cs, SelfTestPlan::two_session(options.bist_cycles),
-                             faults);
+      cov = run_fault_campaign(cs, SelfTestPlan::two_session(options.bist_cycles),
+                               options.campaign, faults)
+                .raw;
     }
     rep.coverage = cov.coverage();
 

@@ -17,9 +17,13 @@ namespace stc {
 struct FlowOptions {
   OstrOptions ostr;
   MinimizerKind minimizer = MinimizerKind::kAuto;
-  bool with_fault_sim = false;       // serial fault simulation is the slow part
+  bool with_fault_sim = false;       // fault simulation is the expensive part
   std::size_t bist_cycles = 256;     // per session
   std::size_t functional_cycles = 512;
+  /// Options of the bit-parallel campaign engine used for the BIST
+  /// structures (figs. 2-4); the detected set is identical to the serial
+  /// oracle's, only faster.
+  CampaignOptions campaign;
 };
 
 /// Area/delay/testability summary of one structure.
