@@ -9,15 +9,28 @@
 //     BIST but covered by the two-session pipeline test,
 //   * overall stuck-at coverage per structure, and coverage as a function
 //     of test length (the coverage-curve series).
+//
+// Options:
+//   --threads N   worker threads for the fault campaigns
+//                 (default: hardware concurrency; results are identical
+//                 for any value)
+//   --cycles N    BIST cycles per session (default 256)
 
 #include <cstdio>
+#include <thread>
 
 #include "benchdata/iwls93.hpp"
 #include "synth/flow.hpp"
+#include "util/cli.hpp"
 #include "util/table.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace stc;
+  const Cli cli(argc, argv);
+  const std::size_t hw = std::thread::hardware_concurrency();
+  const std::size_t threads = static_cast<std::size_t>(
+      cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
+
   const char* machines[] = {"paper_fig5", "shiftreg", "tav", "dk27", "serial_adder"};
 
   AsciiTable table({"machine", "struct", "FFs", "area GE", "depth", "coverage %",
@@ -28,7 +41,8 @@ int main() {
     const MealyMachine m = load_benchmark(name);
     FlowOptions opts;
     opts.with_fault_sim = true;
-    opts.bist_cycles = 256;
+    opts.bist_cycles = static_cast<std::size_t>(cli.get_int("cycles", 256));
+    opts.campaign.num_threads = threads;
     const FlowResult res = run_flow(m, opts);
 
     for (const StructureReport* s : {&res.fig1, &res.fig2, &res.fig3, &res.fig4}) {
@@ -47,15 +61,18 @@ int main() {
   std::printf("%s\n", table.render().c_str());
 
   // Coverage vs test length for the pipeline structure (series data).
-  std::printf("Pipeline (fig4) coverage vs cycles per session, machine dk27:\n");
+  std::printf("Pipeline (fig4) coverage vs cycles per session, machine dk27 "
+              "(%zu threads):\n", threads);
   {
     const MealyMachine m = load_benchmark("dk27");
     const OstrResult ostr = solve_ostr(m);
     const Realization real = build_realization(m, ostr.best.pi, ostr.best.tau);
     const ControllerStructure fig4 = build_fig4(m, real);
+    CampaignOptions copt;
+    copt.num_threads = threads;
     std::printf("  cycles  coverage\n");
     for (std::size_t cycles : {4, 8, 16, 32, 64, 128, 256, 512}) {
-      const auto camp = run_fault_campaign(fig4, SelfTestPlan::two_session(cycles));
+      const auto camp = run_fault_campaign(fig4, SelfTestPlan::two_session(cycles), copt);
       std::printf("  %6zu  %6.1f%%\n", cycles, camp.coverage() * 100.0);
     }
   }

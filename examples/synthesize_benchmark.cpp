@@ -2,11 +2,12 @@
 // OSTR -> realization -> encoding -> logic minimization -> the four
 // controller structures -> (optionally) fault simulation.
 //
-// Run:  ./synthesize_benchmark --machine shiftreg [--faultsim]
+// Run:  ./synthesize_benchmark --machine shiftreg [--faultsim] [--threads N]
 //       ./synthesize_benchmark --kiss path/to/machine.kiss2
 //       ./synthesize_benchmark --list
 
 #include <cstdio>
+#include <thread>
 
 #include "benchdata/iwls93.hpp"
 #include "fsm/kiss.hpp"
@@ -41,6 +42,9 @@ int main(int argc, char** argv) {
   opts.with_fault_sim = cli.has("faultsim");
   opts.ostr.max_nodes = static_cast<std::uint64_t>(cli.get_int("max-nodes", 2000000));
   opts.bist_cycles = static_cast<std::size_t>(cli.get_int("cycles", 256));
+  const std::size_t hw = std::thread::hardware_concurrency();
+  opts.campaign.num_threads = static_cast<std::size_t>(
+      cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
 
   std::printf("Machine: %zu states, %zu inputs, %zu outputs\n\n", m.num_states(),
               m.num_inputs(), m.num_outputs());

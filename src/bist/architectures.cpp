@@ -8,20 +8,6 @@
 namespace stc {
 namespace {
 
-Cover minimize_one(const TruthTable& tt, MinimizerKind mk) {
-  switch (mk) {
-    case MinimizerKind::kQuineMcCluskey:
-      return minimize_qm(tt);
-    case MinimizerKind::kEspresso:
-      return minimize_espresso(tt);
-    case MinimizerKind::kAuto:
-      // QM's prime enumeration is exact but exponential; hand larger
-      // tables to the heuristic.
-      return tt.num_vars() <= 10 ? minimize_qm(tt) : minimize_espresso(tt);
-  }
-  return minimize_espresso(tt);
-}
-
 /// Primary inputs named in[k], LSB first.
 std::vector<NetId> add_functional_inputs(Netlist& nl, std::size_t bits) {
   std::vector<NetId> pi;
@@ -40,14 +26,58 @@ std::vector<std::size_t> dff_indices(const Netlist& nl, const RegisterBank& bank
   return idx;
 }
 
+/// Instantiate a minimized block: shared-product PLA when the multi-output
+/// engine ran, the historical per-cover AND-OR logic otherwise (bit-exact
+/// netlists for the QM path).
+std::vector<NetId> build_minimized(Netlist& nl, const MinimizedBlock& mb,
+                                   const std::vector<NetId>& vars) {
+  return mb.pla ? build_pla(nl, *mb.pla, vars) : build_block(nl, mb.covers, vars);
+}
+
+/// The next-state sub-block of a combined (next-state, outputs) PLA:
+/// keeps the shared products of the first `state_bits` outputs (used for
+/// the duplicated copy of C in the fig3 ring).
+CubeList restrict_to_low_outputs(const CubeList& pla, std::size_t state_bits) {
+  const std::uint64_t mask = state_bits >= 64 ? ~std::uint64_t{0}
+                                              : (std::uint64_t{1} << state_bits) - 1;
+  CubeList out(pla.num_vars(), state_bits);
+  for (const MCube& m : pla.cubes())
+    if (m.out & mask) out.add(m.in, m.out & mask);
+  return out;
+}
+
+/// Combined (next-state low, outputs high) dense tables of an EncodedFsm,
+/// matching the output order of EncodedFsm::spec.
+std::vector<TruthTable> combined_tables(const EncodedFsm& enc) {
+  std::vector<TruthTable> tables = enc.next_state;
+  tables.insert(tables.end(), enc.outputs.begin(), enc.outputs.end());
+  return tables;
+}
+
 }  // namespace
 
-std::vector<Cover> minimize_tables(const std::vector<TruthTable>& tables,
-                                   MinimizerKind mk) {
-  std::vector<Cover> covers;
-  covers.reserve(tables.size());
-  for (const auto& tt : tables) covers.push_back(minimize_one(tt, mk));
-  return covers;
+MinimizedBlock minimize_for(const PlaSpec& spec, const std::vector<TruthTable>& tables,
+                            MinimizerKind mk) {
+  MinimizedBlock mb;
+  mb.covers.reserve(tables.size());
+  const std::size_t num_vars = tables.empty() ? spec.num_vars : tables[0].num_vars();
+  // QM's prime enumeration is exact but exponential; hand larger tables
+  // to the heuristic.
+  const bool want_heuristic =
+      mk == MinimizerKind::kEspresso ||
+      (mk == MinimizerKind::kAuto && num_vars > 10);
+  if (want_heuristic && !tables.empty() && spec.num_outputs == tables.size()) {
+    mb.pla = minimize_espresso_mv(spec);
+    for (std::size_t b = 0; b < spec.num_outputs; ++b)
+      mb.covers.push_back(mb.pla->output_cover(b));
+  } else if (want_heuristic) {
+    // No usable spec for this block (e.g. more outputs than the 64-bit
+    // output part can carry): per-output heuristic, no product sharing.
+    for (const auto& tt : tables) mb.covers.push_back(minimize_espresso(tt));
+  } else {
+    for (const auto& tt : tables) mb.covers.push_back(minimize_qm(tt));
+  }
+  return mb;
 }
 
 ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk) {
@@ -64,14 +94,15 @@ ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk) {
   std::vector<NetId> vars = cs.pi;
   vars.insert(vars.end(), r.q.begin(), r.q.end());
 
-  const auto next_covers = minimize_tables(enc.next_state, mk);
-  const auto out_covers = minimize_tables(enc.outputs, mk);
-  const auto d_nets = build_block(nl, next_covers, vars);
-  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], d_nets[b]);
-  const auto po_nets = build_block(nl, out_covers, vars);
-  for (std::size_t b = 0; b < po_nets.size(); ++b) {
-    nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");
-    cs.po.push_back(po_nets[b]);
+  // One multi-output block for next-state and output bits together, so
+  // the minimizer can share product terms between the two.
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk);
+  cs.logic += mb.cost();
+  const auto nets = build_minimized(nl, mb, vars);
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], nets[b]);
+  for (std::size_t b = 0; b < enc.output_bits; ++b) {
+    nl.add_output(nets[enc.state_bits + b], "out[" + std::to_string(b) + "]");
+    cs.po.push_back(nets[enc.state_bits + b]);
   }
   nl.finalize();
   return cs;
@@ -100,18 +131,17 @@ ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk) {
   std::vector<NetId> vars = cs.pi;
   vars.insert(vars.end(), state_in.begin(), state_in.end());
 
-  const auto next_covers = minimize_tables(enc.next_state, mk);
-  const auto out_covers = minimize_tables(enc.outputs, mk);
-  const auto d_nets = build_block(nl, next_covers, vars);
-  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], d_nets[b]);
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk);
+  cs.logic += mb.cost();
+  const auto nets = build_minimized(nl, mb, vars);
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], nets[b]);
   // T holds its value in the netlist; the session driver reconfigures it
   // as a PRPG during test (BILBO behavior is not combinational logic).
   for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(t.q[b], t.q[b]);
 
-  const auto po_nets = build_block(nl, out_covers, vars);
-  for (std::size_t b = 0; b < po_nets.size(); ++b) {
-    nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");
-    cs.po.push_back(po_nets[b]);
+  for (std::size_t b = 0; b < enc.output_bits; ++b) {
+    nl.add_output(nets[enc.state_bits + b], "out[" + std::to_string(b) + "]");
+    cs.po.push_back(nets[enc.state_bits + b]);
   }
   nl.finalize();
   return cs;
@@ -128,26 +158,37 @@ ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk) {
   cs.reg_a = dff_indices(nl, r1);
   cs.reg_b = dff_indices(nl, r2);
 
-  const auto next_covers = minimize_tables(enc.next_state, mk);
-  const auto out_covers = minimize_tables(enc.outputs, mk);
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk);
 
-  // Copy C: reads R, feeds R'. Copy C': reads R', feeds R. Both registers
-  // start equal, so they stay equal in system mode -- same machine as
-  // Fig. 1 with no transparency mode.
+  // Copy C: reads R, feeds R' (and drives the primary outputs). Copy C':
+  // reads R', feeds R -- only the next-state part is duplicated, with the
+  // same shared products as copy C. Both registers start equal, so they
+  // stay equal in system mode -- same machine as Fig. 1 with no
+  // transparency mode.
   std::vector<NetId> vars1 = cs.pi;
   vars1.insert(vars1.end(), r1.q.begin(), r1.q.end());
-  const auto d2 = build_block(nl, next_covers, vars1);
-  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r2.q[b], d2[b]);
+  cs.logic += mb.cost();
+  const auto nets1 = build_minimized(nl, mb, vars1);
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r2.q[b], nets1[b]);
 
   std::vector<NetId> vars2 = cs.pi;
   vars2.insert(vars2.end(), r2.q.begin(), r2.q.end());
-  const auto d1 = build_block(nl, next_covers, vars2);
-  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r1.q[b], d1[b]);
+  std::vector<NetId> nets2;
+  if (mb.pla) {
+    const CubeList next_only = restrict_to_low_outputs(*mb.pla, enc.state_bits);
+    cs.logic += pla_cost(next_only);
+    nets2 = build_pla(nl, next_only, vars2);
+  } else {
+    const std::vector<Cover> next_covers(mb.covers.begin(),
+                                         mb.covers.begin() + enc.state_bits);
+    cs.logic += block_cost(next_covers);
+    nets2 = build_block(nl, next_covers, vars2);
+  }
+  for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r1.q[b], nets2[b]);
 
-  const auto po_nets = build_block(nl, out_covers, vars1);
-  for (std::size_t b = 0; b < po_nets.size(); ++b) {
-    nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");
-    cs.po.push_back(po_nets[b]);
+  for (std::size_t b = 0; b < enc.output_bits; ++b) {
+    nl.add_output(nets1[enc.state_bits + b], "out[" + std::to_string(b) + "]");
+    cs.po.push_back(nets1[enc.state_bits + b]);
   }
   nl.finalize();
   return cs;
@@ -184,13 +225,17 @@ ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
   // C1: (inputs, R1) -> D of R2.
   std::vector<NetId> vars1 = cs.pi;
   vars1.insert(vars1.end(), r1.q.begin(), r1.q.end());
-  const auto c1 = build_block(nl, minimize_tables(f1.next_state, mk), vars1);
+  const MinimizedBlock mb1 = minimize_for(f1.spec, f1.next_state, mk);
+  cs.logic += mb1.cost();
+  const auto c1 = build_minimized(nl, mb1, vars1);
   for (std::size_t b = 0; b < enc2.width; ++b) nl.connect_dff(r2.q[b], c1[b]);
 
   // C2: (inputs, R2) -> D of R1.
   std::vector<NetId> vars2 = cs.pi;
   vars2.insert(vars2.end(), r2.q.begin(), r2.q.end());
-  const auto c2 = build_block(nl, minimize_tables(f2.next_state, mk), vars2);
+  const MinimizedBlock mb2 = minimize_for(f2.spec, f2.next_state, mk);
+  cs.logic += mb2.cost();
+  const auto c2 = build_minimized(nl, mb2, vars2);
   for (std::size_t b = 0; b < enc1.width; ++b) nl.connect_dff(r1.q[b], c2[b]);
 
   // Output function lambda(inputs, R2, R1) -- variable order must match
@@ -198,7 +243,9 @@ ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
   std::vector<NetId> lvars = cs.pi;
   lvars.insert(lvars.end(), r2.q.begin(), r2.q.end());
   lvars.insert(lvars.end(), r1.q.begin(), r1.q.end());
-  const auto po_nets = build_block(nl, minimize_tables(lam.outputs, mk), lvars);
+  const MinimizedBlock mbl = minimize_for(lam.spec, lam.outputs, mk);
+  cs.logic += mbl.cost();
+  const auto po_nets = build_minimized(nl, mbl, lvars);
   for (std::size_t b = 0; b < po_nets.size(); ++b) {
     nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");
     cs.po.push_back(po_nets[b]);

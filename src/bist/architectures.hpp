@@ -14,8 +14,11 @@
 // Every builder returns the netlist plus role maps so the self-test driver
 // (bist/session.hpp) can reconfigure registers into PRPG/MISR roles.
 
+#include <optional>
+
 #include "bist/faults.hpp"
 #include "encoding/encoded_fsm.hpp"
+#include "logic/cost.hpp"
 #include "netlist/builder.hpp"
 #include "ostr/realization.hpp"
 
@@ -33,7 +36,28 @@ struct ControllerStructure {
   std::vector<std::size_t> reg_a;   // dff indices: R (fig1/2), R/first copy (fig3), R1 (fig4)
   std::vector<std::size_t> reg_b;   // dff indices: T (fig2), R' (fig3), R2 (fig4)
   std::vector<NetId> feedback_nets; // the R -> C feedback lines (fault target set)
+  LogicCost logic;                  // two-level cost of the combinational blocks
+                                    // (shared-product PLA cost on the espresso path)
 };
+
+/// One minimized multi-output block. `pla` is set when the cube-calculus
+/// multi-output engine ran (products shared across outputs); the per-output
+/// covers are always available for reporting and the QM build path.
+struct MinimizedBlock {
+  std::vector<Cover> covers;
+  std::optional<CubeList> pla;
+
+  LogicCost cost() const { return pla ? pla_cost(*pla) : block_cost(covers); }
+};
+
+/// Route one block through the configured minimizer: exact per-output QM
+/// for small tables (netlists identical to the historical ones), the
+/// multi-output cube-calculus espresso for everything else. `spec` and
+/// `tables` describe the same functions; when the spec cannot represent
+/// the block (empty, or built for a different output count) the heuristic
+/// path falls back to per-output minimization instead of failing.
+MinimizedBlock minimize_for(const PlaSpec& spec, const std::vector<TruthTable>& tables,
+                            MinimizerKind mk);
 
 /// Fig. 1: conventional structure.
 ControllerStructure build_fig1(const EncodedFsm& enc,
@@ -51,9 +75,5 @@ ControllerStructure build_fig3(const EncodedFsm& enc,
 /// are encoded with minimal-width natural codes by default.
 ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
                                MinimizerKind mk = MinimizerKind::kAuto);
-
-/// Convenience: covers for every table in enc under the chosen minimizer.
-std::vector<Cover> minimize_tables(const std::vector<TruthTable>& tables,
-                                   MinimizerKind mk);
 
 }  // namespace stc

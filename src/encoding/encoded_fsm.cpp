@@ -13,6 +13,15 @@ std::vector<State> inverse_codes(const Encoding& enc) {
   return inv;
 }
 
+std::uint64_t low_mask(std::size_t bits) {
+  return bits >= 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << bits) - 1;
+}
+
+/// Whole-input-row cube for one state code: state bits fixed, inputs free.
+Cube state_row_cube(std::uint64_t code, std::size_t state_bits, std::size_t input_bits) {
+  return Cube{low_mask(state_bits) << input_bits, code << input_bits};
+}
+
 }  // namespace
 
 EncodedFsm encode_fsm(const MealyMachine& fsm, const Encoding& enc) {
@@ -31,6 +40,18 @@ EncodedFsm encode_fsm(const MealyMachine& fsm, const Encoding& enc) {
 
   e.next_state.assign(e.state_bits, TruthTable(e.num_vars()));
   e.outputs.assign(e.output_bits, TruthTable(e.num_vars()));
+  // The cover-based spec carries its output set in a 64-bit mask; a wider
+  // machine keeps the dense tables only and minimize_for falls back to
+  // per-output minimization.
+  const std::size_t spec_outputs = e.state_bits + e.output_bits;
+  const bool build_spec = spec_outputs <= 64;
+  if (build_spec) {
+    e.spec.num_vars = e.num_vars();
+    e.spec.num_outputs = spec_outputs;
+    e.spec.on = CubeList(e.num_vars(), spec_outputs);
+    e.spec.dc = CubeList(e.num_vars(), spec_outputs);
+  }
+  const std::uint64_t all_out = low_mask(spec_outputs);
 
   const auto inv = inverse_codes(enc);
   const std::size_t code_span = std::size_t{1} << e.state_bits;
@@ -38,12 +59,16 @@ EncodedFsm encode_fsm(const MealyMachine& fsm, const Encoding& enc) {
 
   for (std::uint64_t code = 0; code < code_span; ++code) {
     const State s = inv[code];
+    if (s == kNoState && build_spec)
+      e.spec.dc.add(state_row_cube(code, e.state_bits, e.input_bits), all_out);
     for (std::uint64_t in = 0; in < input_span; ++in) {
       const Minterm m = (code << e.input_bits) | in;
       if (s == kNoState || in >= fsm.num_inputs()) {
         // Unused state code or padding input pattern: full don't care.
         for (auto& t : e.next_state) t.set_dc(m);
         for (auto& t : e.outputs) t.set_dc(m);
+        if (s != kNoState && build_spec)  // unused codes got one whole-row cube above
+          e.spec.dc.add(Cube::minterm(m, e.num_vars()), all_out);
         continue;
       }
       const std::uint64_t next_code = enc.code_of(fsm.next(s, static_cast<Input>(in)));
@@ -52,6 +77,10 @@ EncodedFsm encode_fsm(const MealyMachine& fsm, const Encoding& enc) {
         if ((next_code >> b) & 1) e.next_state[b].set_on(m);
       for (std::size_t b = 0; b < e.output_bits; ++b)
         if ((out >> b) & 1) e.outputs[b].set_on(m);
+      const std::uint64_t on_mask =
+          (next_code & low_mask(e.state_bits)) |
+          ((static_cast<std::uint64_t>(out) & low_mask(e.output_bits)) << e.state_bits);
+      if (on_mask && build_spec) e.spec.on.add(Cube::minterm(m, e.num_vars()), on_mask);
     }
   }
   return e;
@@ -72,21 +101,30 @@ EncodedFactor encode_factor(const std::vector<State>& table, std::size_t num_inp
   if (e.num_vars() > 20)
     throw std::invalid_argument("encode_factor: too many variables");
   e.next_state.assign(e.out_state_bits, TruthTable(e.num_vars()));
+  e.spec.num_vars = e.num_vars();
+  e.spec.num_outputs = e.out_state_bits;
+  e.spec.on = CubeList(e.num_vars(), e.out_state_bits);
+  e.spec.dc = CubeList(e.num_vars(), e.out_state_bits);
+  const std::uint64_t all_out = low_mask(e.out_state_bits);
 
   const auto inv = inverse_codes(dom);
   const std::size_t code_span = std::size_t{1} << e.in_state_bits;
   const std::size_t input_span = std::size_t{1} << input_bits;
   for (std::uint64_t code = 0; code < code_span; ++code) {
     const State s = inv[code];
+    if (s == kNoState)
+      e.spec.dc.add(state_row_cube(code, e.in_state_bits, input_bits), all_out);
     for (std::uint64_t in = 0; in < input_span; ++in) {
       const Minterm m = (code << input_bits) | in;
       if (s == kNoState || in >= num_inputs) {
         for (auto& t : e.next_state) t.set_dc(m);
+        if (s != kNoState) e.spec.dc.add(Cube::minterm(m, e.num_vars()), all_out);
         continue;
       }
       const std::uint64_t target = rng.code_of(table[s * num_inputs + in]);
       for (std::size_t b = 0; b < e.out_state_bits; ++b)
         if ((target >> b) & 1) e.next_state[b].set_on(m);
+      if (target & all_out) e.spec.on.add(Cube::minterm(m, e.num_vars()), target & all_out);
     }
   }
   return e;
@@ -106,6 +144,11 @@ EncodedLambda encode_lambda(const std::vector<Output>& lambda, std::size_t n1,
   if (e.num_vars() > 20)
     throw std::invalid_argument("encode_lambda: too many variables");
   e.outputs.assign(output_bits, TruthTable(e.num_vars()));
+  e.spec.num_vars = e.num_vars();
+  e.spec.num_outputs = output_bits;
+  e.spec.on = CubeList(e.num_vars(), output_bits);
+  e.spec.dc = CubeList(e.num_vars(), output_bits);
+  const std::uint64_t all_out = low_mask(output_bits);
 
   const auto inv1 = inverse_codes(enc1);
   const auto inv2 = inverse_codes(enc2);
@@ -114,18 +157,30 @@ EncodedLambda encode_lambda(const std::vector<Output>& lambda, std::size_t n1,
   const std::size_t input_span = std::size_t{1} << input_bits;
 
   for (std::uint64_t c1 = 0; c1 < span1; ++c1) {
+    if (inv1[c1] == kNoState)  // whole (c2, input) plane is don't-care
+      e.spec.dc.add(Cube{low_mask(e.s1_bits) << (e.s2_bits + input_bits),
+                         c1 << (e.s2_bits + input_bits)},
+                    all_out);
     for (std::uint64_t c2 = 0; c2 < span2; ++c2) {
+      if (inv1[c1] != kNoState && inv2[c2] == kNoState)
+        e.spec.dc.add(state_row_cube((c1 << e.s2_bits) | c2, e.s1_bits + e.s2_bits,
+                                     input_bits),
+                      all_out);
       for (std::uint64_t in = 0; in < input_span; ++in) {
         const Minterm m = (((c1 << e.s2_bits) | c2) << input_bits) | in;
         const State s1 = inv1[c1];
         const State s2 = inv2[c2];
         if (s1 == kNoState || s2 == kNoState || in >= num_inputs) {
           for (auto& t : e.outputs) t.set_dc(m);
+          if (s1 != kNoState && s2 != kNoState)
+            e.spec.dc.add(Cube::minterm(m, e.num_vars()), all_out);
           continue;
         }
         const Output out = lambda[(static_cast<std::size_t>(s1) * n2 + s2) * num_inputs + in];
         for (std::size_t b = 0; b < output_bits; ++b)
           if ((out >> b) & 1) e.outputs[b].set_on(m);
+        const std::uint64_t on_mask = static_cast<std::uint64_t>(out) & all_out;
+        if (on_mask) e.spec.on.add(Cube::minterm(m, e.num_vars()), on_mask);
       }
     }
   }

@@ -11,7 +11,7 @@
 #include <vector>
 
 #include "encoding/encoding.hpp"
-#include "logic/cover.hpp"
+#include "logic/cubelist.hpp"
 
 namespace stc {
 
@@ -22,6 +22,13 @@ struct EncodedFsm {
   std::uint64_t reset_code = 0;
   std::vector<TruthTable> next_state;  // one table per state bit
   std::vector<TruthTable> outputs;     // one table per output bit
+  /// Cover-based form of the same specification, built alongside the dense
+  /// tables: one ON cube per transition whose output part spans the
+  /// next-state bits (low) and the output bits (high), plus compact DC
+  /// cubes (one whole-row cube per unused state code, one minterm cube per
+  /// padding input pattern). This is what the multi-output minimizer
+  /// consumes -- it never touches the dense tables.
+  PlaSpec spec;
 
   std::size_t num_vars() const { return state_bits + input_bits; }
 };
@@ -38,6 +45,7 @@ struct EncodedFactor {
   std::size_t out_state_bits = 0;  // bits of the range register
   std::size_t input_bits = 0;
   std::vector<TruthTable> next_state;  // one per range-register bit
+  PlaSpec spec;                        // cover form (outputs = range bits)
 
   std::size_t num_vars() const { return in_state_bits + input_bits; }
 };
@@ -56,6 +64,7 @@ struct EncodedLambda {
   std::size_t input_bits = 0;
   std::size_t output_bits = 0;
   std::vector<TruthTable> outputs;
+  PlaSpec spec;  // cover form (outputs = output bits)
 
   std::size_t num_vars() const { return s1_bits + s2_bits + input_bits; }
 };

@@ -28,6 +28,38 @@ LogicCost block_cost(const std::vector<Cover>& outputs) {
   return total;
 }
 
+LogicCost pla_cost(const CubeList& pla) {
+  LogicCost c;
+  c.cubes = pla.num_cubes();
+  c.literals = pla.num_input_literals() + pla.num_output_literals();
+
+  // Mirror build_pla exactly: outputs driven by a literal-free cube are
+  // constant 1, and terms feeding only such outputs are never built.
+  std::uint64_t const1_outputs = 0;
+  for (const MCube& m : pla.cubes())
+    if (m.in.care == 0) const1_outputs |= m.out;
+
+  double ge = 0.0;
+  std::uint64_t complemented = 0;
+  std::vector<std::size_t> or_terms(pla.num_outputs(), 0);
+  for (const MCube& m : pla.cubes()) {
+    if (m.in.care == 0 || !(m.out & ~const1_outputs)) continue;
+    const std::size_t k = m.in.num_literals();
+    if (k >= 2) ge += static_cast<double>(k - 1);
+    complemented |= m.in.care & ~m.in.value;
+    std::uint64_t rest = m.out & ~const1_outputs;
+    while (rest) {
+      or_terms[static_cast<std::size_t>(count_trailing_zeros64(rest))] += 1;
+      rest &= rest - 1;
+    }
+  }
+  for (std::size_t terms : or_terms)
+    if (terms >= 2) ge += static_cast<double>(terms - 1);
+  ge += 0.5 * static_cast<double>(popcount64(complemented));
+  c.gate_equivalents = ge;
+  return c;
+}
+
 double flipflop_ge(std::size_t count) { return 4.0 * static_cast<double>(count); }
 
 }  // namespace stc

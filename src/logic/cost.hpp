@@ -11,7 +11,7 @@
 
 #include <vector>
 
-#include "logic/cover.hpp"
+#include "logic/cubelist.hpp"
 
 namespace stc {
 
@@ -33,6 +33,12 @@ LogicCost cover_cost(const Cover& cover);
 
 /// Cost of a multi-output block (no term sharing assumed -- conservative).
 LogicCost block_cost(const std::vector<Cover>& outputs);
+
+/// Cost of a multi-output PLA with shared product terms: each distinct
+/// product's AND tree is counted once regardless of how many outputs it
+/// feeds, input inverters are shared across the whole block, and `literals`
+/// counts both planes (AND-plane input literals + OR-plane connections).
+LogicCost pla_cost(const CubeList& pla);
 
 /// Flip-flop cost in GE.
 double flipflop_ge(std::size_t count);

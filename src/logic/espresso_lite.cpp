@@ -2,11 +2,14 @@
 
 #include <algorithm>
 
+#include "util/bitvec.hpp"
+
 namespace stc {
 
-Cube expand_against_off(const Cube& cube, const std::vector<Minterm>& off_minterms) {
+Cube expand_against_off(const Cube& cube, const std::vector<Minterm>& off_minterms,
+                        std::size_t num_vars) {
   Cube cur = cube;
-  for (std::size_t v = 0; v < 64; ++v) {
+  for (std::size_t v = 0; v < num_vars; ++v) {
     const std::uint64_t bit = std::uint64_t{1} << v;
     if (!(cur.care & bit)) continue;
     const Cube trial = cur.without(v);
@@ -24,104 +27,210 @@ Cube expand_against_off(const Cube& cube, const std::vector<Minterm>& off_minter
 
 namespace {
 
-/// IRREDUNDANT: drop cubes whose ON minterms are all covered by the rest.
-void irredundant(Cover& cover, const TruthTable& tt) {
-  const auto on = tt.on_minterms();
-  std::vector<Cube> cubes = cover.cubes();
-
-  // Process largest cubes first so small redundant ones are removed.
-  std::vector<std::size_t> order(cubes.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return cubes[a].num_literals() > cubes[b].num_literals();
-  });
-
-  std::vector<bool> keep(cubes.size(), true);
-  for (std::size_t idx : order) {
-    // Tentatively drop cubes[idx]; check every ON minterm stays covered.
-    keep[idx] = false;
-    bool ok = true;
-    for (Minterm m : on) {
-      bool covered = false;
-      for (std::size_t j = 0; j < cubes.size() && !covered; ++j)
-        if (keep[j] && cubes[j].contains_minterm(m)) covered = true;
-      if (!covered) {
-        ok = false;
-        break;
-      }
-    }
-    if (!ok) keep[idx] = true;
+/// Per-output OFF covers: complement of ON_b u DC_b via unate recursion.
+/// This is the only place the OFF set is ever computed, and it is a cover,
+/// never a minterm list.
+std::vector<Cover> off_covers(const PlaSpec& spec) {
+  std::vector<Cover> off;
+  off.reserve(spec.num_outputs);
+  for (std::size_t b = 0; b < spec.num_outputs; ++b) {
+    Cover care_b = spec.on.output_cover(b);
+    const Cover dc_b = spec.dc.output_cover(b);
+    for (const Cube& q : dc_b.cubes()) care_b.add(q);
+    off.push_back(complement_cover(care_b));
   }
-
-  Cover out(cover.num_vars());
-  for (std::size_t i = 0; i < cubes.size(); ++i)
-    if (keep[i]) out.add(cubes[i]);
-  cover = std::move(out);
+  return off;
 }
 
-/// REDUCE: shrink each cube to the smallest cube containing its essential
-/// ON minterms, enabling different expansions next round. Cubes are
-/// processed *sequentially* against the partially-reduced cover -- the
+bool hits_cover(const Cube& trial, const Cover& cover) {
+  for (const Cube& q : cover.cubes())
+    if (trial.intersects(q)) return true;
+  return false;
+}
+
+/// EXPAND one multi-output cube: drop input literals (LSB first) while the
+/// enlarged cube stays disjoint from the OFF cover of every output it
+/// drives, then raise the output part onto any further output whose OFF
+/// cover the cube avoids (espresso's output-part expansion -- this is what
+/// buys product-term sharing beyond identical ON rows).
+void expand_mcube(MCube& m, const std::vector<Cover>& off, std::size_t num_vars) {
+  for (std::size_t v = 0; v < num_vars; ++v) {
+    const std::uint64_t bit = std::uint64_t{1} << v;
+    if (!(m.in.care & bit)) continue;
+    const Cube trial = m.in.without(v);
+    bool valid = true;
+    std::uint64_t rest = m.out;
+    while (valid && rest) {
+      const std::size_t b = static_cast<std::size_t>(count_trailing_zeros64(rest));
+      rest &= rest - 1;
+      valid = !hits_cover(trial, off[b]);
+    }
+    if (valid) m.in = trial;
+  }
+  for (std::size_t b = 0; b < off.size(); ++b) {
+    const std::uint64_t bit = std::uint64_t{1} << b;
+    if (m.out & bit) continue;
+    if (!hits_cover(m.in, off[b])) m.out |= bit;
+  }
+}
+
+/// Shared scaffolding of IRREDUNDANT / REDUCE: the cofactor, with respect
+/// to cube `idx`, of everything else that drives output b (other active
+/// cubes plus b's don't-care cubes). Built straight into a scratch vector
+/// -- no intermediate cover is materialized in the O(cubes x outputs)
+/// inner loop.
+class AbsorbingCofactor {
+ public:
+  AbsorbingCofactor(const CubeList& f, const PlaSpec& spec)
+      : f_(f), per_output_(spec.num_outputs), dc_per_output_(spec.num_outputs) {
+    for (std::size_t j = 0; j < f.num_cubes(); ++j) {
+      std::uint64_t rest = f.cubes()[j].out;
+      while (rest) {
+        per_output_[static_cast<std::size_t>(count_trailing_zeros64(rest))].push_back(j);
+        rest &= rest - 1;
+      }
+    }
+    for (const MCube& q : spec.dc.cubes()) {
+      std::uint64_t rest = q.out;
+      while (rest) {
+        dc_per_output_[static_cast<std::size_t>(count_trailing_zeros64(rest))]
+            .push_back(q.in);
+        rest &= rest - 1;
+      }
+    }
+  }
+
+  /// Fill `out` with the cofactored absorbing list for (idx, b). Output
+  /// bits may have been cleared since construction; the live mask decides.
+  void build(std::size_t idx, std::size_t b, std::vector<Cube>* out) const {
+    out->clear();
+    const Cube& c = f_.cubes()[idx].in;
+    const std::uint64_t bit = std::uint64_t{1} << b;
+    for (std::size_t j : per_output_[b]) {
+      if (j == idx || !(f_.cubes()[j].out & bit)) continue;
+      const Cube& q = f_.cubes()[j].in;
+      if (!q.intersects(c)) continue;
+      out->push_back(Cube{q.care & ~c.care, q.value & ~c.care});
+    }
+    for (const Cube& q : dc_per_output_[b]) {
+      if (!q.intersects(c)) continue;
+      out->push_back(Cube{q.care & ~c.care, q.value & ~c.care});
+    }
+  }
+
+ private:
+  const CubeList& f_;
+  std::vector<std::vector<std::size_t>> per_output_;
+  std::vector<std::vector<Cube>> dc_per_output_;
+};
+
+/// IRREDUNDANT: clear output bits whose cover absorbs the cube without it
+/// (a unate-recursive tautology check on the cofactor), dropping cubes
+/// whose output part empties. Most-specific cubes are processed first so
+/// small redundant cubes vanish in favor of large ones, and the updates
+/// are sequential -- two mutually-redundant cubes cannot both disappear.
+void irredundant(CubeList& f, const PlaSpec& spec) {
+  std::vector<std::size_t> order(f.num_cubes());
+  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return f.cubes()[a].in.num_literals() > f.cubes()[b].in.num_literals();
+  });
+
+  const AbsorbingCofactor absorbing(f, spec);
+  std::vector<Cube> scratch;
+  for (std::size_t idx : order) {
+    MCube& m = f.cubes()[idx];
+    const std::size_t num_free = f.num_vars() - m.in.num_literals();
+    std::uint64_t rest = m.out;
+    while (rest) {
+      const std::size_t b = static_cast<std::size_t>(count_trailing_zeros64(rest));
+      const std::uint64_t bit = rest & (~rest + 1);
+      rest &= rest - 1;
+      absorbing.build(idx, b, &scratch);
+      if (is_tautology_cubes(scratch, num_free)) m.out &= ~bit;
+    }
+  }
+  auto& cubes = f.cubes();
+  cubes.erase(std::remove_if(cubes.begin(), cubes.end(),
+                             [](const MCube& m) { return m.out == 0; }),
+              cubes.end());
+}
+
+/// REDUCE: shrink each cube to the supercube of the parts it covers alone
+/// (per output, the complement of the cofactored absorbing cover inside
+/// the cube -- espresso's sharp), enabling different expansions next
+/// round. Sequential in-place processing keeps the cover valid -- the
 /// simultaneous variant can drop a minterm from two mutually-redundant
-/// cubes at once and break the cover.
-void reduce(Cover& cover, const TruthTable& tt) {
-  const auto on = tt.on_minterms();
-  std::vector<Cube> cubes = cover.cubes();
-  const std::uint64_t mask = cover.num_vars() == 64
-                                 ? ~std::uint64_t{0}
-                                 : (std::uint64_t{1} << cover.num_vars()) - 1;
-  for (std::size_t i = 0; i < cubes.size(); ++i) {
-    std::uint64_t forced_and = ~std::uint64_t{0};
-    std::uint64_t forced_or = 0;
+/// cubes at once.
+void reduce(CubeList& f, const PlaSpec& spec) {
+  const AbsorbingCofactor absorbing(f, spec);
+  std::vector<Cube> scratch;
+  for (std::size_t i = 0; i < f.num_cubes(); ++i) {
+    MCube& m = f.cubes()[i];
+    // Supercube accumulator over every needed part of every driven output.
+    std::uint64_t care_all = ~std::uint64_t{0}, ones = 0, zeros = 0;
     bool any = false;
-    for (Minterm m : on) {
-      if (!cubes[i].contains_minterm(m)) continue;
-      bool elsewhere = false;
-      for (std::size_t j = 0; j < cubes.size() && !elsewhere; ++j)
-        if (j != i && cubes[j].contains_minterm(m)) elsewhere = true;
-      if (!elsewhere) {
-        forced_and &= m;
-        forced_or |= m;
+    std::uint64_t rest = m.out;
+    while (rest) {
+      const std::size_t b = static_cast<std::size_t>(count_trailing_zeros64(rest));
+      rest &= rest - 1;
+      absorbing.build(i, b, &scratch);
+      for (const Cube& q : complement_cubes(scratch)) {
+        // Map back into the cube's subspace before accumulating.
+        const Cube part{q.care | m.in.care, q.value | m.in.value};
+        care_all &= part.care;
+        ones |= part.value;
+        zeros |= part.care & ~part.value;
         any = true;
       }
     }
-    if (!any) continue;  // fully redundant here; leave for irredundant()
-    // Smallest cube spanning the essentials: care = variables where all
-    // agree, value = the agreed bits. The span lies inside the original
-    // cube, and in-place update keeps later iterations consistent.
-    const std::uint64_t agree = ~(forced_and ^ forced_or) & mask;
-    cubes[i] = Cube{agree, forced_and & agree};
+    // Fully redundant cubes are left alone for irredundant() to drop.
+    if (!any) continue;
+    const std::uint64_t keep = care_all & ~(ones & zeros);
+    m.in = Cube{keep, ones & keep};
   }
-  Cover out(cover.num_vars());
-  for (const auto& c : cubes) out.add(c);
-  cover = std::move(out);
 }
 
 }  // namespace
 
-Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options) {
-  Cover cover(tt.num_vars());
-  if (tt.on_count() == 0) return cover;
+CubeList minimize_espresso_mv(const PlaSpec& spec, const EspressoOptions& options) {
+  CubeList f = spec.on;
+  f.merge_identical_inputs();
+  if (f.empty()) return CubeList(spec.num_vars, spec.num_outputs);
 
-  const auto off = tt.off_minterms();
-  for (Minterm m : tt.on_minterms()) cover.add(Cube::minterm(m, tt.num_vars()));
+  const std::vector<Cover> off = off_covers(spec);
 
-  std::size_t last_cost = SIZE_MAX;
+  CubeList best = f;
+  std::size_t best_cost = SIZE_MAX, last_cost = SIZE_MAX;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
     // EXPAND.
-    Cover expanded(tt.num_vars());
-    for (const auto& c : cover.cubes()) expanded.add(expand_against_off(c, off));
-    expanded.remove_contained();
+    for (MCube& m : f.cubes()) expand_mcube(m, off, spec.num_vars);
+    f.merge_identical_inputs();
+    f.remove_dominated();
     // IRREDUNDANT.
-    irredundant(expanded, tt);
-    const std::size_t cost = expanded.num_cubes() * 64 + expanded.num_literals();
-    cover = std::move(expanded);
-    if (cost >= last_cost) break;
+    irredundant(f, spec);
+    const std::size_t cost =
+        f.num_cubes() * 64 + f.num_input_literals() + f.num_output_literals();
+    if (cost < best_cost) {
+      best = f;
+      best_cost = cost;
+    }
+    // Fixpoint on cost, with a relative floor: iterating a 4000-cube cover
+    // seven more times to shave 0.1% is not worth seconds of wall clock.
+    if (cost >= last_cost ||
+        (last_cost != SIZE_MAX && (last_cost - cost) * 200 < last_cost))
+      break;
     last_cost = cost;
     // REDUCE (perturb for the next round).
-    if (iter + 1 < options.max_iterations) reduce(cover, tt);
+    if (iter + 1 < options.max_iterations) reduce(f, spec);
   }
-  return cover;
+  return best;
+}
+
+Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options) {
+  if (tt.on_count() == 0) return Cover(tt.num_vars());
+  const PlaSpec spec = PlaSpec::from_tables({tt});
+  return minimize_espresso_mv(spec, options).output_cover(0);
 }
 
 }  // namespace stc

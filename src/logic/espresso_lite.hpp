@@ -1,14 +1,22 @@
 #pragma once
 // Heuristic two-level minimization in the espresso style:
-// EXPAND / IRREDUNDANT / REDUCE iterated to a fixpoint on cube counts.
+// EXPAND / IRREDUNDANT / REDUCE iterated to a fixpoint on cover cost,
+// running entirely on the cube calculus (logic/cubelist.hpp).
 //
-// Not the full espresso algorithm (no unate recursion, no LASTGASP), but
-// the same loop structure, and exact on the containment invariants: the
-// result always implements the truth table. QM (logic/qm.hpp) stays the
-// exact reference; this handles the larger tables (up to 20 variables)
-// where prime enumeration blows up.
+// Unlike the original dense version, nothing here enumerates minterms:
+// the OFF set is a *cover* obtained by unate-recursive complement of
+// ON u DC, EXPAND validity is a cube-vs-cover disjointness test, and
+// IRREDUNDANT / REDUCE are tautology / sharp computations on cofactors.
+// The minimizer is multi-output: the output part of each cube is treated
+// espresso-style, so a product term shared by several next-state and
+// output bits is derived (and later instantiated in the netlist) once.
+//
+// Not the full espresso algorithm (no MAXIMAL_REDUCE, no LASTGASP), but
+// exact on the containment invariants: the result always implements the
+// specification. QM (logic/qm.hpp) stays the exact reference for small
+// tables.
 
-#include "logic/cover.hpp"
+#include "logic/cubelist.hpp"
 
 namespace stc {
 
@@ -16,12 +24,19 @@ struct EspressoOptions {
   std::size_t max_iterations = 8;
 };
 
-/// Minimize tt heuristically. The initial cover is the ON minterm list.
+/// Multi-output minimization of `spec`. The initial cover is the ON cube
+/// list with identical input parts merged; the result implements every
+/// output (ON covered, OFF avoided) by construction.
+CubeList minimize_espresso_mv(const PlaSpec& spec, const EspressoOptions& options = {});
+
+/// Single-output convenience wrapper over the multi-output engine.
 Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options = {});
 
-/// Shared helper: greedily expand `cube` against the OFF list (drop
-/// literals while no OFF minterm is swallowed). Deterministic order:
-/// variables tried LSB first.
-Cube expand_against_off(const Cube& cube, const std::vector<Minterm>& off_minterms);
+/// Legacy helper kept for differential tests: greedily expand `cube`
+/// against an explicit OFF minterm list (drop literals while no OFF
+/// minterm is swallowed). Deterministic order: variables tried LSB first,
+/// bounded by the function's arity `num_vars`.
+Cube expand_against_off(const Cube& cube, const std::vector<Minterm>& off_minterms,
+                        std::size_t num_vars);
 
 }  // namespace stc

@@ -58,4 +58,59 @@ std::vector<NetId> build_block(Netlist& nl, const std::vector<Cover>& covers,
   return outs;
 }
 
+std::vector<NetId> build_pla(Netlist& nl, const CubeList& pla,
+                             const std::vector<NetId>& var_nets) {
+  if (pla.num_vars() > var_nets.size())
+    throw std::invalid_argument("build_pla: not enough variable nets");
+
+  std::map<NetId, NetId> inverters;
+  auto inverted = [&](NetId a) {
+    auto it = inverters.find(a);
+    if (it != inverters.end()) return it->second;
+    const NetId inv = nl.add_not(a);
+    inverters.emplace(a, inv);
+    return inv;
+  };
+
+  // Outputs driven by a literal-free cube are constant 1; terms feeding
+  // only such outputs must not be instantiated (they would dangle).
+  std::uint64_t const1_outputs = 0;
+  for (const MCube& m : pla.cubes())
+    if (m.in.care == 0) const1_outputs |= m.out;
+
+  // AND plane: one term net per cube, shared by every output it drives.
+  std::vector<NetId> terms(pla.num_cubes(), kNoNet);
+  for (std::size_t i = 0; i < pla.num_cubes(); ++i) {
+    const Cube& cube = pla.cubes()[i].in;
+    if (cube.care == 0 || !(pla.cubes()[i].out & ~const1_outputs)) continue;
+    std::vector<NetId> lits;
+    for (std::size_t v = 0; v < pla.num_vars(); ++v) {
+      const std::uint64_t bit = std::uint64_t{1} << v;
+      if (!(cube.care & bit)) continue;
+      lits.push_back((cube.value & bit) ? var_nets[v] : inverted(var_nets[v]));
+    }
+    terms[i] = lits.size() == 1 ? lits[0] : nl.add_and(std::move(lits));
+  }
+
+  // OR plane.
+  std::vector<NetId> outs;
+  outs.reserve(pla.num_outputs());
+  for (std::size_t b = 0; b < pla.num_outputs(); ++b) {
+    const std::uint64_t bit = std::uint64_t{1} << b;
+    if (const1_outputs & bit) {
+      outs.push_back(nl.add_const(true));
+      continue;
+    }
+    std::vector<NetId> ors;
+    for (std::size_t i = 0; i < pla.num_cubes(); ++i)
+      if (pla.cubes()[i].out & bit) ors.push_back(terms[i]);
+    if (ors.empty()) {
+      outs.push_back(nl.add_const(false));
+    } else {
+      outs.push_back(ors.size() == 1 ? ors[0] : nl.add_or(std::move(ors)));
+    }
+  }
+  return outs;
+}
+
 }  // namespace stc

@@ -9,6 +9,7 @@ StructureReport measure_structure(const ControllerStructure& cs,
   rep.flipflops = cs.nl.num_dffs();
   rep.area_ge = cs.nl.area_ge();
   rep.depth = cs.nl.depth();
+  rep.logic = cs.logic;
 
   if (options.with_fault_sim) {
     const auto faults = enumerate_stuck_faults(cs.nl);

@@ -32,6 +32,10 @@ struct StructureReport {
   std::size_t flipflops = 0;
   double area_ge = 0.0;
   std::size_t depth = 0;
+  /// Two-level cost of the combinational blocks. On the espresso path the
+  /// cube/literal counts are shared-product PLA numbers (each product
+  /// counted once across all the outputs it feeds).
+  LogicCost logic;
   // Fault-simulation results (only when FlowOptions::with_fault_sim):
   std::optional<double> coverage;            // all single stuck-at faults
   std::optional<double> feedback_coverage;   // faults on R -> C lines only

@@ -6,8 +6,9 @@ namespace stc {
 namespace {
 
 std::string render_structure(const StructureReport& s) {
-  std::string out = strprintf("  %-5s: %2zu FFs, %7.1f GE, depth %2zu", s.kind.c_str(),
-                              s.flipflops, s.area_ge, s.depth);
+  std::string out = strprintf("  %-5s: %2zu FFs, %7.1f GE, depth %2zu, PLA %zu cubes / %zu lits",
+                              s.kind.c_str(), s.flipflops, s.area_ge, s.depth,
+                              s.logic.cubes, s.logic.literals);
   if (s.coverage)
     out += strprintf(", coverage %5.1f%% (%zu faults)", *s.coverage * 100.0,
                      s.total_faults);

@@ -23,6 +23,21 @@ inline int popcount64(std::uint64_t x) {
 #endif
 }
 
+/// C++17-portable count-trailing-zeros (std::countr_zero is C++20).
+/// Undefined for x == 0 like the builtin; callers must check.
+inline int count_trailing_zeros64(std::uint64_t x) {
+#if defined(__GNUC__) || defined(__clang__)
+  return __builtin_ctzll(x);
+#else
+  int c = 0;
+  while (!(x & 1)) {
+    x >>= 1;
+    ++c;
+  }
+  return c;
+#endif
+}
+
 /// Fixed-length sequence of bits packed into 64-bit words.
 /// Index 0 is the least-significant bit of word 0.
 class BitVec {
