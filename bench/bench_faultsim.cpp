@@ -1,11 +1,15 @@
 // Fault-simulation throughput (google-benchmark): serial stuck-at
-// campaigns vs the bit-parallel (PPSFP) engine on the pipeline structure,
+// campaigns vs the bit-parallel engines on the pipeline structure,
 // single-session cost as a function of test length, and the compiled
 // 64-lane evaluator against the scalar interpreter.
 //
-// The headline comparison is BM_FullFaultCampaign (one self-test run per
-// fault) against BM_CampaignBitParallel (63 faults per run on uint64_t
-// lanes + structural collapsing): the acceptance bar is >= 20x on dk27.
+// Engine comparison: BM_FullFaultCampaign (one self-test run per fault)
+// vs BM_FlatCampaign_* (63 faults per run, every gate every cycle) vs
+// BM_EventCampaign_* (63 faults per run, event-driven: resident values,
+// dense PLA-product sweep, sparse ORs). The event benchmarks report the
+// mean per-cycle activity ratio and machine cycles/second so the archived
+// BENCH_faultsim.json tracks the flat-vs-event trajectory across PRs
+// (compare two archives with scripts/bench_diff.py).
 
 #include <benchmark/benchmark.h>
 
@@ -29,6 +33,29 @@ ControllerStructure fig1_for(const char* name) {
   return build_fig1(encode_fsm(m, natural_encoding(m.num_states())));
 }
 
+void run_campaign_bench(benchmark::State& state, const ControllerStructure& cs,
+                        CampaignEngine engine, std::size_t cycles,
+                        std::size_t threads) {
+  CampaignOptions opt;
+  opt.engine = engine;
+  opt.num_threads = threads;
+  CampaignResult res;
+  for (auto _ : state) {
+    res = run_fault_campaign(cs, SelfTestPlan::two_session(cycles), opt);
+    benchmark::DoNotOptimize(res.raw.detected);
+  }
+  state.counters["faults"] = static_cast<double>(res.raw.total);
+  state.counters["detected"] = static_cast<double>(res.raw.detected);
+  state.counters["classes"] = static_cast<double>(res.collapsed_total);
+  state.counters["session_runs"] = static_cast<double>(res.session_runs);
+  state.counters["activity"] = res.mean_activity();
+  // Machine cycles simulated per second of wall time (x64 lanes each).
+  state.counters["cycles_per_sec"] = benchmark::Counter(
+      static_cast<double>(res.cycles_simulated) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+
 void BM_SelfTestSession(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("dk27");
   const std::size_t cycles = static_cast<std::size_t>(state.range(0));
@@ -41,7 +68,7 @@ void BM_SelfTestSession(benchmark::State& state) {
 }
 BENCHMARK(BM_SelfTestSession)->Arg(64)->Arg(256)->Arg(1024);
 
-// --- full campaigns: serial oracle vs bit-parallel engine --------------------
+// --- full campaigns: serial oracle vs the two lane engines -------------------
 
 void BM_FullFaultCampaign(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("dk27");
@@ -57,25 +84,23 @@ void BM_FullFaultCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFaultCampaign);
 
-void BM_CampaignBitParallel(benchmark::State& state) {
+void BM_FlatCampaign_dk27_fig4(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("dk27");
-  CampaignOptions opt;
-  opt.num_threads = static_cast<std::size_t>(state.range(0));
-  CampaignResult res;
-  for (auto _ : state) {
-    res = run_fault_campaign(cs, SelfTestPlan::two_session(128), opt);
-    benchmark::DoNotOptimize(res.raw.detected);
-  }
-  state.counters["faults"] = static_cast<double>(res.raw.total);
-  state.counters["detected"] = static_cast<double>(res.raw.detected);
-  state.counters["classes"] = static_cast<double>(res.collapsed_total);
-  state.counters["session_runs"] = static_cast<double>(res.session_runs);
+  run_campaign_bench(state, cs, CampaignEngine::kFlat, 128,
+                     static_cast<std::size_t>(state.range(0)));
 }
-BENCHMARK(BM_CampaignBitParallel)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_FlatCampaign_dk27_fig4)->Arg(1)->Arg(2)->Arg(4);
 
-// The larger conventional structures stress the compiled evaluator with
-// thousands of nets; the serial variant is bounded to tbk to keep the
-// bench runnable (s1's serial campaign takes minutes).
+void BM_EventCampaign_dk27_fig4(benchmark::State& state) {
+  static const ControllerStructure cs = pipeline_for("dk27");
+  run_campaign_bench(state, cs, CampaignEngine::kEvent, 128,
+                     static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_EventCampaign_dk27_fig4)->Arg(1)->Arg(2)->Arg(4);
+
+// The larger conventional structures stress the engines with thousands of
+// nets; the serial variant is bounded to tbk to keep the bench runnable
+// (s1's serial campaign takes minutes).
 void BM_FullFaultCampaignTbkFig1(benchmark::State& state) {
   static const ControllerStructure cs = fig1_for("tbk");
   for (auto _ : state) {
@@ -85,22 +110,35 @@ void BM_FullFaultCampaignTbkFig1(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFaultCampaignTbkFig1);
 
-void BM_CampaignBitParallelTbkFig1(benchmark::State& state) {
+void BM_FlatCampaign_tbk_fig1(benchmark::State& state) {
   static const ControllerStructure cs = fig1_for("tbk");
-  CampaignOptions opt;
-  opt.num_threads = static_cast<std::size_t>(state.range(0));
-  CampaignResult res;
-  for (auto _ : state) {
-    res = run_fault_campaign(cs, SelfTestPlan::two_session(64), opt);
-    benchmark::DoNotOptimize(res.raw.detected);
-  }
-  state.counters["faults"] = static_cast<double>(res.raw.total);
-  state.counters["classes"] = static_cast<double>(res.collapsed_total);
-  state.counters["session_runs"] = static_cast<double>(res.session_runs);
+  run_campaign_bench(state, cs, CampaignEngine::kFlat, 64,
+                     static_cast<std::size_t>(state.range(0)));
 }
-BENCHMARK(BM_CampaignBitParallelTbkFig1)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_FlatCampaign_tbk_fig1)->Arg(1)->Arg(2)->Arg(4);
 
-// shiftreg: the other machine named by the acceptance bar.
+void BM_EventCampaign_tbk_fig1(benchmark::State& state) {
+  static const ControllerStructure cs = fig1_for("tbk");
+  run_campaign_bench(state, cs, CampaignEngine::kEvent, 64,
+                     static_cast<std::size_t>(state.range(0)));
+}
+BENCHMARK(BM_EventCampaign_tbk_fig1)->Arg(1)->Arg(2)->Arg(4);
+
+// s1: the largest bundled structure (~4.8k nets after PR 3), the
+// acceptance target of the event engine (>= 3x vs the flat campaign).
+void BM_FlatCampaign_s1_fig1(benchmark::State& state) {
+  static const ControllerStructure cs = fig1_for("s1");
+  run_campaign_bench(state, cs, CampaignEngine::kFlat, 64, 1);
+}
+BENCHMARK(BM_FlatCampaign_s1_fig1);
+
+void BM_EventCampaign_s1_fig1(benchmark::State& state) {
+  static const ControllerStructure cs = fig1_for("s1");
+  run_campaign_bench(state, cs, CampaignEngine::kEvent, 64, 1);
+}
+BENCHMARK(BM_EventCampaign_s1_fig1);
+
+// shiftreg: the other machine named by the PR 2 acceptance bar.
 void BM_CampaignSerialShiftreg(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("shiftreg");
   for (auto _ : state) {
@@ -110,14 +148,11 @@ void BM_CampaignSerialShiftreg(benchmark::State& state) {
 }
 BENCHMARK(BM_CampaignSerialShiftreg);
 
-void BM_CampaignBitParallelShiftreg(benchmark::State& state) {
+void BM_EventCampaign_shiftreg_fig4(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("shiftreg");
-  for (auto _ : state) {
-    const auto res = run_fault_campaign(cs, SelfTestPlan::two_session(128));
-    benchmark::DoNotOptimize(res.raw.detected);
-  }
+  run_campaign_bench(state, cs, CampaignEngine::kEvent, 128, 1);
 }
-BENCHMARK(BM_CampaignBitParallelShiftreg);
+BENCHMARK(BM_EventCampaign_shiftreg_fig4);
 
 // --- evaluator microbenchmarks ----------------------------------------------
 
@@ -152,6 +187,28 @@ void BM_CompiledEval64(benchmark::State& state) {
   state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
 }
 BENCHMARK(BM_CompiledEval64);
+
+void BM_CompiledEval64Event(benchmark::State& state) {
+  static const ControllerStructure cs = fig1_for("tbk");
+  const Netlist& nl = cs.nl;
+  CompiledNetlist cn(nl);
+  EventScratch ev;
+  std::vector<std::uint64_t> in_lanes(nl.num_inputs(), 0);
+  std::vector<std::uint64_t> dff_lanes(nl.num_dffs(), 0);
+  std::size_t k = 0;
+  for (auto _ : state) {
+    in_lanes[0] = (++k) & 1 ? ~std::uint64_t{0} : 0;
+    cn.evaluate_event(in_lanes.data(), dff_lanes.data(), ev);
+    benchmark::DoNotOptimize(ev.values[nl.num_nets() - 1]);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * 64);
+  state.counters["activity"] =
+      ev.cycles == 0 ? 0.0
+                     : static_cast<double>(ev.ops_evaluated) /
+                           (static_cast<double>(ev.cycles) *
+                            static_cast<double>(cn.num_ops()));
+}
+BENCHMARK(BM_CompiledEval64Event);
 
 }  // namespace
 

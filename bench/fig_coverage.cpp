@@ -10,11 +10,17 @@
 //   * overall stuck-at coverage per structure, and coverage as a function
 //     of test length (the coverage-curve series).
 //
+// The campaign wall time and (event engine) per-cycle activity ratio are
+// printed per structure, so the paper-table runs double as the perf
+// harness for the fault-simulation engines.
+//
 // Options:
 //   --threads N   worker threads for the fault campaigns
 //                 (default: hardware concurrency; results are identical
 //                 for any value)
 //   --cycles N    BIST cycles per session (default 256)
+//   --engine E    campaign engine: event (default), flat, serial
+//                 (identical detected sets; only the speed differs)
 
 #include <cstdio>
 #include <thread>
@@ -30,12 +36,21 @@ int main(int argc, char** argv) {
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t threads = static_cast<std::size_t>(
       cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
+  CampaignEngine engine;
+  try {
+    engine = parse_campaign_engine(cli.get("engine", "event"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   const char* machines[] = {"paper_fig5", "shiftreg", "tav", "dk27", "serial_adder"};
 
   AsciiTable table({"machine", "struct", "FFs", "area GE", "depth", "coverage %",
-                    "feedback cov %", "faults"});
-  table.set_title("Architecture comparison (Figs. 1-4), stuck-at fault simulation");
+                    "feedback cov %", "faults", "activity %", "camp ms"});
+  table.set_title(std::string("Architecture comparison (Figs. 1-4), stuck-at "
+                              "fault simulation [engine: ") +
+                  campaign_engine_name(engine) + "]");
 
   for (const char* name : machines) {
     const MealyMachine m = load_benchmark(name);
@@ -43,6 +58,7 @@ int main(int argc, char** argv) {
     opts.with_fault_sim = true;
     opts.bist_cycles = static_cast<std::size_t>(cli.get_int("cycles", 256));
     opts.campaign.num_threads = threads;
+    opts.campaign.engine = engine;
     const FlowResult res = run_flow(m, opts);
 
     for (const StructureReport* s : {&res.fig1, &res.fig2, &res.fig3, &res.fig4}) {
@@ -52,17 +68,20 @@ int main(int argc, char** argv) {
         std::snprintf(buf, sizeof buf, "%.1f", *v * 100.0);
         return std::string(buf);
       };
+      char ms[24];
+      std::snprintf(ms, sizeof ms, "%.2f", s->campaign_seconds * 1e3);
       table.add_row({name, s->kind, std::to_string(s->flipflops),
                      std::to_string(static_cast<long>(s->area_ge)),
                      std::to_string(s->depth), pct(s->coverage),
-                     pct(s->feedback_coverage), std::to_string(s->total_faults)});
+                     pct(s->feedback_coverage), std::to_string(s->total_faults),
+                     pct(s->activity), ms});
     }
   }
   std::printf("%s\n", table.render().c_str());
 
   // Coverage vs test length for the pipeline structure (series data).
   std::printf("Pipeline (fig4) coverage vs cycles per session, machine dk27 "
-              "(%zu threads):\n", threads);
+              "(%zu threads, %s engine):\n", threads, campaign_engine_name(engine));
   {
     const MealyMachine m = load_benchmark("dk27");
     const OstrResult ostr = solve_ostr(m);
@@ -70,10 +89,12 @@ int main(int argc, char** argv) {
     const ControllerStructure fig4 = build_fig4(m, real);
     CampaignOptions copt;
     copt.num_threads = threads;
-    std::printf("  cycles  coverage\n");
+    copt.engine = engine;
+    std::printf("  cycles  coverage  activity\n");
     for (std::size_t cycles : {4, 8, 16, 32, 64, 128, 256, 512}) {
       const auto camp = run_fault_campaign(fig4, SelfTestPlan::two_session(cycles), copt);
-      std::printf("  %6zu  %6.1f%%\n", cycles, camp.coverage() * 100.0);
+      std::printf("  %6zu  %6.1f%%  %7.1f%%\n", cycles, camp.coverage() * 100.0,
+                  camp.mean_activity() * 100.0);
     }
   }
   return 0;

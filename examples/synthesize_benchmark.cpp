@@ -3,8 +3,12 @@
 // controller structures -> (optionally) fault simulation.
 //
 // Run:  ./synthesize_benchmark --machine shiftreg [--faultsim] [--threads N]
+//                              [--engine event|flat|serial]
 //       ./synthesize_benchmark --kiss path/to/machine.kiss2
 //       ./synthesize_benchmark --list
+//
+// With --faultsim the per-structure report includes campaign wall time and
+// (event engine) the mean per-cycle activity ratio.
 
 #include <cstdio>
 #include <thread>
@@ -45,6 +49,12 @@ int main(int argc, char** argv) {
   const std::size_t hw = std::thread::hardware_concurrency();
   opts.campaign.num_threads = static_cast<std::size_t>(
       cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
+  try {
+    opts.campaign.engine = parse_campaign_engine(cli.get("engine", "event"));
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
 
   std::printf("Machine: %zu states, %zu inputs, %zu outputs\n\n", m.num_states(),
               m.num_inputs(), m.num_outputs());

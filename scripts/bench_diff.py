@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Compare two google-benchmark JSON archives and print per-benchmark deltas.
+
+Usage:
+    python3 scripts/bench_diff.py OLD.json NEW.json [--counter NAME ...]
+
+Matches benchmarks by name, prints old/new real_time with the relative
+change, plus any requested counters (default: activity, cycles_per_sec if
+present). Benchmarks present in only one file are listed separately. Used
+to track the BENCH_faultsim.json / BENCH_search_perf.json / BENCH_logic.json
+artifacts archived by CI across PRs.
+"""
+
+import argparse
+import json
+import sys
+
+
+def load(path):
+    with open(path) as f:
+        data = json.load(f)
+    out = {}
+    for b in data.get("benchmarks", []):
+        if b.get("run_type") == "aggregate":
+            continue
+        out[b["name"]] = b
+    return out
+
+
+def fmt_time(b):
+    return "%.3g %s" % (b.get("real_time", float("nan")), b.get("time_unit", "ns"))
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("old")
+    ap.add_argument("new")
+    ap.add_argument("--counter", action="append", default=[],
+                    help="extra counter column (repeatable)")
+    args = ap.parse_args()
+
+    old, new = load(args.old), load(args.new)
+    counters = args.counter or ["activity", "cycles_per_sec"]
+
+    shared = [n for n in new if n in old]
+    if not shared:
+        print("no shared benchmarks between %s and %s" % (args.old, args.new))
+    width = max((len(n) for n in shared), default=10)
+    header = "%-*s  %12s  %12s  %8s" % (width, "benchmark", "old", "new", "delta")
+    for c in counters:
+        header += "  %14s" % c
+    print(header)
+    print("-" * len(header))
+    for name in shared:
+        ob, nb = old[name], new[name]
+        ot, nt = ob.get("real_time", 0.0), nb.get("real_time", 0.0)
+        delta = (nt - ot) / ot * 100.0 if ot else float("nan")
+        line = "%-*s  %12s  %12s  %+7.1f%%" % (width, name, fmt_time(ob),
+                                               fmt_time(nb), delta)
+        for c in counters:
+            ov = ob.get(c)
+            nv = nb.get(c)
+            if nv is None:
+                line += "  %14s" % "-"
+            elif ov is None:
+                line += "  %14.4g" % nv
+            else:
+                line += "  %6.3g->%6.3g" % (ov, nv)
+        print(line)
+
+    for label, only in (("only in old", set(old) - set(new)),
+                        ("only in new", set(new) - set(old))):
+        for name in sorted(only):
+            print("%s: %s" % (label, name))
+
+    # Exit code 0 always: this is a reporting tool, CI gates on tests.
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -248,21 +248,29 @@ std::uint64_t lanes_differing_from_lane0(const std::vector<std::uint64_t>& bits)
 /// operations per bit, so the lane evolution is the scalar Bilbo recurrence
 /// applied word-wise — including the per-clock escape from the all-zero
 /// LFSR fixed point and the 1-bit toggle special case.
+///
+/// Construction (which allocates the bit/D vectors and the tap table) is
+/// per structure; reset() reconfigures role and seed per session without
+/// touching the heap, so a CampaignScratch can reuse one bank across every
+/// session of every batch.
 class LaneBank {
  public:
-  LaneBank(const Netlist& nl, const std::vector<std::size_t>& idx, RegRole role,
-           std::uint64_t seed)
-      : idx_(&idx), role_(role), width_(idx.empty() ? 1 : idx.size()) {
+  LaneBank(const Netlist& nl, const std::vector<std::size_t>& idx)
+      : idx_(&idx), width_(idx.empty() ? 1 : idx.size()) {
     taps_ = primitive_taps(width_);
     bits_.assign(width_, 0);
     d_.assign(width_, 0);
     d_net_.assign(width_, kNoNet);
-    const std::uint64_t init =
-        role == RegRole::kGenerate ? (seed == 0 ? 1 : seed) : 0;
-    for (std::size_t k = 0; k < width_ && k < 64; ++k)
-      bits_[k] = ((init >> k) & 1) ? ~std::uint64_t{0} : 0;
     for (std::size_t k = 0; k < idx.size(); ++k)
       d_net_[k] = nl.gate(nl.dffs()[idx[k]]).fanins[0];
+  }
+
+  void reset(RegRole role, std::uint64_t seed) {
+    role_ = role;
+    const std::uint64_t init =
+        role == RegRole::kGenerate ? (seed == 0 ? 1 : seed) : 0;
+    for (std::size_t k = 0; k < width_; ++k)
+      bits_[k] = (k < 64 && ((init >> k) & 1)) ? ~std::uint64_t{0} : 0;
   }
 
   bool empty() const { return idx_->empty(); }
@@ -315,7 +323,7 @@ class LaneBank {
   }
 
   const std::vector<std::size_t>* idx_;
-  RegRole role_;
+  RegRole role_ = RegRole::kHold;
   std::size_t width_;
   std::vector<unsigned> taps_;
   std::vector<std::uint64_t> bits_;
@@ -332,6 +340,9 @@ class LaneMisr {
     bits_.assign(width_, 0);
     chunk_.assign(width_, 0);
   }
+
+  /// Clear the signature for a new self-test run (no heap traffic).
+  void reset() { std::fill(bits_.begin(), bits_.end(), 0); }
 
   void absorb_outputs(const std::uint64_t* values, const std::vector<NetId>& po) {
     std::size_t j = 0, absorbed = 0;
@@ -366,61 +377,130 @@ class LaneMisr {
   std::vector<std::uint64_t> chunk_;
 };
 
+/// Everything one campaign worker needs across fault batches: the compiled
+/// program, the event evaluator's resident state, lane-sliced banks/MISR,
+/// the input generator, and every lane buffer. Constructed once per worker;
+/// run_self_test_lanes then performs zero heap allocations in the steady
+/// state — across cycles, sessions AND batches (verified by the
+/// allocation-counting hook in tests/allocfree_test.cpp).
+struct CampaignScratch {
+  CompiledNetlist cn;
+  EventScratch ev;
+  LaneBank bank_a, bank_b;
+  LaneMisr out_misr;
+  Lfsr input_gen;
+  std::vector<std::uint64_t> in_lanes;
+  std::vector<std::uint64_t> dff_lanes;
+  std::vector<std::uint64_t> init_dff_lanes;
+  std::vector<std::uint64_t> flat_values;  // flat-engine output buffer
+  std::vector<LaneFault> batch;
+  std::uint64_t cycles = 0;  // machine cycles simulated by this worker
+
+  /// `proto` is a compiled program shared by all workers: copying its
+  /// vectors is far cheaper than re-running the compile (CSR build +
+  /// AND-node folding fixpoint) once per thread, and each worker still
+  /// gets its own mutable mask state.
+  CampaignScratch(const ControllerStructure& cs, const CompiledNetlist& proto,
+                  const SelfTestPlan& plan, const PinMap& pins)
+      : cn(proto),
+        bank_a(cs.nl, cs.reg_a),
+        bank_b(cs.nl, cs.reg_b),
+        out_misr(plan.output_misr_width),
+        input_gen(std::max<std::size_t>(8, cs.pi.size())),
+        in_lanes(cs.nl.num_inputs(), 0),
+        dff_lanes(cs.nl.num_dffs(), 0),
+        flat_values(cs.nl.num_nets(), 0) {
+    const Netlist::SimState init = cs.nl.initial_state();
+    init_dff_lanes.reserve(init.dff.size());
+    for (std::size_t k = 0; k < init.dff.size(); ++k)
+      init_dff_lanes.push_back(init.dff[k] ? ~std::uint64_t{0} : 0);
+    // The test-mode pin and the unused input slots never change: set them
+    // once, the per-cycle loop only rewrites toggled functional inputs.
+    if (pins.test_slot != SIZE_MAX) in_lanes[pins.test_slot] = ~std::uint64_t{0};
+    batch.reserve(63);
+  }
+};
+
 /// One full self-test execution over 64 lanes; returns the set of lanes
 /// (as a bit mask, lane 0 excluded) whose final signatures differ from the
 /// fault-free lane 0 — i.e. the detected faults of this batch.
 std::uint64_t run_self_test_lanes(const ControllerStructure& cs,
                                   const SelfTestPlan& plan, const PinMap& pins,
-                                  CompiledNetlist& cn,
-                                  const std::vector<LaneFault>& faults,
-                                  std::vector<std::uint64_t>& in_lanes,
-                                  std::vector<std::uint64_t>& dff_lanes,
-                                  std::vector<std::uint64_t>& values) {
-  const Netlist& nl = cs.nl;
-  cn.set_faults(faults);
-  in_lanes.assign(nl.num_inputs(), 0);
-  dff_lanes.assign(nl.num_dffs(), 0);
-  values.assign(nl.num_nets(), 0);
-
-  LaneMisr out_misr(plan.output_misr_width);
+                                  CampaignScratch& sc, CampaignEngine engine) {
+  sc.cn.set_faults(sc.batch);
+  sc.out_misr.reset();
   std::uint64_t diff = 0;
-  const Netlist::SimState init = nl.initial_state();
 
   for (const SessionSpec& spec : plan.sessions) {
-    LaneBank bank_a(nl, cs.reg_a, spec.role_a, spec.gen_seed);
-    LaneBank bank_b(nl, cs.reg_b, spec.role_b, spec.gen_seed * 3 + 1);
-    Lfsr input_gen(std::max<std::size_t>(8, cs.pi.size()), spec.input_seed);
+    sc.bank_a.reset(spec.role_a, spec.gen_seed);
+    sc.bank_b.reset(spec.role_b, spec.gen_seed * 3 + 1);
+    sc.input_gen.seed(spec.input_seed);
+    std::copy(sc.init_dff_lanes.begin(), sc.init_dff_lanes.end(),
+              sc.dff_lanes.begin());
+    // Session boundary: invalidate the resident values so the first cycle
+    // takes the full-evaluation path (the re-seeded sources rewrite most
+    // words anyway, and this keeps the bit-exactness argument trivial).
+    sc.cn.reset(sc.ev);
 
-    for (std::size_t k = 0; k < dff_lanes.size(); ++k)
-      dff_lanes[k] = init.dff[k] ? ~std::uint64_t{0} : 0;
-
+    // The input LFSR word is diffed cycle-to-cycle: only lanes whose bit
+    // toggled are rewritten. ~state() forces a full rewrite on cycle 0.
+    std::uint64_t prev_in = ~sc.input_gen.state();
     for (std::size_t cycle = 0; cycle < spec.cycles; ++cycle) {
-      std::fill(in_lanes.begin(), in_lanes.end(), 0);
+      const std::uint64_t in_word = sc.input_gen.state();
+      const std::uint64_t delta = in_word ^ prev_in;
+      prev_in = in_word;
       for (std::size_t k = 0; k < cs.pi.size(); ++k)
-        if (input_gen.bit(k)) in_lanes[pins.pi_slot[k]] = ~std::uint64_t{0};
-      if (pins.test_slot != SIZE_MAX) in_lanes[pins.test_slot] = ~std::uint64_t{0};
+        if ((delta >> k) & 1)
+          sc.in_lanes[pins.pi_slot[k]] =
+              ((in_word >> k) & 1) ? ~std::uint64_t{0} : 0;
 
-      bank_a.deposit(dff_lanes.data());
-      bank_b.deposit(dff_lanes.data());
-      cn.evaluate(in_lanes.data(), dff_lanes.data(), values.data());
+      sc.bank_a.deposit(sc.dff_lanes.data());
+      sc.bank_b.deposit(sc.dff_lanes.data());
+      const std::uint64_t* values;
+      if (engine == CampaignEngine::kEvent) {
+        sc.cn.evaluate_event(sc.in_lanes.data(), sc.dff_lanes.data(), sc.ev);
+        values = sc.ev.values.data();
+      } else {
+        sc.cn.evaluate(sc.in_lanes.data(), sc.dff_lanes.data(),
+                       sc.flat_values.data());
+        values = sc.flat_values.data();
+      }
 
-      out_misr.absorb_outputs(values.data(), cs.po);
+      sc.out_misr.absorb_outputs(values, cs.po);
 
-      bank_a.clock(values.data());
-      bank_b.clock(values.data());
-      input_gen.step();
+      sc.bank_a.clock(values);
+      sc.bank_b.clock(values);
+      sc.input_gen.step();
+      ++sc.cycles;
     }
 
-    if (spec.role_a == RegRole::kCompress) bank_a.accumulate_diff(diff);
-    if (spec.role_b == RegRole::kCompress && !bank_b.empty())
-      bank_b.accumulate_diff(diff);
+    if (spec.role_a == RegRole::kCompress) sc.bank_a.accumulate_diff(diff);
+    if (spec.role_b == RegRole::kCompress && !sc.bank_b.empty())
+      sc.bank_b.accumulate_diff(diff);
   }
-  out_misr.accumulate_diff(diff);
-  cn.clear_faults();
+  sc.out_misr.accumulate_diff(diff);
+  sc.cn.clear_faults();
   return diff & ~std::uint64_t{1};
 }
 
 }  // namespace
+
+CampaignEngine parse_campaign_engine(const std::string& name) {
+  if (name == "event") return CampaignEngine::kEvent;
+  if (name == "flat") return CampaignEngine::kFlat;
+  if (name == "serial") return CampaignEngine::kSerial;
+  throw std::invalid_argument("unknown campaign engine '" + name +
+                              "' (expected event, flat or serial)");
+}
+
+const char* campaign_engine_name(CampaignEngine engine) {
+  switch (engine) {
+    case CampaignEngine::kEvent: return "event";
+    case CampaignEngine::kFlat: return "flat";
+    case CampaignEngine::kSerial: return "serial";
+  }
+  return "?";
+}
 
 CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestPlan& plan,
                                   const CampaignOptions& options,
@@ -449,7 +529,7 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
 
   std::vector<char> rep_detected(reps.size(), 0);
 
-  if (!options.bit_parallel) {
+  if (options.engine == CampaignEngine::kSerial) {
     const Signatures golden = run_self_test(cs, plan);
     for (std::size_t i = 0; i < reps.size(); ++i)
       rep_detected[i] = run_self_test(cs, plan, reps[i]) != golden ? 1 : 0;
@@ -461,25 +541,33 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
     const std::size_t num_threads =
         std::max<std::size_t>(1, std::min(options.num_threads, num_batches));
 
+    // Compile once; workers copy the program (cheap) instead of re-running
+    // the netlist compile per thread.
+    const CompiledNetlist proto(nl);
+
     // Batch b covers reps [63b, 63b+63); worker w takes batches w, w+T, ...
     // Workers write disjoint rep_detected ranges, so the result is
     // identical for every thread count.
+    std::vector<std::uint64_t> worker_cycles(num_threads, 0);
+    std::vector<std::uint64_t> worker_ops(num_threads, 0);
     auto worker = [&](std::size_t w) {
-      CompiledNetlist cn(nl);
-      std::vector<std::uint64_t> in_lanes, dff_lanes, values;
-      std::vector<LaneFault> batch;
+      CampaignScratch sc(cs, proto, plan, pins);
       for (std::size_t b = w; b < num_batches; b += num_threads) {
         const std::size_t begin = b * 63;
         const std::size_t end = std::min(reps.size(), begin + 63);
-        batch.clear();
+        sc.batch.clear();
         for (std::size_t i = begin; i < end; ++i)
-          batch.push_back({reps[i].net, reps[i].stuck_value,
-                           static_cast<unsigned>(i - begin + 1)});
-        const std::uint64_t diff = run_self_test_lanes(
-            cs, plan, pins, cn, batch, in_lanes, dff_lanes, values);
+          sc.batch.push_back({reps[i].net, reps[i].stuck_value,
+                              static_cast<unsigned>(i - begin + 1)});
+        const std::uint64_t diff =
+            run_self_test_lanes(cs, plan, pins, sc, options.engine);
         for (std::size_t i = begin; i < end; ++i)
           if ((diff >> (i - begin + 1)) & 1) rep_detected[i] = 1;
       }
+      worker_cycles[w] = sc.cycles;
+      worker_ops[w] = options.engine == CampaignEngine::kEvent
+                          ? sc.ev.ops_evaluated
+                          : sc.cycles * sc.cn.num_ops();
     };
 
     if (num_threads == 1) {
@@ -490,8 +578,16 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
       for (std::size_t w = 0; w < num_threads; ++w) pool.emplace_back(worker, w);
       for (std::thread& t : pool) t.join();
     }
+    res.ops_per_cycle = nl.topo_order().size();
+    for (std::size_t w = 0; w < num_threads; ++w) {
+      res.cycles_simulated += worker_cycles[w];
+      res.ops_evaluated += worker_ops[w];
+    }
   }
 
+  // One deterministic allocation regardless of the detected count (keeps
+  // campaign heap traffic independent of plan length; see allocfree_test).
+  res.raw.undetected.reserve(list.size());
   for (std::size_t i = 0; i < list.size(); ++i) {
     if (rep_detected[class_of[i]]) {
       ++res.raw.detected;

@@ -14,6 +14,7 @@
 // compresses, session 2 = the converse.
 
 #include <optional>
+#include <string>
 
 #include "bist/architectures.hpp"
 #include "bist/bilbo.hpp"
@@ -96,6 +97,23 @@ CoverageResult measure_coverage(const ControllerStructure& cs, const SelfTestPla
 /// differs from lane 0 — the same criterion as the serial oracle, so the
 /// detected-fault sets are identical by construction.
 
+enum class CampaignEngine {
+  /// Event-driven 64-lane engine: resident net words, fanout-cone
+  /// scheduling, only changed cones re-evaluated per cycle (default).
+  kEvent,
+  /// Flat 64-lane engine: every gate, every cycle (reference for the
+  /// event engine; previous default).
+  kFlat,
+  /// One serial self-test per simulated fault (still honors `collapse`);
+  /// the differential-testing oracle.
+  kSerial,
+};
+
+/// Parse "event" / "flat" / "serial" (the --engine flag of the drivers);
+/// throws std::invalid_argument on anything else.
+CampaignEngine parse_campaign_engine(const std::string& name);
+const char* campaign_engine_name(CampaignEngine engine);
+
 struct CampaignOptions {
   /// Fan fault batches across worker threads (mirrors
   /// OstrOptions::num_threads). Results are identical for any value.
@@ -103,9 +121,8 @@ struct CampaignOptions {
   /// Structural fault collapsing: simulate one representative per
   /// equivalence class (see collapse_faults) and expand the verdicts.
   bool collapse = true;
-  /// When false, fall back to one serial self-test per simulated fault
-  /// (still honoring `collapse`); for differential testing.
-  bool bit_parallel = true;
+  /// Evaluation engine; all three produce identical detected-fault sets.
+  CampaignEngine engine = CampaignEngine::kEvent;
 };
 
 struct CampaignResult {
@@ -114,12 +131,31 @@ struct CampaignResult {
   std::size_t collapsed_detected = 0;
   std::size_t session_runs = 0;        // full self-test executions performed
 
+  // Activity accounting (bit-parallel engines only; zero on the serial
+  // path). ops_per_cycle is the compiled netlist's combinational op count,
+  // i.e. the cost of one flat evaluation.
+  std::uint64_t cycles_simulated = 0;
+  std::uint64_t ops_evaluated = 0;
+  std::size_t ops_per_cycle = 0;
+
   double coverage() const { return raw.coverage(); }
   double collapsed_coverage() const {
     return collapsed_total == 0
                ? 1.0
                : static_cast<double>(collapsed_detected) /
                      static_cast<double>(collapsed_total);
+  }
+  /// Mean fraction of combinational ops re-evaluated to a fresh value per
+  /// cycle (1.0 for the flat and serial engines). An *event rate*: dense
+  /// PLA products whose cheap resident-word check confirms the old value
+  /// are not counted, so this tracks how quiescent the netlist is, not
+  /// the engine's wall-clock cost -- compare campaign wall times for that.
+  double mean_activity() const {
+    return cycles_simulated == 0 || ops_per_cycle == 0
+               ? 1.0
+               : static_cast<double>(ops_evaluated) /
+                     (static_cast<double>(cycles_simulated) *
+                      static_cast<double>(ops_per_cycle));
   }
 };
 

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <unordered_map>
+#include <string>
 
 namespace stc {
 
@@ -32,14 +34,250 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl) {
 
   and_mask_.assign(num_nets_, ~std::uint64_t{0});
   or_mask_.assign(num_nets_, 0);
+
+  // --- event-scheduler compile products -------------------------------------
+  // Net levels: sources (inputs/DFF-q/consts) are level 0; an op's output is
+  // one past its deepest fanin. The topo order guarantees fanin levels are
+  // final when an op is reached.
+  std::vector<std::uint32_t> net_level(num_nets_, 0);
+  op_of_net_.assign(num_nets_, kNoOp);
+  op_level_.assign(ops_.size(), 0);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    std::uint32_t lvl = 0;
+    for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+      lvl = std::max(lvl, net_level[fanins_[op.fanin_begin + k]]);
+    ++lvl;
+    net_level[op.out] = lvl;
+    op_level_[i] = lvl - 1;  // bucket levels are 0-based over ops
+    op_of_net_[op.out] = static_cast<std::uint32_t>(i);
+    num_levels_ = std::max(num_levels_, lvl);
+  }
+
+  // Bucket layout: segment the scheduled-op array by level, with capacity
+  // equal to the op count of each level (an op is scheduled at most once
+  // per cycle thanks to the epoch stamps, so the segments cannot overflow).
+  std::vector<std::uint32_t> per_level(num_levels_, 0);
+  for (std::uint32_t lvl : op_level_) ++per_level[lvl];
+  level_base_.assign(num_levels_ + 1, 0);
+  for (std::uint32_t l = 0; l < num_levels_; ++l)
+    level_base_[l + 1] = level_base_[l] + per_level[l];
+
+  // Dense PLA-product sweep. Two-level structures put thousands of wide AND
+  // products directly behind the literal nets (sources and their NOT/BUFs),
+  // and pseudo-random BIST stimulus toggles about half of those literals
+  // every cycle -- so per-edge event scheduling would wake nearly every
+  // product anyway, paying pointer-chasing costs for nothing. Instead,
+  // products whose fanins are all literal-shaped (net level <= 1, or the
+  // output of an earlier dense product) are compiled into one contiguous
+  // uint16 index stream evaluated sequentially: literal-only products are
+  // grouped by fanin count (fixed inner trip counts, no mispredicted
+  // exits), product-reading chains follow in topo order, and the whole
+  // sweep is skipped on cycles where no product input changed. Requires
+  // net ids to fit uint16.
+  dense_.assign(ops_.size(), 0);
+  is_dense_input_.assign(num_nets_, 0);
+  std::vector<std::uint32_t> main_ops, chain_ops;  // topo order
+  if (num_nets_ <= UINT16_MAX + 1) {
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      const Op& op = ops_[i];
+      if (op.type != GateType::kAnd || op.fanin_count < 2) continue;
+      bool ok = true, chained = false;
+      for (std::uint32_t k = 0; ok && k < op.fanin_count; ++k) {
+        const NetId f = fanins_[op.fanin_begin + k];
+        // The dense-producer check must come first: a level-1 net driven
+        // by another dense product is NOT a slab literal -- the reader has
+        // to go through the chained (values[]-reading) path, which runs
+        // after the producer's commit, or it would AND a stale term word.
+        if (op_of_net_[f] != kNoOp && dense_[op_of_net_[f]]) {
+          chained = true;
+          continue;
+        }
+        if (net_level[f] <= 1) continue;
+        ok = false;
+      }
+      if (!ok) continue;
+      dense_[i] = 1;
+      (chained ? chain_ops : main_ops).push_back(static_cast<std::uint32_t>(i));
+    }
+  }
+  // Literal slab: one term slot per distinct net read by a literal-only
+  // product, ordered by descending read count (frequent literals share
+  // low slots, which maximizes node reuse below).
+  {
+    std::vector<std::uint32_t> reads(num_nets_, 0);
+    for (std::uint32_t op_idx : main_ops) {
+      const Op& op = ops_[op_idx];
+      for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+        ++reads[fanins_[op.fanin_begin + k]];
+    }
+    for (NetId n = 0; n < num_nets_; ++n)
+      if (reads[n] > 0) slab_net_.push_back(n);
+    std::stable_sort(slab_net_.begin(), slab_net_.end(),
+                     [&](NetId a, NetId b) { return reads[a] > reads[b]; });
+  }
+  std::vector<std::uint16_t> slot_of(num_nets_, 0);
+  for (std::size_t t = 0; t < slab_net_.size(); ++t)
+    slot_of[slab_net_[t]] = static_cast<std::uint16_t>(t);
+
+  // Factor the products through shared AND nodes: sort each product's term
+  // list, fold consecutive term pairs into deduplicated (a & b) nodes, and
+  // repeat until the lists stop shrinking or the id space / node budget is
+  // exhausted. Exact by associativity: internal nodes are not nets, so
+  // they never carry fault masks.
+  std::vector<std::vector<std::uint16_t>> terms(main_ops.size());
+  for (std::size_t p = 0; p < main_ops.size(); ++p) {
+    const Op& op = ops_[main_ops[p]];
+    for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+      terms[p].push_back(slot_of[fanins_[op.fanin_begin + k]]);
+    std::sort(terms[p].begin(), terms[p].end());
+  }
+  {
+    const std::size_t kNodeBudget = 8192;  // term table stays cache-resident
+    std::unordered_map<std::uint32_t, std::uint16_t> node_id;
+    bool shrunk = true;
+    while (shrunk) {
+      shrunk = false;
+      // Only pairs ANDed by at least two products become nodes; a node
+      // with a single reader would move work around instead of removing
+      // it (same AND count, worse locality).
+      std::unordered_map<std::uint32_t, std::uint32_t> freq;
+      for (const auto& list : terms)
+        for (std::size_t i = 0; i + 1 < list.size(); i += 2)
+          ++freq[(static_cast<std::uint32_t>(list[i]) << 16) | list[i + 1]];
+      for (auto& list : terms) {
+        if (list.size() < 2) continue;
+        std::vector<std::uint16_t> next;
+        next.reserve(list.size());
+        for (std::size_t i = 0; i < list.size(); i += 2) {
+          if (i + 1 == list.size()) {
+            next.push_back(list[i]);
+            break;
+          }
+          const std::uint32_t key =
+              (static_cast<std::uint32_t>(list[i]) << 16) | list[i + 1];
+          auto it = node_id.find(key);
+          std::uint16_t id;
+          if (it != node_id.end()) {
+            id = it->second;
+          } else if (freq[key] >= 2 && node_a_.size() < kNodeBudget &&
+                     slab_net_.size() + node_a_.size() <= UINT16_MAX) {
+            id = static_cast<std::uint16_t>(slab_net_.size() + node_a_.size());
+            node_a_.push_back(list[i]);
+            node_b_.push_back(list[i + 1]);
+            node_id.emplace(key, id);
+          } else {
+            next.push_back(list[i]);  // unshared or over budget: keep both
+            next.push_back(list[i + 1]);
+            continue;
+          }
+          next.push_back(id);
+          shrunk = true;
+        }
+        list = std::move(next);
+      }
+    }
+  }
+
+  // Emit products grouped by final term count (sequential stream per group).
+  {
+    std::vector<std::uint32_t> order(main_ops.size());
+    for (std::size_t p = 0; p < order.size(); ++p) order[p] = static_cast<std::uint32_t>(p);
+    std::stable_sort(order.begin(), order.end(),
+                     [&](std::uint32_t a, std::uint32_t b) {
+                       return terms[a].size() < terms[b].size();
+                     });
+    for (std::size_t i = 0; i < order.size();) {
+      const std::uint32_t width = static_cast<std::uint32_t>(terms[order[i]].size());
+      std::size_t j = i;
+      while (j < order.size() && terms[order[j]].size() == width) {
+        dense_out_.push_back(ops_[main_ops[order[j]]].out);
+        dense_prog_.insert(dense_prog_.end(), terms[order[j]].begin(),
+                           terms[order[j]].end());
+        ++j;
+      }
+      dense_groups_.push_back({static_cast<std::uint32_t>(j - i), width});
+      i = j;
+    }
+  }
+  for (NetId n : slab_net_) is_dense_input_[n] = 1;
+  // Chained products read values[] directly: their stream entries are net
+  // ids, not term slots.
+  for (std::uint32_t op_idx : chain_ops) {
+    const Op& op = ops_[op_idx];
+    dense_out_.push_back(op.out);
+    dense_chain_width_.push_back(op.fanin_count);
+    for (std::uint32_t k = 0; k < op.fanin_count; ++k) {
+      const NetId f = fanins_[op.fanin_begin + k];
+      dense_prog_.push_back(static_cast<std::uint16_t>(f));
+      is_dense_input_[f] = 1;
+    }
+  }
+
+  // Sparse ORs: wide ORs (PLA output planes) re-evaluate over their
+  // currently-nonzero fanins only. The active sets live in the scratch;
+  // here we compile the per-edge tables that let a fanin's zero/nonzero
+  // transition update its reader's set in O(1) at commit time.
+  sparse_or_of_op_.assign(ops_.size(), kNoOp);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    const Op& op = ops_[i];
+    if (op.type != GateType::kOr || op.fanin_count < kSparseOrMinFanins) continue;
+    sparse_or_of_op_[i] = static_cast<std::uint32_t>(or_op_.size());
+    or_op_.push_back(static_cast<std::uint32_t>(i));
+    or_base_.push_back(static_cast<std::uint32_t>(edge_net_.size()));
+    for (std::uint32_t k = 0; k < op.fanin_count; ++k) {
+      edge_net_.push_back(fanins_[op.fanin_begin + k]);
+      edge_or_.push_back(static_cast<std::uint32_t>(or_op_.size() - 1));
+    }
+  }
+  or_base_.push_back(static_cast<std::uint32_t>(edge_net_.size()));
+  sor_offset_.assign(num_nets_ + 1, 0);
+  for (const NetId n : edge_net_) ++sor_offset_[n + 1];
+  for (std::size_t n = 0; n < num_nets_; ++n) sor_offset_[n + 1] += sor_offset_[n];
+  sor_edge_.resize(edge_net_.size());
+  {
+    std::vector<std::uint32_t> cur(sor_offset_.begin(), sor_offset_.end() - 1);
+    for (std::size_t e = 0; e < edge_net_.size(); ++e)
+      sor_edge_[cur[edge_net_[e]]++] = static_cast<std::uint32_t>(e);
+  }
+
+  // CSR fanout graph: for every net, the readers not covered by the dense
+  // sweep or the sparse-OR sets.
+  const auto in_csr = [&](std::size_t i) {
+    return !dense_[i] && sparse_or_of_op_[i] == kNoOp;
+  };
+  fanout_offset_.assign(num_nets_ + 1, 0);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (!in_csr(i)) continue;
+    const Op& op = ops_[i];
+    for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+      ++fanout_offset_[fanins_[op.fanin_begin + k] + 1];
+  }
+  for (std::size_t n = 0; n < num_nets_; ++n)
+    fanout_offset_[n + 1] += fanout_offset_[n];
+  fanout_pool_.resize(fanout_offset_[num_nets_]);
+  std::vector<std::uint32_t> cursor(fanout_offset_.begin(),
+                                    fanout_offset_.end() - 1);
+  for (std::size_t i = 0; i < ops_.size(); ++i) {
+    if (!in_csr(i)) continue;
+    const Op& op = ops_[i];
+    for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+      fanout_pool_[cursor[fanins_[op.fanin_begin + k]]++] =
+          static_cast<std::uint32_t>(i);
+  }
 }
 
 void CompiledNetlist::set_faults(const std::vector<LaneFault>& faults) {
   clear_faults();
   for (const LaneFault& f : faults) {
-    if (f.net >= num_nets_) throw std::out_of_range("set_faults: bad net");
+    if (f.net >= num_nets_)
+      throw std::out_of_range("set_faults: bad net " + std::to_string(f.net) +
+                              " (netlist has " + std::to_string(num_nets_) +
+                              " nets)");
     if (f.lane == 0 || f.lane > 63)
-      throw std::invalid_argument("set_faults: lane must be in 1..63");
+      throw std::invalid_argument("set_faults: lane must be in 1..63 (net " +
+                                  std::to_string(f.net) + " requested lane " +
+                                  std::to_string(f.lane) + ")");
     if (and_mask_[f.net] == ~std::uint64_t{0} && or_mask_[f.net] == 0)
       dirty_.push_back(f.net);
     if (f.stuck_value)
@@ -47,26 +285,21 @@ void CompiledNetlist::set_faults(const std::vector<LaneFault>& faults) {
     else
       and_mask_[f.net] &= ~(std::uint64_t{1} << f.lane);
   }
+  if (!faults.empty()) ++faults_version_;
 }
 
 void CompiledNetlist::clear_faults() {
+  if (dirty_.empty()) return;
   for (NetId n : dirty_) {
     and_mask_[n] = ~std::uint64_t{0};
     or_mask_[n] = 0;
   }
   dirty_.clear();
+  ++faults_version_;
 }
 
-void CompiledNetlist::evaluate(const std::uint64_t* input_lanes,
-                               const std::uint64_t* dff_lanes,
-                               std::uint64_t* values) const {
-  std::copy(init_.begin(), init_.end(), values);
-  for (std::size_t k = 0; k < inputs_.size(); ++k) values[inputs_[k]] = input_lanes[k];
-  for (std::size_t k = 0; k < dffs_.size(); ++k) values[dffs_[k]] = dff_lanes[k];
-  // Source nets (inputs, DFF outputs, consts) get their masks here; the op
-  // loop below re-applies masks to combinational nets after driving them.
-  for (NetId n : dirty_) values[n] = (values[n] & and_mask_[n]) | or_mask_[n];
-
+template <bool kMasked>
+void CompiledNetlist::run_ops(std::uint64_t* values) const {
   const std::uint32_t* pool = fanins_.data();
   for (const Op& op : ops_) {
     const std::uint32_t* f = pool + op.fanin_begin;
@@ -94,8 +327,28 @@ void CompiledNetlist::evaluate(const std::uint64_t* input_lanes,
         v = 0;
         break;
     }
-    values[op.out] = (v & and_mask_[op.out]) | or_mask_[op.out];
+    if (kMasked)
+      values[op.out] = (v & and_mask_[op.out]) | or_mask_[op.out];
+    else
+      values[op.out] = v;
   }
+}
+
+void CompiledNetlist::evaluate(const std::uint64_t* input_lanes,
+                               const std::uint64_t* dff_lanes,
+                               std::uint64_t* values) const {
+  std::copy(init_.begin(), init_.end(), values);
+  for (std::size_t k = 0; k < inputs_.size(); ++k) values[inputs_[k]] = input_lanes[k];
+  for (std::size_t k = 0; k < dffs_.size(); ++k) values[dffs_[k]] = dff_lanes[k];
+  if (dirty_.empty()) {
+    // Fault-free reference path: all masks are the identity, skip them.
+    run_ops<false>(values);
+    return;
+  }
+  // Source nets (inputs, DFF outputs, consts) get their masks here; the op
+  // loop re-applies masks to combinational nets after driving them.
+  for (NetId n : dirty_) values[n] = (values[n] & and_mask_[n]) | or_mask_[n];
+  run_ops<true>(values);
 }
 
 }  // namespace stc

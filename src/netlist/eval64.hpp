@@ -13,6 +13,21 @@
 // after every net is driven: sa-0 in lane l clears bit l of the net's
 // and-mask, sa-1 sets bit l of its or-mask. The masks default to the
 // identity (~0 / 0), so fault-free lanes are untouched.
+//
+// Two evaluation modes are compiled from the same program:
+//   * evaluate()       -- flat: every op, every call (reference engine);
+//   * evaluate_event() -- event-driven: the previous cycle's net words stay
+//     resident in an EventScratch, source words are diffed against them,
+//     and only the fanout cones of changed nets are re-evaluated via a
+//     per-level bucket queue. PLA products (ANDs over literal-shaped
+//     fanins) are compiled into a separate dense sweep -- factored through
+//     a shared AND-node table, grouped by term count, evaluated as one
+//     sequential pass and skipped whenever no product input changed -- and
+//     wide ORs keep incremental active-fanin sets (see DESIGN.md,
+//     "Event-driven fault simulation"). Bit-identical to evaluate() by
+//     construction: any state the scheduler cannot trust (fresh scratch,
+//     set_faults / clear_faults since the last call) falls back to one
+//     full evaluation.
 
 #include <cstdint>
 #include <vector>
@@ -29,6 +44,47 @@ struct LaneFault {
   unsigned lane = 1;  // 1..63
 };
 
+/// Resident state of the event-driven evaluator. Owned by the caller (one
+/// per worker) so the campaign inner loop performs no heap allocation:
+/// every vector is sized once on first use and reused across cycles,
+/// sessions and fault batches. All counters accumulate until the caller
+/// resets them.
+struct EventScratch {
+  std::vector<std::uint64_t> values;      // per-net 64-lane words, resident
+  std::vector<std::uint64_t> stamp;       // per-op epoch of last schedule
+  std::vector<std::uint32_t> bucket;      // scheduled ops, level-segmented
+  std::vector<std::uint32_t> level_fill;  // per-level bucket occupancy
+  // Resident state of the dense product sweep, laid out sequentially so the
+  // sweep never takes a scattered load on the no-change path: the previous
+  // *unmasked* product word (output masks are applied lazily, only when the
+  // raw word changed) plus the AND-node term table (literal slab followed
+  // by the shared subproduct words).
+  std::vector<std::uint64_t> dense_val;
+  std::vector<std::uint64_t> dense_terms;
+  // Active-fanin sets of the sparse ORs: the edges whose words are
+  // currently nonzero, maintained by swap-remove at commit time so a wide
+  // OR re-evaluates over its few firing products instead of all fanins.
+  std::vector<std::uint32_t> or_nz_pool;
+  std::vector<std::uint32_t> or_nz_count;
+  std::vector<std::uint32_t> or_edge_pos;
+  std::uint64_t epoch = 0;
+  std::uint64_t faults_version = 0;  // CompiledNetlist mask state last seen
+  const void* owner = nullptr;       // CompiledNetlist the state belongs to
+  bool valid = false;                // values mirror the last evaluation
+
+  // Activity accounting (incremental + full-eval cycles combined).
+  // ops_evaluated is an *event rate*, not a wall-clock cost model: it
+  // counts scheduled CSR/bucket op evaluations plus dense products whose
+  // resident word was recomputed to a fresh value (a dense product whose
+  // cheap term-table check confirms the old word is not counted).
+  std::uint64_t cycles = 0;         // evaluate_event() calls
+  std::uint64_t full_evals = 0;     // calls that took the reset path
+  std::uint64_t ops_evaluated = 0;  // op evaluations performed (see above)
+  std::uint64_t net_events = 0;     // net words that changed value
+
+  void reset_counters() { cycles = full_evals = ops_evaluated = net_events = 0; }
+};
+
 class CompiledNetlist {
  public:
   /// Compiles the netlist; requires nl.finalize() to have been called.
@@ -37,12 +93,27 @@ class CompiledNetlist {
   std::size_t num_nets() const { return num_nets_; }
   std::size_t num_inputs() const { return inputs_.size(); }
   std::size_t num_dffs() const { return dffs_.size(); }
+  /// Combinational ops per full evaluation (the event engine's activity
+  /// denominator).
+  std::size_t num_ops() const { return ops_.size(); }
+  /// Combinational levels of the compiled program.
+  std::size_t num_levels() const { return num_levels_; }
+  /// Ops compiled into the dense PLA-product sweep.
+  std::size_t num_dense_ops() const { return dense_out_.size(); }
+  /// Shared AND nodes in the dense term table.
+  std::size_t num_dense_nodes() const { return node_a_.size(); }
+  /// Literal slab slots feeding the dense term table.
+  std::size_t num_dense_literals() const { return slab_net_.size(); }
+  /// Total term references in the dense product programs (the sweep's load
+  /// count; compare against the flat engine's total fanin count).
+  std::size_t num_dense_terms() const { return dense_prog_.size(); }
 
   /// D-input net of flip-flop k (dffs() order), for clocking.
   NetId dff_d(std::size_t k) const { return dff_d_[k]; }
 
   /// Install the lane masks for a fault batch (at most 63 faults, lanes
-  /// 1..63). Replaces any previously installed batch.
+  /// 1..63). Replaces any previously installed batch. Invalidates any
+  /// EventScratch (its next evaluate_event() performs a full evaluation).
   void set_faults(const std::vector<LaneFault>& faults);
   void clear_faults();
 
@@ -50,9 +121,27 @@ class CompiledNetlist {
   ///   input_lanes: one word per primary-input slot, inputs() order;
   ///   dff_lanes:   one word per flip-flop, dffs() order;
   ///   values:      out, one word per net (size num_nets()).
-  /// Fault masks are applied to every net, including inputs/DFFs/consts.
+  /// Fault masks are applied to every net, including inputs/DFFs/consts;
+  /// when no faults are installed the mask pass is skipped entirely.
   void evaluate(const std::uint64_t* input_lanes, const std::uint64_t* dff_lanes,
                 std::uint64_t* values) const;
+
+  /// Event-driven evaluation into the scratch's resident `values`. Source
+  /// words (inputs/DFFs) are diffed against the previous cycle; only ops in
+  /// the fanout cones of changed nets are re-evaluated, popped level by
+  /// level, and a cone dies out as soon as a recomputed word equals its old
+  /// value (glitch suppression). PLA products run in the dense sweep
+  /// instead, skipped entirely on cycles where no product input changed.
+  /// Falls back to one full evaluation when the scratch is fresh, reset()
+  /// was called, or the fault masks changed -- which makes the result
+  /// bit-identical to evaluate() by construction.
+  void evaluate_event(const std::uint64_t* input_lanes,
+                      const std::uint64_t* dff_lanes, EventScratch& s) const;
+
+  /// Invalidate the scratch's resident values: the next evaluate_event()
+  /// takes the full-evaluation path. Used at session boundaries (new seeds
+  /// rewrite every source word anyway) and by tests.
+  void reset(EventScratch& s) const { s.valid = false; }
 
  private:
   struct Op {
@@ -61,6 +150,22 @@ class CompiledNetlist {
     std::uint32_t fanin_begin;
     std::uint32_t fanin_count;
   };
+  /// A run of dense products sharing one fanin count: fixed inner trip
+  /// counts keep the sweep's loop branches perfectly predicted.
+  struct DenseGroup {
+    std::uint32_t count;  // products in this group
+    std::uint32_t width;  // fanins per product
+  };
+
+  static constexpr std::uint32_t kNoOp = UINT32_MAX;
+  /// ORs with at least this many fanins use incremental active-fanin sets.
+  static constexpr std::uint32_t kSparseOrMinFanins = 16;
+
+  template <bool kMasked>
+  void run_ops(std::uint64_t* values) const;
+  void ensure_scratch(EventScratch& s) const;
+  void refresh_dense(EventScratch& s) const;
+  void rebuild_or_sets(EventScratch& s) const;
 
   std::size_t num_nets_ = 0;
   std::vector<NetId> inputs_;
@@ -72,6 +177,41 @@ class CompiledNetlist {
   std::vector<std::uint64_t> and_mask_;
   std::vector<std::uint64_t> or_mask_;
   std::vector<NetId> dirty_;          // nets with non-identity masks
+  std::uint64_t faults_version_ = 1;  // bumped on set_faults/clear_faults
+
+  // Event-scheduler compile products.
+  std::vector<std::uint32_t> op_of_net_;     // driving op per net (kNoOp: source)
+  std::vector<std::uint32_t> op_level_;      // per op, from the topo order
+  std::uint32_t num_levels_ = 0;
+  std::vector<std::uint32_t> level_base_;    // bucket segment start per level
+  // CSR fanout graph over the *non-dense* reader edges (dense products are
+  // covered by the dense sweep instead of per-edge scheduling).
+  std::vector<std::uint32_t> fanout_offset_; // per-net reader range ...
+  std::vector<std::uint32_t> fanout_pool_;   // ... into this flat op-index pool
+  // Dense PLA-product sweep (see DESIGN.md). Literal-only products are
+  // factored through a shared AND-node table: term slot t < num_slab_ holds
+  // literal net slab_net_[t], slot num_slab_+j holds node_a_[j] & node_b_[j]
+  // (ids always smaller, so one sequential pass evaluates the table).
+  // Products are grouped by final term count (fixed trip counts), followed
+  // by product-reading ("chained") products in topo order whose stream
+  // entries are raw net ids instead of term slots.
+  std::vector<std::uint8_t> dense_;            // per op: member of the sweep
+  std::vector<std::uint32_t> slab_net_;        // term slot -> literal net
+  std::vector<std::uint16_t> node_a_, node_b_; // shared AND nodes
+  std::vector<DenseGroup> dense_groups_;
+  std::vector<std::uint32_t> dense_out_;       // output net per dense op
+  std::vector<std::uint32_t> dense_chain_width_;  // per chained op
+  std::vector<std::uint16_t> dense_prog_;      // term slots, then chain net ids
+  std::vector<std::uint8_t> is_dense_input_;   // per net: read by a dense op
+  // Sparse ORs (see DESIGN.md): per-edge tables so a fanin's zero/nonzero
+  // transition updates the reader's active set in O(1) at commit time.
+  std::vector<std::uint32_t> sparse_or_of_op_; // per op -> sparse-OR idx / kNoOp
+  std::vector<std::uint32_t> or_op_;           // per sparse OR -> op idx
+  std::vector<std::uint32_t> or_base_;         // per sparse OR -> first edge
+  std::vector<std::uint32_t> edge_net_;        // per edge: the fanin net
+  std::vector<std::uint32_t> edge_or_;         // per edge: owning sparse OR
+  std::vector<std::uint32_t> sor_offset_;      // per net: range of reading ...
+  std::vector<std::uint32_t> sor_edge_;        // ... edges into edge_net_
 };
 
 }  // namespace stc

@@ -1,5 +1,7 @@
 #include "synth/flow.hpp"
 
+#include <chrono>
+
 namespace stc {
 
 StructureReport measure_structure(const ControllerStructure& cs,
@@ -15,18 +17,21 @@ StructureReport measure_structure(const ControllerStructure& cs,
     const auto faults = enumerate_stuck_faults(cs.nl);
     rep.total_faults = faults.size();
 
+    const auto t0 = std::chrono::steady_clock::now();
     CoverageResult cov;
     if (cs.kind == "fig1") {
       cov = measure_functional_coverage(cs, options.functional_cycles, faults);
-    } else if (cs.kind == "fig2") {
-      cov = run_fault_campaign(cs, SelfTestPlan::conventional(2 * options.bist_cycles),
-                               options.campaign, faults)
-                .raw;
     } else {
-      cov = run_fault_campaign(cs, SelfTestPlan::two_session(options.bist_cycles),
-                               options.campaign, faults)
-                .raw;
+      const SelfTestPlan plan =
+          cs.kind == "fig2" ? SelfTestPlan::conventional(2 * options.bist_cycles)
+                            : SelfTestPlan::two_session(options.bist_cycles);
+      CampaignResult camp = run_fault_campaign(cs, plan, options.campaign, faults);
+      if (camp.cycles_simulated > 0) rep.activity = camp.mean_activity();
+      cov = std::move(camp.raw);
     }
+    rep.campaign_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
     rep.coverage = cov.coverage();
 
     if (!cs.feedback_nets.empty()) {

@@ -20,9 +20,10 @@ struct FlowOptions {
   bool with_fault_sim = false;       // fault simulation is the expensive part
   std::size_t bist_cycles = 256;     // per session
   std::size_t functional_cycles = 512;
-  /// Options of the bit-parallel campaign engine used for the BIST
-  /// structures (figs. 2-4); the detected set is identical to the serial
-  /// oracle's, only faster.
+  /// Options of the campaign engine used for the BIST structures
+  /// (figs. 2-4): event-driven by default, selectable via
+  /// CampaignOptions::engine; every engine produces the identical
+  /// detected-fault set, they only differ in speed.
   CampaignOptions campaign;
 };
 
@@ -40,6 +41,11 @@ struct StructureReport {
   std::optional<double> coverage;            // all single stuck-at faults
   std::optional<double> feedback_coverage;   // faults on R -> C lines only
   std::size_t total_faults = 0;
+  /// Campaign wall time (seconds; includes the functional baseline for
+  /// fig1) and the event engine's mean per-cycle activity ratio — the
+  /// paper-table drivers double as the perf harness.
+  double campaign_seconds = 0.0;
+  std::optional<double> activity;
 };
 
 struct FlowResult {

@@ -10,8 +10,10 @@ std::string render_structure(const StructureReport& s) {
                               s.kind.c_str(), s.flipflops, s.area_ge, s.depth,
                               s.logic.cubes, s.logic.literals);
   if (s.coverage)
-    out += strprintf(", coverage %5.1f%% (%zu faults)", *s.coverage * 100.0,
-                     s.total_faults);
+    out += strprintf(", coverage %5.1f%% (%zu faults, %.3fs)", *s.coverage * 100.0,
+                     s.total_faults, s.campaign_seconds);
+  if (s.activity)
+    out += strprintf(", activity %4.1f%%", *s.activity * 100.0);
   if (s.feedback_coverage)
     out += strprintf(", feedback-line coverage %5.1f%%", *s.feedback_coverage * 100.0);
   return out + "\n";

@@ -1,0 +1,87 @@
+// Steady-state allocation accounting for the campaign inner loop. The
+// global operator new/delete of the test binary are replaced with counting
+// wrappers (this affects every test in the binary, but only adds an atomic
+// increment per allocation). The property under test: once a campaign's
+// scratch is warm, the cycle loop performs no heap allocation -- so the
+// total allocation count of run_fault_campaign is *independent of the
+// number of BIST cycles* (and of how many batches reuse the scratch).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+
+#include "benchdata/iwls93.hpp"
+#include "bist/session.hpp"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace stc {
+namespace {
+
+ControllerStructure fig1_for(const std::string& name) {
+  const MealyMachine m = load_benchmark(name);
+  return build_fig1(encode_fsm(m, natural_encoding(m.num_states())));
+}
+
+std::uint64_t count_campaign_allocs(const ControllerStructure& cs,
+                                    std::size_t cycles, CampaignEngine engine,
+                                    bool collapse) {
+  CampaignOptions opt;
+  opt.engine = engine;
+  opt.num_threads = 1;  // worker threads allocate their own stacks
+  opt.collapse = collapse;
+  const std::uint64_t before = g_allocations.load();
+  const CampaignResult res =
+      run_fault_campaign(cs, SelfTestPlan::two_session(cycles), opt);
+  EXPECT_GT(res.raw.total, 0u);
+  return g_allocations.load() - before;
+}
+
+class CampaignAllocations : public ::testing::TestWithParam<CampaignEngine> {};
+
+TEST_P(CampaignAllocations, IndependentOfCycleCount) {
+  const ControllerStructure cs = fig1_for("dk27");
+  const CampaignEngine engine = GetParam();
+  // collapse off: 78 faults -> 2 batches, so the count also covers scratch
+  // reuse across batches (banks reset, masks swapped, resident values
+  // re-seeded) -- all without touching the heap.
+  const std::uint64_t short_run = count_campaign_allocs(cs, 24, engine, false);
+  const std::uint64_t long_run = count_campaign_allocs(cs, 240, engine, false);
+  EXPECT_EQ(short_run, long_run)
+      << "campaign allocations must not scale with BIST cycles (engine "
+      << campaign_engine_name(engine) << ")";
+}
+
+TEST_P(CampaignAllocations, StableAcrossRepeatedCampaigns) {
+  const ControllerStructure cs = fig1_for("shiftreg");
+  const CampaignEngine engine = GetParam();
+  const std::uint64_t first = count_campaign_allocs(cs, 48, engine, true);
+  const std::uint64_t second = count_campaign_allocs(cs, 48, engine, true);
+  EXPECT_EQ(first, second) << campaign_engine_name(engine);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothLaneEngines, CampaignAllocations,
+                         ::testing::Values(CampaignEngine::kEvent,
+                                           CampaignEngine::kFlat),
+                         [](const auto& info) {
+                           return std::string(
+                               campaign_engine_name(info.param));
+                         });
+
+}  // namespace
+}  // namespace stc

@@ -224,7 +224,7 @@ TEST(CollapseFaults, ClassMembersHaveIdenticalSerialDetection) {
 
 class CampaignEquivalence : public ::testing::TestWithParam<std::string> {};
 
-TEST_P(CampaignEquivalence, BitParallelMatchesSerialOracleAtAllThreadCounts) {
+TEST_P(CampaignEquivalence, BothLaneEnginesMatchSerialOracleAtAllThreadCounts) {
   const ControllerStructure cs = fig1_for(GetParam());
   const SelfTestPlan plan = SelfTestPlan::two_session(48);
 
@@ -240,20 +240,34 @@ TEST_P(CampaignEquivalence, BitParallelMatchesSerialOracleAtAllThreadCounts) {
   const CoverageResult serial = measure_coverage(cs, plan, list);
   const auto serial_undet = fault_set(serial.undetected);
 
-  for (const std::size_t threads : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
-    for (const bool collapse : {true, false}) {
-      CampaignOptions opt;
-      opt.num_threads = threads;
-      opt.collapse = collapse;
-      const CampaignResult par = run_fault_campaign(cs, plan, opt, list);
-      EXPECT_EQ(par.raw.total, serial.total);
-      EXPECT_EQ(par.raw.detected, serial.detected)
-          << "threads=" << threads << " collapse=" << collapse;
-      EXPECT_EQ(fault_set(par.raw.undetected), serial_undet)
-          << "threads=" << threads << " collapse=" << collapse;
-      if (collapse) {
-        EXPECT_LE(par.collapsed_total, par.raw.total);
-        EXPECT_LE(par.session_runs, (par.collapsed_total + 62) / 63);
+  for (const CampaignEngine engine : {CampaignEngine::kEvent, CampaignEngine::kFlat}) {
+    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+      for (const bool collapse : {true, false}) {
+        CampaignOptions opt;
+        opt.engine = engine;
+        opt.num_threads = threads;
+        opt.collapse = collapse;
+        const CampaignResult par = run_fault_campaign(cs, plan, opt, list);
+        EXPECT_EQ(par.raw.total, serial.total);
+        EXPECT_EQ(par.raw.detected, serial.detected)
+            << "engine=" << campaign_engine_name(engine) << " threads=" << threads
+            << " collapse=" << collapse;
+        EXPECT_EQ(fault_set(par.raw.undetected), serial_undet)
+            << "engine=" << campaign_engine_name(engine) << " threads=" << threads
+            << " collapse=" << collapse;
+        if (collapse) {
+          EXPECT_LE(par.collapsed_total, par.raw.total);
+          EXPECT_LE(par.session_runs, (par.collapsed_total + 62) / 63);
+        }
+        // Activity accounting: the flat engine evaluates everything; the
+        // event engine never does more work than flat.
+        EXPECT_GT(par.cycles_simulated, 0u);
+        if (engine == CampaignEngine::kFlat) {
+          EXPECT_DOUBLE_EQ(par.mean_activity(), 1.0);
+        } else {
+          EXPECT_LE(par.mean_activity(), 1.0);
+          EXPECT_GT(par.mean_activity(), 0.0);
+        }
       }
     }
   }
@@ -267,7 +281,7 @@ TEST(Campaign, SerialFallbackEngineAgreesToo) {
   const ControllerStructure cs = fig1_for("dk27");
   const SelfTestPlan plan = SelfTestPlan::two_session(48);
   CampaignOptions opt;
-  opt.bit_parallel = false;
+  opt.engine = CampaignEngine::kSerial;
   const CampaignResult slow = run_fault_campaign(cs, plan, opt);
   const CampaignResult fast = run_fault_campaign(cs, plan);
   EXPECT_EQ(slow.raw.detected, fast.raw.detected);
