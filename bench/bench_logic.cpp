@@ -10,6 +10,10 @@
 //     and output bits minimized together over the shared input space), with
 //     cube / literal counters. This is the per-machine minimization-
 //     throughput series archived by CI as BENCH_logic.json.
+//   * BM_Factor_<machine> -- greedy kernel/cube extraction on each
+//     machine's minimized PLA: extraction throughput plus the two
+//     technology cost points (two-level vs factored literals, nodes) the
+//     area tables and scripts/bench_diff.py track across PRs.
 
 #include <benchmark/benchmark.h>
 
@@ -17,6 +21,7 @@
 #include "encoding/encoded_fsm.hpp"
 #include "logic/cost.hpp"
 #include "logic/espresso_lite.hpp"
+#include "logic/factor.hpp"
 #include "logic/qm.hpp"
 
 namespace {
@@ -77,10 +82,34 @@ void run_mv(benchmark::State& state, const std::string& machine) {
   state.counters["gate_equivalents"] = cost.gate_equivalents;
 }
 
+/// Greedy multi-level extraction on one machine's minimized PLA: the
+/// timed region is the extraction alone (the espresso input is hoisted),
+/// and the counters carry both technology cost points.
+void run_factor(benchmark::State& state, const std::string& machine) {
+  const EncodedFsm enc = encoded(machine);
+  const CubeList pla = minimize_espresso_mv(enc.spec);
+  const LogicCost two = pla_cost(pla);
+  LogicCost ml;
+  std::size_t nodes = 0;
+  for (auto _ : state) {
+    const FactoredNetwork fn = extract_factored(pla);
+    ml = factored_cost(fn);
+    nodes = fn.num_nodes();
+    benchmark::DoNotOptimize(fn.num_literals());
+  }
+  state.counters["literals_two_level"] = static_cast<double>(two.literals);
+  state.counters["literals_multi_level"] = static_cast<double>(ml.literals);
+  state.counters["ge_two_level"] = two.gate_equivalents;
+  state.counters["ge_multi_level"] = ml.gate_equivalents;
+  state.counters["nodes"] = static_cast<double>(nodes);
+}
+
 const int kRegistered = [] {
   for (const std::string& name : benchmark_names()) {
     benchmark::RegisterBenchmark(("BM_EspressoMv_" + name).c_str(),
                                  [name](benchmark::State& s) { run_mv(s, name); });
+    benchmark::RegisterBenchmark(("BM_Factor_" + name).c_str(),
+                                 [name](benchmark::State& s) { run_factor(s, name); });
   }
   return 0;
 }();

@@ -21,6 +21,10 @@
 //   --cycles N    BIST cycles per session (default 256)
 //   --engine E    campaign engine: event (default), flat, serial
 //                 (identical detected sets; only the speed differs)
+//   --tech T      implementation technology: two_level (default) or
+//                 multi_level (algebraically factored logic; simulation-
+//                 equivalent, and the table gains the factored literal
+//                 column -- the area tables' second technology point)
 
 #include <cstdio>
 #include <thread>
@@ -37,8 +41,10 @@ int main(int argc, char** argv) {
   const std::size_t threads = static_cast<std::size_t>(
       cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
   CampaignEngine engine;
+  Technology tech;
   try {
     engine = parse_campaign_engine(cli.get("engine", "event"));
+    tech = parse_technology(cli.get("tech", "two_level"));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -46,16 +52,19 @@ int main(int argc, char** argv) {
 
   const char* machines[] = {"paper_fig5", "shiftreg", "tav", "dk27", "serial_adder"};
 
-  AsciiTable table({"machine", "struct", "FFs", "area GE", "depth", "coverage %",
-                    "feedback cov %", "faults", "activity %", "camp ms"});
+  AsciiTable table({"machine", "struct", "FFs", "area GE", "depth", "2L lits",
+                    "ML lits", "coverage %", "feedback cov %", "faults",
+                    "activity %", "camp ms"});
   table.set_title(std::string("Architecture comparison (Figs. 1-4), stuck-at "
                               "fault simulation [engine: ") +
-                  campaign_engine_name(engine) + "]");
+                  campaign_engine_name(engine) + ", tech: " +
+                  technology_name(tech) + "]");
 
   for (const char* name : machines) {
     const MealyMachine m = load_benchmark(name);
     FlowOptions opts;
     opts.with_fault_sim = true;
+    opts.technology = tech;
     opts.bist_cycles = static_cast<std::size_t>(cli.get_int("cycles", 256));
     opts.campaign.num_threads = threads;
     opts.campaign.engine = engine;
@@ -72,9 +81,10 @@ int main(int argc, char** argv) {
       std::snprintf(ms, sizeof ms, "%.2f", s->campaign_seconds * 1e3);
       table.add_row({name, s->kind, std::to_string(s->flipflops),
                      std::to_string(static_cast<long>(s->area_ge)),
-                     std::to_string(s->depth), pct(s->coverage),
-                     pct(s->feedback_coverage), std::to_string(s->total_faults),
-                     pct(s->activity), ms});
+                     std::to_string(s->depth), std::to_string(s->logic.literals),
+                     s->logic_ml ? std::to_string(s->logic_ml->literals) : "-",
+                     pct(s->coverage), pct(s->feedback_coverage),
+                     std::to_string(s->total_faults), pct(s->activity), ms});
     }
   }
   std::printf("%s\n", table.render().c_str());

@@ -4,11 +4,15 @@
 //
 // Run:  ./synthesize_benchmark --machine shiftreg [--faultsim] [--threads N]
 //                              [--engine event|flat|serial]
+//                              [--tech two_level|multi_level]
 //       ./synthesize_benchmark --kiss path/to/machine.kiss2
 //       ./synthesize_benchmark --list
 //
 // With --faultsim the per-structure report includes campaign wall time and
-// (event engine) the mean per-cycle activity ratio.
+// (event engine) the mean per-cycle activity ratio. With --tech
+// multi_level the combinational blocks are algebraically factored
+// (simulation-equivalent) and the report shows both the two-level PLA and
+// the factored cost points.
 
 #include <cstdio>
 #include <thread>
@@ -51,6 +55,7 @@ int main(int argc, char** argv) {
       cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
   try {
     opts.campaign.engine = parse_campaign_engine(cli.get("engine", "event"));
+    opts.technology = parse_technology(cli.get("tech", "two_level"));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;

@@ -26,12 +26,40 @@ std::vector<std::size_t> dff_indices(const Netlist& nl, const RegisterBank& bank
   return idx;
 }
 
-/// Instantiate a minimized block: shared-product PLA when the multi-output
-/// engine ran, the historical per-cover AND-OR logic otherwise (bit-exact
-/// netlists for the QM path).
+/// Instantiate a minimized block: factored DAG when extraction ran,
+/// shared-product PLA when the multi-output engine ran, the historical
+/// per-cover AND-OR logic otherwise (bit-exact netlists for the QM path).
 std::vector<NetId> build_minimized(Netlist& nl, const MinimizedBlock& mb,
                                    const std::vector<NetId>& vars) {
+  if (mb.factored) return build_factored(nl, *mb.factored, vars);
   return mb.pla ? build_pla(nl, *mb.pla, vars) : build_block(nl, mb.covers, vars);
+}
+
+/// The one multi-level routing policy (shared by minimize_for and fig3's
+/// restricted copy): factor the PLA when the multi-output engine ran, or
+/// the covers when they fit the 64-output CubeList bound — an oversized
+/// covers block stays two-level rather than failing.
+void maybe_factor(MinimizedBlock& mb) {
+  if (mb.pla) {
+    mb.factored = extract_factored(*mb.pla);
+  } else if (mb.covers.size() <= 64) {
+    mb.factored = extract_factored(mb.covers);
+  }
+}
+
+/// Accumulate one block into the structure: the two-level cost point
+/// always, the factored cost point when extraction ran. A multi-level
+/// build whose block could not be factored (the >64-output fallback) is
+/// recorded rather than silently reported as fully factored.
+void add_block_cost(ControllerStructure& cs, const MinimizedBlock& mb) {
+  cs.logic += mb.cost();
+  if (const auto ml = mb.multilevel_cost()) {
+    if (!cs.logic_ml) cs.logic_ml = LogicCost{};
+    *cs.logic_ml += *ml;
+    cs.factored_nodes += mb.factored->num_nodes();
+  } else if (cs.tech == Technology::kMultiLevel) {
+    ++cs.ml_fallback_blocks;
+  }
 }
 
 /// The next-state sub-block of a combined (next-state, outputs) PLA:
@@ -57,7 +85,7 @@ std::vector<TruthTable> combined_tables(const EncodedFsm& enc) {
 }  // namespace
 
 MinimizedBlock minimize_for(const PlaSpec& spec, const std::vector<TruthTable>& tables,
-                            MinimizerKind mk) {
+                            MinimizerKind mk, Technology tech) {
   MinimizedBlock mb;
   mb.covers.reserve(tables.size());
   const std::size_t num_vars = tables.empty() ? spec.num_vars : tables[0].num_vars();
@@ -77,12 +105,18 @@ MinimizedBlock minimize_for(const PlaSpec& spec, const std::vector<TruthTable>& 
   } else {
     for (const auto& tt : tables) mb.covers.push_back(minimize_qm(tt));
   }
+  // Multi-level: greedy algebraic extraction on the minimized two-level
+  // form (the PLA when the multi-output engine ran, the per-output covers
+  // on the QM path).
+  if (tech == Technology::kMultiLevel) maybe_factor(mb);
   return mb;
 }
 
-ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk) {
+ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk,
+                               Technology tech) {
   ControllerStructure cs;
   cs.kind = "fig1";
+  cs.tech = tech;
   Netlist& nl = cs.nl;
 
   cs.pi = add_functional_inputs(nl, enc.input_bits);
@@ -96,8 +130,8 @@ ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk) {
 
   // One multi-output block for next-state and output bits together, so
   // the minimizer can share product terms between the two.
-  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk);
-  cs.logic += mb.cost();
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech);
+  add_block_cost(cs, mb);
   const auto nets = build_minimized(nl, mb, vars);
   for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], nets[b]);
   for (std::size_t b = 0; b < enc.output_bits; ++b) {
@@ -108,9 +142,11 @@ ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk) {
   return cs;
 }
 
-ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk) {
+ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk,
+                               Technology tech) {
   ControllerStructure cs;
   cs.kind = "fig2";
+  cs.tech = tech;
   Netlist& nl = cs.nl;
 
   cs.pi = add_functional_inputs(nl, enc.input_bits);
@@ -131,8 +167,8 @@ ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk) {
   std::vector<NetId> vars = cs.pi;
   vars.insert(vars.end(), state_in.begin(), state_in.end());
 
-  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk);
-  cs.logic += mb.cost();
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech);
+  add_block_cost(cs, mb);
   const auto nets = build_minimized(nl, mb, vars);
   for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], nets[b]);
   // T holds its value in the netlist; the session driver reconfigures it
@@ -147,9 +183,11 @@ ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk) {
   return cs;
 }
 
-ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk) {
+ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk,
+                               Technology tech) {
   ControllerStructure cs;
   cs.kind = "fig3";
+  cs.tech = tech;
   Netlist& nl = cs.nl;
 
   cs.pi = add_functional_inputs(nl, enc.input_bits);
@@ -158,7 +196,7 @@ ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk) {
   cs.reg_a = dff_indices(nl, r1);
   cs.reg_b = dff_indices(nl, r2);
 
-  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk);
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech);
 
   // Copy C: reads R, feeds R' (and drives the primary outputs). Copy C':
   // reads R', feeds R -- only the next-state part is duplicated, with the
@@ -167,23 +205,24 @@ ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk) {
   // transparency mode.
   std::vector<NetId> vars1 = cs.pi;
   vars1.insert(vars1.end(), r1.q.begin(), r1.q.end());
-  cs.logic += mb.cost();
+  add_block_cost(cs, mb);
   const auto nets1 = build_minimized(nl, mb, vars1);
   for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r2.q[b], nets1[b]);
 
+  // The duplicated copy is its own (restricted) block, so on the
+  // multi-level path it gets its own extraction over just the next-state
+  // part rather than inheriting dead output cones.
   std::vector<NetId> vars2 = cs.pi;
   vars2.insert(vars2.end(), r2.q.begin(), r2.q.end());
-  std::vector<NetId> nets2;
+  MinimizedBlock next_mb;
   if (mb.pla) {
-    const CubeList next_only = restrict_to_low_outputs(*mb.pla, enc.state_bits);
-    cs.logic += pla_cost(next_only);
-    nets2 = build_pla(nl, next_only, vars2);
+    next_mb.pla = restrict_to_low_outputs(*mb.pla, enc.state_bits);
   } else {
-    const std::vector<Cover> next_covers(mb.covers.begin(),
-                                         mb.covers.begin() + enc.state_bits);
-    cs.logic += block_cost(next_covers);
-    nets2 = build_block(nl, next_covers, vars2);
+    next_mb.covers.assign(mb.covers.begin(), mb.covers.begin() + enc.state_bits);
   }
+  if (tech == Technology::kMultiLevel) maybe_factor(next_mb);
+  add_block_cost(cs, next_mb);
+  const auto nets2 = build_minimized(nl, next_mb, vars2);
   for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r1.q[b], nets2[b]);
 
   for (std::size_t b = 0; b < enc.output_bits; ++b) {
@@ -195,9 +234,10 @@ ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk) {
 }
 
 ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
-                               MinimizerKind mk) {
+                               MinimizerKind mk, Technology tech) {
   ControllerStructure cs;
   cs.kind = "fig4";
+  cs.tech = tech;
   Netlist& nl = cs.nl;
 
   const FactorTables& ft = real.tables;
@@ -225,16 +265,16 @@ ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
   // C1: (inputs, R1) -> D of R2.
   std::vector<NetId> vars1 = cs.pi;
   vars1.insert(vars1.end(), r1.q.begin(), r1.q.end());
-  const MinimizedBlock mb1 = minimize_for(f1.spec, f1.next_state, mk);
-  cs.logic += mb1.cost();
+  const MinimizedBlock mb1 = minimize_for(f1.spec, f1.next_state, mk, tech);
+  add_block_cost(cs, mb1);
   const auto c1 = build_minimized(nl, mb1, vars1);
   for (std::size_t b = 0; b < enc2.width; ++b) nl.connect_dff(r2.q[b], c1[b]);
 
   // C2: (inputs, R2) -> D of R1.
   std::vector<NetId> vars2 = cs.pi;
   vars2.insert(vars2.end(), r2.q.begin(), r2.q.end());
-  const MinimizedBlock mb2 = minimize_for(f2.spec, f2.next_state, mk);
-  cs.logic += mb2.cost();
+  const MinimizedBlock mb2 = minimize_for(f2.spec, f2.next_state, mk, tech);
+  add_block_cost(cs, mb2);
   const auto c2 = build_minimized(nl, mb2, vars2);
   for (std::size_t b = 0; b < enc1.width; ++b) nl.connect_dff(r1.q[b], c2[b]);
 
@@ -243,8 +283,8 @@ ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
   std::vector<NetId> lvars = cs.pi;
   lvars.insert(lvars.end(), r2.q.begin(), r2.q.end());
   lvars.insert(lvars.end(), r1.q.begin(), r1.q.end());
-  const MinimizedBlock mbl = minimize_for(lam.spec, lam.outputs, mk);
-  cs.logic += mbl.cost();
+  const MinimizedBlock mbl = minimize_for(lam.spec, lam.outputs, mk, tech);
+  add_block_cost(cs, mbl);
   const auto po_nets = build_minimized(nl, mbl, lvars);
   for (std::size_t b = 0; b < po_nets.size(); ++b) {
     nl.add_output(po_nets[b], "out[" + std::to_string(b) + "]");

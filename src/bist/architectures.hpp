@@ -27,9 +27,19 @@ namespace stc {
 /// Which two-level minimizer prepares the covers.
 enum class MinimizerKind { kAuto, kQuineMcCluskey, kEspresso };
 
+// The builders take a Technology (logic/cost.hpp) selecting the style of
+// the combinational blocks:
+//   * kTwoLevel   -- flat AND-OR planes (the historical netlists);
+//   * kMultiLevel -- algebraic factoring on the minimized covers
+//     (logic/factor.hpp): intermediate nodes shared via fanout.
+// Both styles implement identical boolean functions; the multi-level
+// netlists are simulation-equivalent to the two-level ones by
+// construction (algebraic division is an identity on cube sets).
+
 struct ControllerStructure {
   Netlist nl;
   std::string kind;                 // "fig1" ... "fig4"
+  Technology tech = Technology::kTwoLevel;  // style of the built netlist
   std::vector<NetId> pi;            // functional primary inputs (LSB first)
   std::vector<NetId> po;            // functional primary outputs
   NetId test_mode = kNoNet;         // fig2 only
@@ -38,16 +48,35 @@ struct ControllerStructure {
   std::vector<NetId> feedback_nets; // the R -> C feedback lines (fault target set)
   LogicCost logic;                  // two-level cost of the combinational blocks
                                     // (shared-product PLA cost on the espresso path)
+  /// Factored cost point of the *factored* blocks (set on multi-level
+  /// builds, so one build reports both technology columns of the area
+  /// tables). Blocks that fell back to two-level (see ml_fallback_blocks)
+  /// appear only in `logic`.
+  std::optional<LogicCost> logic_ml;
+  std::size_t factored_nodes = 0;   // intermediate nodes across all blocks
+  /// Blocks a multi-level build could not factor (the >64-output
+  /// per-output-heuristic fallback): these were built two-level, and the
+  /// report renders the technology as "multi_level(partial)".
+  std::size_t ml_fallback_blocks = 0;
 };
 
 /// One minimized multi-output block. `pla` is set when the cube-calculus
 /// multi-output engine ran (products shared across outputs); the per-output
-/// covers are always available for reporting and the QM build path.
+/// covers are always available for reporting and the QM build path;
+/// `factored` is set when the block was routed through algebraic
+/// extraction (Technology::kMultiLevel).
 struct MinimizedBlock {
   std::vector<Cover> covers;
   std::optional<CubeList> pla;
+  std::optional<FactoredNetwork> factored;
 
+  /// Two-level cost point (always available).
   LogicCost cost() const { return pla ? pla_cost(*pla) : block_cost(covers); }
+  /// Multi-level cost point (only after extraction).
+  std::optional<LogicCost> multilevel_cost() const {
+    return factored ? std::optional<LogicCost>(factored_cost(*factored))
+                    : std::nullopt;
+  }
 };
 
 /// Route one block through the configured minimizer: exact per-output QM
@@ -55,25 +84,33 @@ struct MinimizedBlock {
 /// multi-output cube-calculus espresso for everything else. `spec` and
 /// `tables` describe the same functions; when the spec cannot represent
 /// the block (empty, or built for a different output count) the heuristic
-/// path falls back to per-output minimization instead of failing.
+/// path falls back to per-output minimization instead of failing. With
+/// Technology::kMultiLevel the minimized block is additionally run
+/// through greedy kernel/cube extraction (after espresso on the big
+/// blocks, from the per-output covers on the QM path).
 MinimizedBlock minimize_for(const PlaSpec& spec, const std::vector<TruthTable>& tables,
-                            MinimizerKind mk);
+                            MinimizerKind mk,
+                            Technology tech = Technology::kTwoLevel);
 
 /// Fig. 1: conventional structure.
 ControllerStructure build_fig1(const EncodedFsm& enc,
-                               MinimizerKind mk = MinimizerKind::kAuto);
+                               MinimizerKind mk = MinimizerKind::kAuto,
+                               Technology tech = Technology::kTwoLevel);
 
 /// Fig. 2: conventional structure + test register + bypass mux.
 ControllerStructure build_fig2(const EncodedFsm& enc,
-                               MinimizerKind mk = MinimizerKind::kAuto);
+                               MinimizerKind mk = MinimizerKind::kAuto,
+                               Technology tech = Technology::kTwoLevel);
 
 /// Fig. 3: doubled registers and combinational logic.
 ControllerStructure build_fig3(const EncodedFsm& enc,
-                               MinimizerKind mk = MinimizerKind::kAuto);
+                               MinimizerKind mk = MinimizerKind::kAuto,
+                               Technology tech = Technology::kTwoLevel);
 
 /// Fig. 4: pipeline structure from a realization; states of each factor
 /// are encoded with minimal-width natural codes by default.
 ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
-                               MinimizerKind mk = MinimizerKind::kAuto);
+                               MinimizerKind mk = MinimizerKind::kAuto,
+                               Technology tech = Technology::kTwoLevel);
 
 }  // namespace stc

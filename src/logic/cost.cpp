@@ -1,8 +1,37 @@
 #include "logic/cost.hpp"
 
+#include <stdexcept>
+
+#include "logic/factor.hpp"
 #include "util/bitvec.hpp"
 
 namespace stc {
+
+Technology parse_technology(const std::string& name) {
+  if (name == "two_level") return Technology::kTwoLevel;
+  if (name == "multi_level") return Technology::kMultiLevel;
+  throw std::invalid_argument("unknown technology '" + name +
+                              "' (expected two_level or multi_level)");
+}
+
+const char* technology_name(Technology tech) {
+  return tech == Technology::kTwoLevel ? "two_level" : "multi_level";
+}
+
+LogicCost& LogicCost::operator+=(const LogicCost& o) {
+  const bool empty = cubes == 0 && literals == 0 && gate_equivalents == 0.0;
+  if (empty) {
+    tech = o.tech;
+  } else if (tech != o.tech) {
+    throw std::logic_error(
+        std::string("LogicCost: accumulating ") + technology_name(o.tech) +
+        " cost into a " + technology_name(tech) + " total");
+  }
+  cubes += o.cubes;
+  literals += o.literals;
+  gate_equivalents += o.gate_equivalents;
+  return *this;
+}
 
 LogicCost cover_cost(const Cover& cover) {
   LogicCost c;
@@ -55,6 +84,30 @@ LogicCost pla_cost(const CubeList& pla) {
   }
   for (std::size_t terms : or_terms)
     if (terms >= 2) ge += static_cast<double>(terms - 1);
+  ge += 0.5 * static_cast<double>(popcount64(complemented));
+  c.gate_equivalents = ge;
+  return c;
+}
+
+LogicCost factored_cost(const FactoredNetwork& fn) {
+  LogicCost c;
+  c.tech = Technology::kMultiLevel;
+  c.literals = fn.num_literals();
+
+  double ge = 0.0;
+  std::uint64_t complemented = 0;
+  auto add_sop = [&](const SopExpr& s) {
+    c.cubes += s.num_cubes();
+    for (const FCube& cube : s.cubes) {
+      if (cube.size() >= 2) ge += static_cast<double>(cube.size() - 1);
+      for (LitId l : cube)
+        if (!is_node_lit(l, fn.num_vars) && (l & 1))
+          complemented |= std::uint64_t{1} << (l / 2);
+    }
+    if (s.num_cubes() >= 2) ge += static_cast<double>(s.num_cubes() - 1);
+  };
+  for (const SopExpr& s : fn.nodes) add_sop(s);
+  for (const SopExpr& s : fn.outputs) add_sop(s);
   ge += 0.5 * static_cast<double>(popcount64(complemented));
   c.gate_equivalents = ge;
   return c;

@@ -4,20 +4,34 @@
 #include <stdexcept>
 
 namespace stc {
+namespace {
+
+/// Shared complemented literals: one inverter per distinct source net,
+/// scoped to one logic block (every builder below shares inverters
+/// across its whole block, never across blocks).
+class InverterCache {
+ public:
+  explicit InverterCache(Netlist& nl) : nl_(nl) {}
+  NetId operator()(NetId a) {
+    auto it = map_.find(a);
+    if (it != map_.end()) return it->second;
+    const NetId inv = nl_.add_not(a);
+    map_.emplace(a, inv);
+    return inv;
+  }
+
+ private:
+  Netlist& nl_;
+  std::map<NetId, NetId> map_;
+};
+
+}  // namespace
 
 NetId build_sop(Netlist& nl, const Cover& cover, const std::vector<NetId>& var_nets) {
   if (cover.num_vars() > var_nets.size())
     throw std::invalid_argument("build_sop: not enough variable nets");
 
-  std::map<NetId, NetId> inverters;  // shared complemented literals
-  auto inverted = [&](NetId a) {
-    auto it = inverters.find(a);
-    if (it != inverters.end()) return it->second;
-    const NetId inv = nl.add_not(a);
-    inverters.emplace(a, inv);
-    return inv;
-  };
-
+  InverterCache inverted(nl);
   std::vector<NetId> terms;
   for (const Cube& cube : cover.cubes()) {
     std::vector<NetId> lits;
@@ -63,15 +77,7 @@ std::vector<NetId> build_pla(Netlist& nl, const CubeList& pla,
   if (pla.num_vars() > var_nets.size())
     throw std::invalid_argument("build_pla: not enough variable nets");
 
-  std::map<NetId, NetId> inverters;
-  auto inverted = [&](NetId a) {
-    auto it = inverters.find(a);
-    if (it != inverters.end()) return it->second;
-    const NetId inv = nl.add_not(a);
-    inverters.emplace(a, inv);
-    return inv;
-  };
-
+  InverterCache inverted(nl);
   // Outputs driven by a literal-free cube are constant 1; terms feeding
   // only such outputs must not be instantiated (they would dangle).
   std::uint64_t const1_outputs = 0;
@@ -110,6 +116,46 @@ std::vector<NetId> build_pla(Netlist& nl, const CubeList& pla,
       outs.push_back(ors.size() == 1 ? ors[0] : nl.add_or(std::move(ors)));
     }
   }
+  return outs;
+}
+
+std::vector<NetId> build_factored(Netlist& nl, const FactoredNetwork& fn,
+                                  const std::vector<NetId>& var_nets) {
+  if (fn.num_vars > var_nets.size())
+    throw std::invalid_argument("build_factored: not enough variable nets");
+
+  InverterCache inverted(nl);
+  std::vector<NetId> node_nets(fn.nodes.size(), kNoNet);
+  auto lit_net = [&](LitId l) {
+    if (is_node_lit(l, fn.num_vars))
+      return node_nets[node_of_lit(l, fn.num_vars)];
+    const NetId v = var_nets[l / 2];
+    return (l & 1) ? inverted(v) : v;
+  };
+  // AND-OR logic for one SOP; node references resolve to already-built
+  // nets (fn.nodes is topologically ordered). The literal-free cube is
+  // detected up front so a const-1 expression never leaves the terms
+  // built before it dangling, whatever the cube-list order.
+  auto build_sop_expr = [&](const SopExpr& s) {
+    for (const FCube& c : s.cubes)
+      if (c.empty()) return nl.add_const(true);
+    std::vector<NetId> terms;
+    terms.reserve(s.cubes.size());
+    for (const FCube& c : s.cubes) {
+      std::vector<NetId> lits;
+      lits.reserve(c.size());
+      for (LitId l : c) lits.push_back(lit_net(l));
+      terms.push_back(lits.size() == 1 ? lits[0] : nl.add_and(std::move(lits)));
+    }
+    if (terms.empty()) return nl.add_const(false);
+    return terms.size() == 1 ? terms[0] : nl.add_or(std::move(terms));
+  };
+
+  for (std::size_t j = 0; j < fn.nodes.size(); ++j)
+    node_nets[j] = build_sop_expr(fn.nodes[j]);
+  std::vector<NetId> outs;
+  outs.reserve(fn.outputs.size());
+  for (const SopExpr& s : fn.outputs) outs.push_back(build_sop_expr(s));
   return outs;
 }
 

@@ -4,6 +4,7 @@
 
 #include "encoding/encoded_fsm.hpp"
 #include "logic/cover.hpp"
+#include "logic/factor.hpp"
 #include "netlist/netlist.hpp"
 
 namespace stc {
@@ -40,5 +41,13 @@ std::vector<NetId> build_block(Netlist& nl, const std::vector<Cover>& covers,
 /// its outputs const 1.
 std::vector<NetId> build_pla(Netlist& nl, const CubeList& pla,
                              const std::vector<NetId>& var_nets);
+
+/// Multi-level instantiation of a factored network: every intermediate
+/// node is built once as AND-OR logic and fans out to each expression
+/// referencing it; input inverters are shared across the whole block.
+/// Returns one net per output (const 0 for empty output expressions,
+/// const 1 for expressions containing the literal-free cube).
+std::vector<NetId> build_factored(Netlist& nl, const FactoredNetwork& fn,
+                                  const std::vector<NetId>& var_nets);
 
 }  // namespace stc

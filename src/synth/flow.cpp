@@ -8,10 +8,14 @@ StructureReport measure_structure(const ControllerStructure& cs,
                                   const FlowOptions& options) {
   StructureReport rep;
   rep.kind = cs.kind;
+  rep.technology = technology_name(cs.tech);
+  if (cs.ml_fallback_blocks > 0) rep.technology += "(partial)";
   rep.flipflops = cs.nl.num_dffs();
   rep.area_ge = cs.nl.area_ge();
   rep.depth = cs.nl.depth();
   rep.logic = cs.logic;
+  rep.logic_ml = cs.logic_ml;
+  rep.factored_nodes = cs.factored_nodes;
 
   if (options.with_fault_sim) {
     const auto faults = enumerate_stuck_faults(cs.nl);
@@ -65,11 +69,15 @@ FlowResult run_flow(const MealyMachine& fsm, const FlowOptions& options) {
   const Encoding enc = natural_encoding(fsm.num_states());
   const EncodedFsm encoded = encode_fsm(fsm, enc);
 
-  res.fig1 = measure_structure(build_fig1(encoded, options.minimizer), options);
-  res.fig2 = measure_structure(build_fig2(encoded, options.minimizer), options);
-  res.fig3 = measure_structure(build_fig3(encoded, options.minimizer), options);
-  res.fig4 = measure_structure(build_fig4(fsm, res.realization, options.minimizer),
-                               options);
+  res.fig1 = measure_structure(
+      build_fig1(encoded, options.minimizer, options.technology), options);
+  res.fig2 = measure_structure(
+      build_fig2(encoded, options.minimizer, options.technology), options);
+  res.fig3 = measure_structure(
+      build_fig3(encoded, options.minimizer, options.technology), options);
+  res.fig4 = measure_structure(
+      build_fig4(fsm, res.realization, options.minimizer, options.technology),
+      options);
   return res;
 }
 

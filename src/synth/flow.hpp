@@ -17,6 +17,11 @@ namespace stc {
 struct FlowOptions {
   OstrOptions ostr;
   MinimizerKind minimizer = MinimizerKind::kAuto;
+  /// Implementation style of the combinational blocks: flat AND-OR planes
+  /// or algebraically factored multi-level DAGs. Both are simulation-
+  /// equivalent; multi-level builds additionally report the factored cost
+  /// point next to the two-level one.
+  Technology technology = Technology::kTwoLevel;
   bool with_fault_sim = false;       // fault simulation is the expensive part
   std::size_t bist_cycles = 256;     // per session
   std::size_t functional_cycles = 512;
@@ -30,6 +35,10 @@ struct FlowOptions {
 /// Area/delay/testability summary of one structure.
 struct StructureReport {
   std::string kind;
+  /// Technology the netlist was built in: "two_level", "multi_level", or
+  /// "multi_level(partial)" when some block fell back to two-level (the
+  /// >64-output per-output-heuristic path cannot be factored).
+  std::string technology;
   std::size_t flipflops = 0;
   double area_ge = 0.0;
   std::size_t depth = 0;
@@ -37,6 +46,10 @@ struct StructureReport {
   /// cube/literal counts are shared-product PLA numbers (each product
   /// counted once across all the outputs it feeds).
   LogicCost logic;
+  /// Factored cost point of the same blocks (multi-level builds report
+  /// both technology columns from one run).
+  std::optional<LogicCost> logic_ml;
+  std::size_t factored_nodes = 0;
   // Fault-simulation results (only when FlowOptions::with_fault_sim):
   std::optional<double> coverage;            // all single stuck-at faults
   std::optional<double> feedback_coverage;   // faults on R -> C lines only

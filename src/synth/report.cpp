@@ -6,9 +6,14 @@ namespace stc {
 namespace {
 
 std::string render_structure(const StructureReport& s) {
-  std::string out = strprintf("  %-5s: %2zu FFs, %7.1f GE, depth %2zu, PLA %zu cubes / %zu lits",
+  // The logic cost line names the technology it measured: the two-level
+  // PLA point always, the factored point next to it on multi-level builds.
+  std::string out = strprintf("  %-5s: %2zu FFs, %7.1f GE, depth %2zu, PLA(2L) %zu cubes / %zu lits",
                               s.kind.c_str(), s.flipflops, s.area_ge, s.depth,
                               s.logic.cubes, s.logic.literals);
+  if (s.logic_ml)
+    out += strprintf(", factored(ML) %zu lits / %zu nodes",
+                     s.logic_ml->literals, s.factored_nodes);
   if (s.coverage)
     out += strprintf(", coverage %5.1f%% (%zu faults, %.3fs)", *s.coverage * 100.0,
                      s.total_faults, s.campaign_seconds);
