@@ -4,12 +4,14 @@
 // 64-lane evaluator against the scalar interpreter.
 //
 // Engine comparison: BM_FullFaultCampaign (one self-test run per fault)
-// vs BM_FlatCampaign_* (63 faults per run, every gate every cycle) vs
-// BM_EventCampaign_* (63 faults per run, event-driven: resident values,
-// dense PLA-product sweep, sparse ORs). The event benchmarks report the
-// mean per-cycle activity ratio and machine cycles/second so the archived
-// BENCH_faultsim.json tracks the flat-vs-event trajectory across PRs
-// (compare two archives with scripts/bench_diff.py).
+// vs BM_FlatCampaign_* (every gate every cycle) vs BM_EventCampaign_*
+// (event-driven: resident values, dense PLA-product sweep, sparse ORs).
+// The campaign benchmarks carry a lane-width axis ("lanes" = 64/256/512,
+// i.e. 63/255/511 faults per self-test run) and report faults simulated
+// per second plus the mean per-cycle activity ratio and machine
+// cycles/second, so the archived BENCH_faultsim.json tracks both the
+// flat-vs-event and the per-width trajectory across PRs (compare two
+// archives with scripts/bench_diff.py).
 
 #include <benchmark/benchmark.h>
 
@@ -35,10 +37,11 @@ ControllerStructure fig1_for(const char* name) {
 
 void run_campaign_bench(benchmark::State& state, const ControllerStructure& cs,
                         CampaignEngine engine, std::size_t cycles,
-                        std::size_t threads) {
+                        std::size_t threads, unsigned lanes = 64) {
   CampaignOptions opt;
   opt.engine = engine;
   opt.num_threads = threads;
+  opt.lane_words = lane_words_from_lanes(lanes);
   CampaignResult res;
   for (auto _ : state) {
     res = run_fault_campaign(cs, SelfTestPlan::two_session(cycles), opt);
@@ -49,9 +52,16 @@ void run_campaign_bench(benchmark::State& state, const ControllerStructure& cs,
   state.counters["classes"] = static_cast<double>(res.collapsed_total);
   state.counters["session_runs"] = static_cast<double>(res.session_runs);
   state.counters["activity"] = res.mean_activity();
-  // Machine cycles simulated per second of wall time (x64 lanes each).
+  // Machine cycles simulated per second of wall time (x `lanes` machine
+  // copies each).
   state.counters["cycles_per_sec"] = benchmark::Counter(
       static_cast<double>(res.cycles_simulated) *
+          static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+  // The wide-lane headline metric: complete fault verdicts per second of
+  // wall time (full list, pre-collapsing).
+  state.counters["faults_per_sec"] = benchmark::Counter(
+      static_cast<double>(res.raw.total) *
           static_cast<double>(state.iterations()),
       benchmark::Counter::kIsRate);
 }
@@ -84,19 +94,30 @@ void BM_FullFaultCampaign(benchmark::State& state) {
 }
 BENCHMARK(BM_FullFaultCampaign);
 
+// Campaign benchmark axes: {threads, lanes}. The thread sweep runs at 64
+// lanes; the lane-width sweep (the wide-lane acceptance axis) runs on one
+// thread so the per-width speedup is not confounded with thread scaling.
+void apply_campaign_axes(benchmark::internal::Benchmark* b) {
+  b->ArgNames({"threads", "lanes"});
+  for (const std::int64_t threads : {1, 2, 4}) b->Args({threads, 64});
+  for (const std::int64_t lanes : {256, 512}) b->Args({1, lanes});
+}
+
 void BM_FlatCampaign_dk27_fig4(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("dk27");
   run_campaign_bench(state, cs, CampaignEngine::kFlat, 128,
-                     static_cast<std::size_t>(state.range(0)));
+                     static_cast<std::size_t>(state.range(0)),
+                     static_cast<unsigned>(state.range(1)));
 }
-BENCHMARK(BM_FlatCampaign_dk27_fig4)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_FlatCampaign_dk27_fig4)->Apply(apply_campaign_axes);
 
 void BM_EventCampaign_dk27_fig4(benchmark::State& state) {
   static const ControllerStructure cs = pipeline_for("dk27");
   run_campaign_bench(state, cs, CampaignEngine::kEvent, 128,
-                     static_cast<std::size_t>(state.range(0)));
+                     static_cast<std::size_t>(state.range(0)),
+                     static_cast<unsigned>(state.range(1)));
 }
-BENCHMARK(BM_EventCampaign_dk27_fig4)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_EventCampaign_dk27_fig4)->Apply(apply_campaign_axes);
 
 // The larger conventional structures stress the engines with thousands of
 // nets; the serial variant is bounded to tbk to keep the bench runnable
@@ -113,30 +134,37 @@ BENCHMARK(BM_FullFaultCampaignTbkFig1);
 void BM_FlatCampaign_tbk_fig1(benchmark::State& state) {
   static const ControllerStructure cs = fig1_for("tbk");
   run_campaign_bench(state, cs, CampaignEngine::kFlat, 64,
-                     static_cast<std::size_t>(state.range(0)));
+                     static_cast<std::size_t>(state.range(0)),
+                     static_cast<unsigned>(state.range(1)));
 }
-BENCHMARK(BM_FlatCampaign_tbk_fig1)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_FlatCampaign_tbk_fig1)->Apply(apply_campaign_axes);
 
 void BM_EventCampaign_tbk_fig1(benchmark::State& state) {
   static const ControllerStructure cs = fig1_for("tbk");
   run_campaign_bench(state, cs, CampaignEngine::kEvent, 64,
-                     static_cast<std::size_t>(state.range(0)));
+                     static_cast<std::size_t>(state.range(0)),
+                     static_cast<unsigned>(state.range(1)));
 }
-BENCHMARK(BM_EventCampaign_tbk_fig1)->Arg(1)->Arg(2)->Arg(4);
+BENCHMARK(BM_EventCampaign_tbk_fig1)->Apply(apply_campaign_axes);
 
-// s1: the largest bundled structure (~4.8k nets after PR 3), the
-// acceptance target of the event engine (>= 3x vs the flat campaign).
+// s1: the largest bundled structure (~4.8k nets after PR 3). One thread;
+// the lane axis carries this PR's acceptance bar (faults_per_sec at 256
+// lanes >= 2x the 64-lane value on the event engine).
 void BM_FlatCampaign_s1_fig1(benchmark::State& state) {
   static const ControllerStructure cs = fig1_for("s1");
-  run_campaign_bench(state, cs, CampaignEngine::kFlat, 64, 1);
+  run_campaign_bench(state, cs, CampaignEngine::kFlat, 64, 1,
+                     static_cast<unsigned>(state.range(0)));
 }
-BENCHMARK(BM_FlatCampaign_s1_fig1);
+BENCHMARK(BM_FlatCampaign_s1_fig1)
+    ->ArgName("lanes")->Arg(64)->Arg(256)->Arg(512);
 
 void BM_EventCampaign_s1_fig1(benchmark::State& state) {
   static const ControllerStructure cs = fig1_for("s1");
-  run_campaign_bench(state, cs, CampaignEngine::kEvent, 64, 1);
+  run_campaign_bench(state, cs, CampaignEngine::kEvent, 64, 1,
+                     static_cast<unsigned>(state.range(0)));
 }
-BENCHMARK(BM_EventCampaign_s1_fig1);
+BENCHMARK(BM_EventCampaign_s1_fig1)
+    ->ArgName("lanes")->Arg(64)->Arg(256)->Arg(512);
 
 // shiftreg: the other machine named by the PR 2 acceptance bar.
 void BM_CampaignSerialShiftreg(benchmark::State& state) {

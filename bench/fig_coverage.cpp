@@ -21,6 +21,9 @@
 //   --cycles N    BIST cycles per session (default 256)
 //   --engine E    campaign engine: event (default), flat, serial
 //                 (identical detected sets; only the speed differs)
+//   --lanes L     simulation lanes per run: 64 (default), 256 or 512
+//                 (faults per self-test run = lanes - 1; identical
+//                 detected sets at every width)
 //   --tech T      implementation technology: two_level (default) or
 //                 multi_level (algebraically factored logic; simulation-
 //                 equivalent, and the table gains the factored literal
@@ -42,9 +45,12 @@ int main(int argc, char** argv) {
       cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
   CampaignEngine engine;
   Technology tech;
+  unsigned lane_words;
   try {
     engine = parse_campaign_engine(cli.get("engine", "event"));
     tech = parse_technology(cli.get("tech", "two_level"));
+    lane_words = lane_words_from_lanes(
+        static_cast<unsigned>(cli.get_int("lanes", 64)));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
@@ -68,6 +74,7 @@ int main(int argc, char** argv) {
     opts.bist_cycles = static_cast<std::size_t>(cli.get_int("cycles", 256));
     opts.campaign.num_threads = threads;
     opts.campaign.engine = engine;
+    opts.campaign.lane_words = lane_words;
     const FlowResult res = run_flow(m, opts);
 
     for (const StructureReport* s : {&res.fig1, &res.fig2, &res.fig3, &res.fig4}) {
@@ -100,6 +107,7 @@ int main(int argc, char** argv) {
     CampaignOptions copt;
     copt.num_threads = threads;
     copt.engine = engine;
+    copt.lane_words = lane_words;
     std::printf("  cycles  coverage  activity\n");
     for (std::size_t cycles : {4, 8, 16, 32, 64, 128, 256, 512}) {
       const auto camp = run_fault_campaign(fig4, SelfTestPlan::two_session(cycles), copt);

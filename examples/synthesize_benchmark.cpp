@@ -4,6 +4,7 @@
 //
 // Run:  ./synthesize_benchmark --machine shiftreg [--faultsim] [--threads N]
 //                              [--engine event|flat|serial]
+//                              [--lanes 64|256|512]
 //                              [--tech two_level|multi_level]
 //       ./synthesize_benchmark --kiss path/to/machine.kiss2
 //       ./synthesize_benchmark --list
@@ -55,6 +56,8 @@ int main(int argc, char** argv) {
       cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
   try {
     opts.campaign.engine = parse_campaign_engine(cli.get("engine", "event"));
+    opts.campaign.lane_words = lane_words_from_lanes(
+        static_cast<unsigned>(cli.get_int("lanes", 64)));
     opts.technology = parse_technology(cli.get("tech", "two_level"));
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

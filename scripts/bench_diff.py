@@ -5,14 +5,18 @@ Usage:
     python3 scripts/bench_diff.py OLD.json NEW.json [--counter NAME ...]
 
 Matches benchmarks by name, prints old/new real_time with the relative
-change, plus any requested counters (default: activity, cycles_per_sec if
-present). Benchmarks present in only one file are listed separately. Used
-to track the BENCH_faultsim.json / BENCH_search_perf.json / BENCH_logic.json
-artifacts archived by CI across PRs.
+change, plus any requested counters (default: activity, cycles_per_sec and
+faults_per_sec if present). Campaign benchmarks carrying a lanes:N axis
+additionally get a lane-width scaling table: faults_per_sec at each width
+relative to the 64-lane run of the same benchmark, for both archives --
+the wide-lane speedup tracked across PRs. Benchmarks present in only one
+file are listed separately. Used to track the BENCH_faultsim.json /
+BENCH_search_perf.json / BENCH_logic.json artifacts archived by CI.
 """
 
 import argparse
 import json
+import re
 import sys
 
 
@@ -31,6 +35,35 @@ def fmt_time(b):
     return "%.3g %s" % (b.get("real_time", float("nan")), b.get("time_unit", "ns"))
 
 
+def lane_groups(bench_map):
+    """Group lanes:N benchmark variants: base name -> {width: faults_per_sec}."""
+    groups = {}
+    for name, b in bench_map.items():
+        m = re.search(r"(^|/)lanes:(\d+)", name)
+        if not m or not isinstance(b.get("faults_per_sec"), (int, float)):
+            continue
+        base = name[:m.start()] + name[m.end():]
+        groups.setdefault(base, {})[int(m.group(2))] = b["faults_per_sec"]
+    return groups
+
+
+def print_lane_scaling(label, bench_map):
+    groups = lane_groups(bench_map)
+    rows = []
+    for base in sorted(groups):
+        widths = groups[base]
+        ref = widths.get(64)
+        if not ref or len(widths) < 2:
+            continue
+        cells = "".join("  %4d lanes %8.3g/s (%.2fx)" % (w, widths[w], widths[w] / ref)
+                        for w in sorted(widths) if w != 64)
+        rows.append("  %-42s 64 lanes %8.3g/s%s" % (base, ref, cells))
+    if rows:
+        print("\nlane-width scaling, faults_per_sec vs 64 lanes [%s]:" % label)
+        for r in rows:
+            print(r)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -40,7 +73,7 @@ def main():
     args = ap.parse_args()
 
     old, new = load(args.old), load(args.new)
-    counters = args.counter or ["activity", "cycles_per_sec"]
+    counters = args.counter or ["activity", "cycles_per_sec", "faults_per_sec"]
 
     shared = [n for n in new if n in old]
     if not shared:
@@ -72,6 +105,9 @@ def main():
                         ("only in new", set(new) - set(old))):
         for name in sorted(only):
             print("%s: %s" % (label, name))
+
+    print_lane_scaling("old: " + args.old, old)
+    print_lane_scaling("new: " + args.new, new)
 
     # Exit code 0 always: this is a reporting tool, CI gates on tests.
     return 0

@@ -1,6 +1,7 @@
 #include "bist/bilbo.hpp"
 
 #include "util/bitvec.hpp"
+#include <algorithm>
 #include <stdexcept>
 
 #include "bist/lfsr.hpp"
@@ -43,6 +44,80 @@ void Bilbo::clock(BilboMode mode, std::uint64_t parallel_in, bool scan_in) {
       break;
     case BilboMode::kHold:
       break;
+  }
+}
+
+LaneBilbo::LaneBilbo(std::size_t width, unsigned lane_words)
+    : width_(width), lane_words_(lane_words) {
+  if (width == 0 || width > 64) throw std::invalid_argument("LaneBilbo: bad width");
+  if (lane_words == 0 || lane_words > 8)
+    throw std::invalid_argument("LaneBilbo: bad lane_words");
+  taps_ = primitive_taps(width);
+  bits_.assign(width * lane_words, 0);
+  d_.assign(width * lane_words, 0);
+  fb_.assign(lane_words, 0);
+}
+
+void LaneBilbo::reset(std::uint64_t init) {
+  const unsigned W = lane_words_;
+  for (std::size_t k = 0; k < width_; ++k) {
+    const std::uint64_t v = ((init >> k) & 1) ? ~std::uint64_t{0} : 0;
+    for (unsigned w = 0; w < W; ++w) bits_[k * W + w] = v;
+  }
+}
+
+void LaneBilbo::clock(BilboMode mode) {
+  const unsigned W = lane_words_;
+  switch (mode) {
+    case BilboMode::kSystem:
+      std::copy(d_.begin(), d_.end(), bits_.begin());
+      break;
+    case BilboMode::kGenerate: {
+      if (width_ == 1) {
+        // A 1-bit LFSR is constant; toggle, matching the scalar Bilbo.
+        for (unsigned w = 0; w < W; ++w) bits_[w] = ~bits_[w];
+        break;
+      }
+      // Lanes sitting at the all-zero fixed point get bit 0 forced to 1
+      // before the shift (the scalar escape, applied per lane).
+      for (unsigned w = 0; w < W; ++w) {
+        std::uint64_t nonzero = 0;
+        for (std::size_t k = 0; k < width_; ++k) nonzero |= bits_[k * W + w];
+        bits_[w] |= ~nonzero;
+      }
+      feedback_to(fb_.data());
+      for (std::size_t k = width_; k-- > 1;)
+        for (unsigned w = 0; w < W; ++w) bits_[k * W + w] = bits_[(k - 1) * W + w];
+      for (unsigned w = 0; w < W; ++w) bits_[w] = fb_[w];
+      break;
+    }
+    case BilboMode::kCompress:
+      feedback_to(fb_.data());
+      for (std::size_t k = width_; k-- > 1;)
+        for (unsigned w = 0; w < W; ++w)
+          bits_[k * W + w] = bits_[(k - 1) * W + w] ^ d_[k * W + w];
+      for (unsigned w = 0; w < W; ++w) bits_[w] = fb_[w] ^ d_[w];
+      break;
+    case BilboMode::kShift:
+      throw std::logic_error("LaneBilbo: kShift is not lane-sliced");
+    case BilboMode::kHold:
+      break;
+  }
+}
+
+void LaneBilbo::feedback_to(std::uint64_t* fb) const {
+  const unsigned W = lane_words_;
+  for (unsigned w = 0; w < W; ++w) fb[w] = 0;
+  for (unsigned t : taps_)
+    for (unsigned w = 0; w < W; ++w) fb[w] ^= bits_[(t - 1) * W + w];
+}
+
+void LaneBilbo::accumulate_diff(std::uint64_t* diff) const {
+  const unsigned W = lane_words_;
+  for (std::size_t k = 0; k < width_; ++k) {
+    // Broadcast lane 0's bit (bit 0 of word 0 of the row) and XOR-compare.
+    const std::uint64_t ref = (bits_[k * W] & 1) ? ~std::uint64_t{0} : 0;
+    for (unsigned w = 0; w < W; ++w) diff[w] |= bits_[k * W + w] ^ ref;
   }
 }
 

@@ -43,4 +43,52 @@ class Bilbo {
   std::uint64_t state_;
 };
 
+/// Lane-sliced BILBO for the bit-parallel campaign engine: bit k of the
+/// register is a row of `lane_words` contiguous uint64_t words holding
+/// that bit's value in all 64*lane_words simulation lanes. Every BILBO
+/// mode is a linear bitwise operation per bit, so the lane evolution is
+/// the scalar Bilbo recurrence applied word-wise -- including the
+/// per-clock escape from the all-zero LFSR fixed point and the 1-bit
+/// toggle special case (each applied independently per lane).
+///
+/// Construction (which allocates the rows and the tap table) is per
+/// structure; reset() reconfigures the seed per session without touching
+/// the heap, so one LaneBilbo serves every session of every fault batch.
+/// The caller gathers parallel D inputs into d_row() before clocking
+/// kSystem / kCompress. kShift (serial scan) is not lane-sliced; the
+/// self-test sessions never use it.
+class LaneBilbo {
+ public:
+  LaneBilbo(std::size_t width, unsigned lane_words);
+
+  std::size_t width() const { return width_; }
+  unsigned lane_words() const { return lane_words_; }
+
+  /// Broadcast a scalar initial state: bit k of `init` fills row k.
+  void reset(std::uint64_t init);
+
+  const std::uint64_t* row(std::size_t k) const {
+    return bits_.data() + k * lane_words_;
+  }
+  /// Caller-filled parallel-D row of bit k (read by kSystem / kCompress).
+  std::uint64_t* d_row(std::size_t k) { return d_.data() + k * lane_words_; }
+
+  void clock(BilboMode mode);
+
+  /// OR into `diff` (lane_words words) the lanes whose register contents
+  /// differ from lane 0 (bit 0 of word 0 of each row).
+  void accumulate_diff(std::uint64_t* diff) const;
+
+ private:
+  /// XOR of the tap rows, word-wise, into `fb` (lane_words words).
+  void feedback_to(std::uint64_t* fb) const;
+
+  std::size_t width_;
+  unsigned lane_words_;
+  std::vector<unsigned> taps_;
+  std::vector<std::uint64_t> bits_;  // width rows of lane_words words
+  std::vector<std::uint64_t> d_;     // parallel D inputs, same layout
+  std::vector<std::uint64_t> fb_;    // feedback / scratch row
+};
+
 }  // namespace stc

@@ -36,6 +36,14 @@ class Lfsr {
   /// Bit k of the current state.
   bool bit(std::size_t k) const { return (state_ >> k) & 1; }
 
+  /// Bit k broadcast to a full lane word (~0 if set, 0 if clear) -- the
+  /// per-PI stimulus of the bit-parallel campaign engine, where every
+  /// simulation lane sees the same pseudo-random input sequence (fault
+  /// lanes diverge only through their injected stuck-at masks).
+  std::uint64_t bit_lanes(std::size_t k) const {
+    return bit(k) ? ~std::uint64_t{0} : 0;
+  }
+
   /// Period of the register from the current state (walks the cycle; use
   /// only for small widths in tests).
   std::uint64_t period() const;

@@ -1,6 +1,7 @@
 #include "bist/misr.hpp"
 
 #include "util/bitvec.hpp"
+#include <algorithm>
 #include <stdexcept>
 
 #include "bist/lfsr.hpp"
@@ -27,6 +28,39 @@ std::uint64_t Misr::absorb(std::uint64_t parallel_in) {
       static_cast<std::uint64_t>(popcount64(state_ & tap_mask_) & 1);
   state_ = (((state_ << 1) | fb) ^ parallel_in) & mask_;
   return state_;
+}
+
+LaneMisr::LaneMisr(std::size_t width, unsigned lane_words)
+    : width_(width), lane_words_(lane_words) {
+  if (width == 0 || width > 64) throw std::invalid_argument("LaneMisr: bad width");
+  if (lane_words == 0 || lane_words > 8)
+    throw std::invalid_argument("LaneMisr: bad lane_words");
+  taps_ = primitive_taps(width);
+  bits_.assign(width * lane_words, 0);
+  chunk_.assign(width * lane_words, 0);
+}
+
+void LaneMisr::reset() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+void LaneMisr::absorb(std::size_t n) {
+  const unsigned W = lane_words_;
+  std::uint64_t fb[8] = {0, 0, 0, 0, 0, 0, 0, 0};  // lane_words <= 8
+  for (unsigned t : taps_)
+    for (unsigned w = 0; w < W; ++w) fb[w] ^= bits_[(t - 1) * W + w];
+  for (std::size_t k = width_; k-- > 1;)
+    for (unsigned w = 0; w < W; ++w)
+      bits_[k * W + w] = bits_[(k - 1) * W + w] ^ (k < n ? chunk_[k * W + w] : 0);
+  for (unsigned w = 0; w < W; ++w)
+    bits_[w] = fb[w] ^ (n > 0 ? chunk_[w] : 0);
+}
+
+void LaneMisr::accumulate_diff(std::uint64_t* diff) const {
+  const unsigned W = lane_words_;
+  for (std::size_t k = 0; k < width_; ++k) {
+    // Broadcast lane 0's bit (bit 0 of word 0 of the row) and XOR-compare.
+    const std::uint64_t ref = (bits_[k * W] & 1) ? ~std::uint64_t{0} : 0;
+    for (unsigned w = 0; w < W; ++w) diff[w] |= bits_[k * W + w] ^ ref;
+  }
 }
 
 }  // namespace stc

@@ -28,4 +28,43 @@ class Misr {
   std::uint64_t state_;
 };
 
+/// Lane-sliced MISR for the bit-parallel campaign engine: bit k of the
+/// signature is a row of `lane_words` contiguous uint64_t words holding
+/// that bit's value in all 64*lane_words simulation lanes. The MISR
+/// recurrence is linear per bit, so the lane evolution is the scalar
+/// absorb applied word-wise. Construction allocates the rows and the tap
+/// table once; reset() clears the signature with no heap traffic. The
+/// caller gathers each response chunk into chunk_row() and then calls
+/// absorb(n) with the number of rows actually filled.
+class LaneMisr {
+ public:
+  LaneMisr(std::size_t width, unsigned lane_words);
+
+  std::size_t width() const { return width_; }
+  unsigned lane_words() const { return lane_words_; }
+
+  /// Clear the signature for a new self-test run.
+  void reset();
+
+  /// Caller-filled response row of bit k for the next absorb.
+  std::uint64_t* chunk_row(std::size_t k) {
+    return chunk_.data() + k * lane_words_;
+  }
+
+  /// state <- ((state << 1) | feedback) ^ chunk, word-wise per bit; chunk
+  /// rows >= n absorb 0 (matching the scalar Misr's masked absorb).
+  void absorb(std::size_t n);
+
+  /// OR into `diff` (lane_words words) the lanes whose signature differs
+  /// from lane 0 (bit 0 of word 0 of each row).
+  void accumulate_diff(std::uint64_t* diff) const;
+
+ private:
+  std::size_t width_;
+  unsigned lane_words_;
+  std::vector<unsigned> taps_;
+  std::vector<std::uint64_t> bits_;   // width rows of lane_words words
+  std::vector<std::uint64_t> chunk_;  // caller-filled response rows
+};
+
 }  // namespace stc

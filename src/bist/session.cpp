@@ -235,164 +235,109 @@ CoverageResult measure_coverage(const ControllerStructure& cs, const SelfTestPla
 
 namespace {
 
-/// Lanes whose signature bits differ from lane 0, as a bit mask: for each
-/// bit word, lane 0's value is broadcast and XOR-compared per lane.
-std::uint64_t lanes_differing_from_lane0(const std::vector<std::uint64_t>& bits) {
-  std::uint64_t diff = 0;
-  for (const std::uint64_t w : bits) diff |= (w & 1) ? ~w : w;
-  return diff;
+BilboMode mode_of(RegRole role) {
+  switch (role) {
+    case RegRole::kGenerate: return BilboMode::kGenerate;
+    case RegRole::kCompress: return BilboMode::kCompress;
+    case RegRole::kSystem: return BilboMode::kSystem;
+    case RegRole::kHold: break;
+  }
+  return BilboMode::kHold;
 }
 
-/// Lane-sliced register bank: bit k of the bank is a uint64_t word holding
-/// that bit's value in all 64 lanes. All BILBO modes are linear bitwise
-/// operations per bit, so the lane evolution is the scalar Bilbo recurrence
-/// applied word-wise — including the per-clock escape from the all-zero
-/// LFSR fixed point and the 1-bit toggle special case.
-///
-/// Construction (which allocates the bit/D vectors and the tap table) is
-/// per structure; reset() reconfigures role and seed per session without
-/// touching the heap, so a CampaignScratch can reuse one bank across every
-/// session of every batch.
+/// Netlist glue around the lane-sliced LaneBilbo (bist/bilbo.hpp): maps
+/// the bank's bit rows onto the structure's DFF slots and gathers each
+/// bit's D-input net from the evaluated values. Constructed once per
+/// worker; reset() reconfigures role and seed per session with no heap
+/// traffic.
 class LaneBank {
  public:
-  LaneBank(const Netlist& nl, const std::vector<std::size_t>& idx)
-      : idx_(&idx), width_(idx.empty() ? 1 : idx.size()) {
-    taps_ = primitive_taps(width_);
-    bits_.assign(width_, 0);
-    d_.assign(width_, 0);
-    d_net_.assign(width_, kNoNet);
+  LaneBank(const Netlist& nl, const std::vector<std::size_t>& idx, unsigned W)
+      : idx_(&idx), lane_words_(W), reg_(idx.empty() ? 1 : idx.size(), W) {
+    d_net_.assign(reg_.width(), kNoNet);
     for (std::size_t k = 0; k < idx.size(); ++k)
       d_net_[k] = nl.gate(nl.dffs()[idx[k]]).fanins[0];
   }
 
   void reset(RegRole role, std::uint64_t seed) {
     role_ = role;
-    const std::uint64_t init =
-        role == RegRole::kGenerate ? (seed == 0 ? 1 : seed) : 0;
-    for (std::size_t k = 0; k < width_; ++k)
-      bits_[k] = (k < 64 && ((init >> k) & 1)) ? ~std::uint64_t{0} : 0;
+    reg_.reset(role == RegRole::kGenerate ? (seed == 0 ? 1 : seed) : 0);
   }
 
   bool empty() const { return idx_->empty(); }
 
+  /// Write the bank's current rows into the W-strided DFF lane image.
   void deposit(std::uint64_t* dff_lanes) const {
-    for (std::size_t k = 0; k < idx_->size(); ++k) dff_lanes[(*idx_)[k]] = bits_[k];
+    const unsigned W = lane_words_;
+    for (std::size_t k = 0; k < idx_->size(); ++k) {
+      const std::uint64_t* row = reg_.row(k);
+      std::uint64_t* dst = dff_lanes + (*idx_)[k] * W;
+      for (unsigned w = 0; w < W; ++w) dst[w] = row[w];
+    }
   }
 
+  /// Clock the bank given the W-strided evaluated net values.
   void clock(const std::uint64_t* values) {
-    for (std::size_t k = 0; k < width_; ++k)
-      d_[k] = d_net_[k] == kNoNet ? 0 : values[d_net_[k]];
-    switch (role_) {
-      case RegRole::kGenerate: {
-        if (width_ == 1) {
-          bits_[0] = ~bits_[0];  // 1-bit LFSR degenerates to a toggle
-          break;
-        }
-        std::uint64_t nonzero = 0;
-        for (std::size_t k = 0; k < width_; ++k) nonzero |= bits_[k];
-        bits_[0] |= ~nonzero;  // lanes at the all-zero fixed point -> 1
-        const std::uint64_t fb = feedback();
-        for (std::size_t k = width_; k-- > 1;) bits_[k] = bits_[k - 1];
-        bits_[0] = fb;
-        break;
+    const unsigned W = lane_words_;
+    for (std::size_t k = 0; k < reg_.width(); ++k) {
+      std::uint64_t* d = reg_.d_row(k);
+      if (d_net_[k] == kNoNet) {
+        for (unsigned w = 0; w < W; ++w) d[w] = 0;
+      } else {
+        const std::uint64_t* src = values + std::size_t{d_net_[k]} * W;
+        for (unsigned w = 0; w < W; ++w) d[w] = src[w];
       }
-      case RegRole::kCompress: {
-        const std::uint64_t fb = feedback();
-        for (std::size_t k = width_; k-- > 1;) bits_[k] = bits_[k - 1] ^ d_[k];
-        bits_[0] = fb ^ d_[0];
-        break;
-      }
-      case RegRole::kSystem:
-        for (std::size_t k = 0; k < width_; ++k) bits_[k] = d_[k];
-        break;
-      case RegRole::kHold:
-        break;
     }
+    reg_.clock(mode_of(role_));
   }
 
-  /// OR into `diff` the lanes whose bank contents differ from lane 0.
-  void accumulate_diff(std::uint64_t& diff) const {
-    diff |= lanes_differing_from_lane0(bits_);
-  }
+  /// OR into `diff` (W words) the lanes whose contents differ from lane 0.
+  void accumulate_diff(std::uint64_t* diff) const { reg_.accumulate_diff(diff); }
 
  private:
-  std::uint64_t feedback() const {
-    std::uint64_t fb = 0;
-    for (unsigned t : taps_) fb ^= bits_[t - 1];
-    return fb;
-  }
-
   const std::vector<std::size_t>* idx_;
+  unsigned lane_words_;
   RegRole role_ = RegRole::kHold;
-  std::size_t width_;
-  std::vector<unsigned> taps_;
-  std::vector<std::uint64_t> bits_;
-  std::vector<std::uint64_t> d_;
   std::vector<NetId> d_net_;
+  LaneBilbo reg_;
 };
 
-/// Lane-sliced output MISR with the same chunked compaction as
-/// absorb_outputs above.
-class LaneMisr {
- public:
-  explicit LaneMisr(std::size_t width) : width_(width) {
-    taps_ = primitive_taps(width_);
-    bits_.assign(width_, 0);
-    chunk_.assign(width_, 0);
-  }
-
-  /// Clear the signature for a new self-test run (no heap traffic).
-  void reset() { std::fill(bits_.begin(), bits_.end(), 0); }
-
-  void absorb_outputs(const std::uint64_t* values, const std::vector<NetId>& po) {
-    std::size_t j = 0, absorbed = 0;
-    for (NetId net : po) {
-      chunk_[j] = values[net];
-      if (++j == width_) {
-        absorb(j);
-        j = 0;
-        ++absorbed;
-      }
+/// Gather the observed primary outputs into the lane MISR's chunk rows
+/// with the same width-sized compaction as the scalar absorb_outputs.
+void absorb_output_lanes(LaneMisr& misr, const std::uint64_t* values,
+                         const std::vector<NetId>& po, unsigned W) {
+  const std::size_t width = misr.width();
+  std::size_t j = 0, absorbed = 0;
+  for (NetId net : po) {
+    const std::uint64_t* src = values + std::size_t{net} * W;
+    std::uint64_t* row = misr.chunk_row(j);
+    for (unsigned w = 0; w < W; ++w) row[w] = src[w];
+    if (++j == width) {
+      misr.absorb(j);
+      j = 0;
+      ++absorbed;
     }
-    if (j > 0 || absorbed == 0) absorb(j);
   }
-
-  void accumulate_diff(std::uint64_t& diff) const {
-    diff |= lanes_differing_from_lane0(bits_);
-  }
-
- private:
-  /// state <- ((state << 1) | feedback) ^ chunk, word-wise per bit; chunk
-  /// positions >= n absorb 0 (matching the masked scalar absorb).
-  void absorb(std::size_t n) {
-    std::uint64_t fb = 0;
-    for (unsigned t : taps_) fb ^= bits_[t - 1];
-    for (std::size_t k = width_; k-- > 1;) bits_[k] = bits_[k - 1] ^ (k < n ? chunk_[k] : 0);
-    bits_[0] = fb ^ (n > 0 ? chunk_[0] : 0);
-  }
-
-  std::size_t width_;
-  std::vector<unsigned> taps_;
-  std::vector<std::uint64_t> bits_;
-  std::vector<std::uint64_t> chunk_;
-};
+  if (j > 0 || absorbed == 0) misr.absorb(j);
+}
 
 /// Everything one campaign worker needs across fault batches: the compiled
 /// program, the event evaluator's resident state, lane-sliced banks/MISR,
 /// the input generator, and every lane buffer. Constructed once per worker;
 /// run_self_test_lanes then performs zero heap allocations in the steady
-/// state — across cycles, sessions AND batches (verified by the
-/// allocation-counting hook in tests/allocfree_test.cpp).
+/// state — across cycles, sessions AND batches, at every lane width
+/// (verified by the allocation-counting hook in tests/allocfree_test.cpp).
 struct CampaignScratch {
   CompiledNetlist cn;
   EventScratch ev;
   LaneBank bank_a, bank_b;
   LaneMisr out_misr;
   Lfsr input_gen;
-  std::vector<std::uint64_t> in_lanes;
-  std::vector<std::uint64_t> dff_lanes;
+  std::vector<std::uint64_t> in_lanes;        // W words per input slot
+  std::vector<std::uint64_t> dff_lanes;       // W words per DFF
   std::vector<std::uint64_t> init_dff_lanes;
-  std::vector<std::uint64_t> flat_values;  // flat-engine output buffer
+  std::vector<std::uint64_t> flat_values;     // flat-engine output buffer
+  std::vector<std::uint64_t> diff_mask;       // W-word detected-lane mask
   std::vector<LaneFault> batch;
   std::uint64_t cycles = 0;  // machine cycles simulated by this worker
 
@@ -403,33 +348,41 @@ struct CampaignScratch {
   CampaignScratch(const ControllerStructure& cs, const CompiledNetlist& proto,
                   const SelfTestPlan& plan, const PinMap& pins)
       : cn(proto),
-        bank_a(cs.nl, cs.reg_a),
-        bank_b(cs.nl, cs.reg_b),
-        out_misr(plan.output_misr_width),
+        bank_a(cs.nl, cs.reg_a, proto.lane_words()),
+        bank_b(cs.nl, cs.reg_b, proto.lane_words()),
+        out_misr(plan.output_misr_width, proto.lane_words()),
         input_gen(std::max<std::size_t>(8, cs.pi.size())),
-        in_lanes(cs.nl.num_inputs(), 0),
-        dff_lanes(cs.nl.num_dffs(), 0),
-        flat_values(cs.nl.num_nets(), 0) {
+        in_lanes(cs.nl.num_inputs() * proto.lane_words(), 0),
+        dff_lanes(cs.nl.num_dffs() * proto.lane_words(), 0),
+        flat_values(cs.nl.num_nets() * proto.lane_words(), 0),
+        diff_mask(proto.lane_words(), 0) {
+    const unsigned W = proto.lane_words();
     const Netlist::SimState init = cs.nl.initial_state();
-    init_dff_lanes.reserve(init.dff.size());
+    init_dff_lanes.assign(init.dff.size() * W, 0);
     for (std::size_t k = 0; k < init.dff.size(); ++k)
-      init_dff_lanes.push_back(init.dff[k] ? ~std::uint64_t{0} : 0);
+      if (init.dff[k])
+        for (unsigned w = 0; w < W; ++w)
+          init_dff_lanes[k * W + w] = ~std::uint64_t{0};
     // The test-mode pin and the unused input slots never change: set them
     // once, the per-cycle loop only rewrites toggled functional inputs.
-    if (pins.test_slot != SIZE_MAX) in_lanes[pins.test_slot] = ~std::uint64_t{0};
-    batch.reserve(63);
+    if (pins.test_slot != SIZE_MAX)
+      for (unsigned w = 0; w < W; ++w)
+        in_lanes[pins.test_slot * W + w] = ~std::uint64_t{0};
+    batch.reserve(faults_per_run(W));
   }
 };
 
-/// One full self-test execution over 64 lanes; returns the set of lanes
-/// (as a bit mask, lane 0 excluded) whose final signatures differ from the
-/// fault-free lane 0 — i.e. the detected faults of this batch.
-std::uint64_t run_self_test_lanes(const ControllerStructure& cs,
-                                  const SelfTestPlan& plan, const PinMap& pins,
-                                  CampaignScratch& sc, CampaignEngine engine) {
+/// One full self-test execution over all 64·W lanes; fills sc.diff_mask
+/// with the set of lanes (one bit per lane, lane 0 excluded) whose final
+/// signatures differ from the fault-free lane 0 — i.e. the detected
+/// faults of this batch.
+void run_self_test_lanes(const ControllerStructure& cs, const SelfTestPlan& plan,
+                         const PinMap& pins, CampaignScratch& sc,
+                         CampaignEngine engine) {
+  const unsigned W = sc.cn.lane_words();
   sc.cn.set_faults(sc.batch);
   sc.out_misr.reset();
-  std::uint64_t diff = 0;
+  std::fill(sc.diff_mask.begin(), sc.diff_mask.end(), 0);
 
   for (const SessionSpec& spec : plan.sessions) {
     sc.bank_a.reset(spec.role_a, spec.gen_seed);
@@ -442,17 +395,20 @@ std::uint64_t run_self_test_lanes(const ControllerStructure& cs,
     // words anyway, and this keeps the bit-exactness argument trivial).
     sc.cn.reset(sc.ev);
 
-    // The input LFSR word is diffed cycle-to-cycle: only lanes whose bit
-    // toggled are rewritten. ~state() forces a full rewrite on cycle 0.
+    // The input LFSR word is diffed cycle-to-cycle: only PIs whose bit
+    // toggled rewrite their (broadcast) lane group. ~state() forces a full
+    // rewrite on cycle 0.
     std::uint64_t prev_in = ~sc.input_gen.state();
     for (std::size_t cycle = 0; cycle < spec.cycles; ++cycle) {
       const std::uint64_t in_word = sc.input_gen.state();
       const std::uint64_t delta = in_word ^ prev_in;
       prev_in = in_word;
       for (std::size_t k = 0; k < cs.pi.size(); ++k)
-        if ((delta >> k) & 1)
-          sc.in_lanes[pins.pi_slot[k]] =
-              ((in_word >> k) & 1) ? ~std::uint64_t{0} : 0;
+        if ((delta >> k) & 1) {
+          const std::uint64_t word = sc.input_gen.bit_lanes(k);
+          std::uint64_t* dst = sc.in_lanes.data() + pins.pi_slot[k] * W;
+          for (unsigned w = 0; w < W; ++w) dst[w] = word;
+        }
 
       sc.bank_a.deposit(sc.dff_lanes.data());
       sc.bank_b.deposit(sc.dff_lanes.data());
@@ -466,7 +422,7 @@ std::uint64_t run_self_test_lanes(const ControllerStructure& cs,
         values = sc.flat_values.data();
       }
 
-      sc.out_misr.absorb_outputs(values, cs.po);
+      absorb_output_lanes(sc.out_misr, values, cs.po, W);
 
       sc.bank_a.clock(values);
       sc.bank_b.clock(values);
@@ -474,13 +430,14 @@ std::uint64_t run_self_test_lanes(const ControllerStructure& cs,
       ++sc.cycles;
     }
 
-    if (spec.role_a == RegRole::kCompress) sc.bank_a.accumulate_diff(diff);
+    if (spec.role_a == RegRole::kCompress)
+      sc.bank_a.accumulate_diff(sc.diff_mask.data());
     if (spec.role_b == RegRole::kCompress && !sc.bank_b.empty())
-      sc.bank_b.accumulate_diff(diff);
+      sc.bank_b.accumulate_diff(sc.diff_mask.data());
   }
-  sc.out_misr.accumulate_diff(diff);
+  sc.out_misr.accumulate_diff(sc.diff_mask.data());
   sc.cn.clear_faults();
-  return diff & ~std::uint64_t{1};
+  sc.diff_mask[0] &= ~std::uint64_t{1};  // lane 0 is the reference, not a fault
 }
 
 }  // namespace
@@ -502,12 +459,25 @@ const char* campaign_engine_name(CampaignEngine engine) {
   return "?";
 }
 
+unsigned lane_words_from_lanes(unsigned lanes) {
+  if (lanes % 64 == 0 && lane_words_supported(lanes / 64)) return lanes / 64;
+  throw std::invalid_argument("unsupported lane count " + std::to_string(lanes) +
+                              " (expected 64, 256 or 512)");
+}
+
 CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestPlan& plan,
                                   const CampaignOptions& options,
                                   std::optional<std::vector<Fault>> faults) {
   const Netlist& nl = cs.nl;
   if (!nl.finalized())
     throw std::logic_error("run_fault_campaign: netlist not finalized");
+  // Reject unsupported widths before any simulation work, so a bad driver
+  // flag fails loudly instead of misbehaving batches later.
+  if (!lane_words_supported(options.lane_words))
+    throw std::invalid_argument(
+        "run_fault_campaign: lane_words must be 1, 4 or 8 (64, 256 or 512 "
+        "lanes); got " +
+        std::to_string(options.lane_words));
   const std::vector<Fault> list =
       faults ? std::move(*faults) : enumerate_stuck_faults(nl);
 
@@ -536,16 +506,19 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
     res.session_runs = reps.size() + 1;
   } else if (!reps.empty()) {
     const PinMap pins = map_pins(cs);
-    const std::size_t num_batches = (reps.size() + 62) / 63;
+    // Each run simulates one fault per lane, minus the reserved fault-free
+    // reference lane 0.
+    const std::size_t batch_size = faults_per_run(options.lane_words);
+    const std::size_t num_batches = (reps.size() + batch_size - 1) / batch_size;
     res.session_runs = num_batches;
     const std::size_t num_threads =
         std::max<std::size_t>(1, std::min(options.num_threads, num_batches));
 
     // Compile once; workers copy the program (cheap) instead of re-running
     // the netlist compile per thread.
-    const CompiledNetlist proto(nl);
+    const CompiledNetlist proto(nl, options.lane_words);
 
-    // Batch b covers reps [63b, 63b+63); worker w takes batches w, w+T, ...
+    // Batch b covers reps [Bb, Bb+B); worker w takes batches w, w+T, ...
     // Workers write disjoint rep_detected ranges, so the result is
     // identical for every thread count.
     std::vector<std::uint64_t> worker_cycles(num_threads, 0);
@@ -553,16 +526,17 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
     auto worker = [&](std::size_t w) {
       CampaignScratch sc(cs, proto, plan, pins);
       for (std::size_t b = w; b < num_batches; b += num_threads) {
-        const std::size_t begin = b * 63;
-        const std::size_t end = std::min(reps.size(), begin + 63);
+        const std::size_t begin = b * batch_size;
+        const std::size_t end = std::min(reps.size(), begin + batch_size);
         sc.batch.clear();
         for (std::size_t i = begin; i < end; ++i)
           sc.batch.push_back({reps[i].net, reps[i].stuck_value,
                               static_cast<unsigned>(i - begin + 1)});
-        const std::uint64_t diff =
-            run_self_test_lanes(cs, plan, pins, sc, options.engine);
-        for (std::size_t i = begin; i < end; ++i)
-          if ((diff >> (i - begin + 1)) & 1) rep_detected[i] = 1;
+        run_self_test_lanes(cs, plan, pins, sc, options.engine);
+        for (std::size_t i = begin; i < end; ++i) {
+          const unsigned lane = static_cast<unsigned>(i - begin + 1);
+          if ((sc.diff_mask[lane >> 6] >> (lane & 63)) & 1) rep_detected[i] = 1;
+        }
       }
       worker_cycles[w] = sc.cycles;
       worker_ops[w] = options.engine == CampaignEngine::kEvent

@@ -90,12 +90,25 @@ CoverageResult measure_coverage(const ControllerStructure& cs, const SelfTestPla
 
 /// --- bit-parallel campaign engine (PPSFP) -------------------------------
 ///
-/// Simulates 63 faults per self-test run on uint64_t lanes of a compiled
-/// levelized netlist (lane 0 = fault-free reference), so a campaign costs
-/// ceil(F/63) runs instead of F+1. Detection is signature-exact: a lane is
-/// detected iff any final compacting-register or output-MISR signature
-/// differs from lane 0 — the same criterion as the serial oracle, so the
-/// detected-fault sets are identical by construction.
+/// Simulates 64·W − 1 faults per self-test run on W-word uint64_t lane
+/// groups of a compiled levelized netlist (lane 0 = fault-free reference;
+/// W = CampaignOptions::lane_words ∈ {1, 4, 8} for 64/256/512 lanes), so a
+/// campaign costs ceil(F/(64·W−1)) runs instead of F+1. Detection is
+/// signature-exact: a lane is detected iff any final compacting-register
+/// or output-MISR signature differs from lane 0 — the same criterion as
+/// the serial oracle, so the detected-fault sets are identical by
+/// construction at every width and thread count.
+
+/// Faults simulated per self-test run at a given lane width: one per lane
+/// minus the reserved fault-free reference lane 0.
+inline constexpr std::size_t faults_per_run(unsigned lane_words) {
+  return 64u * lane_words - 1;
+}
+
+/// Map a driver-facing --lanes value (64, 256 or 512) to the lane-word
+/// count of CampaignOptions::lane_words; throws std::invalid_argument
+/// naming the accepted values.
+unsigned lane_words_from_lanes(unsigned lanes);
 
 enum class CampaignEngine {
   /// Event-driven 64-lane engine: resident net words, fanout-cone
@@ -123,6 +136,11 @@ struct CampaignOptions {
   bool collapse = true;
   /// Evaluation engine; all three produce identical detected-fault sets.
   CampaignEngine engine = CampaignEngine::kEvent;
+  /// uint64_t words per lane group: 1, 4 or 8 (64, 256 or 512 simulation
+  /// lanes, batching faults_per_run(lane_words) faults per self-test run).
+  /// Validated up front by run_fault_campaign; the serial engine ignores
+  /// it. Results are identical for any supported value.
+  unsigned lane_words = 1;
 };
 
 struct CampaignResult {

@@ -7,17 +7,25 @@
 
 namespace stc {
 
-CompiledNetlist::CompiledNetlist(const Netlist& nl) {
+CompiledNetlist::CompiledNetlist(const Netlist& nl, unsigned lane_words) {
   if (!nl.finalized()) throw std::logic_error("CompiledNetlist: finalize() not called");
+  if (!lane_words_supported(lane_words))
+    throw std::invalid_argument(
+        "CompiledNetlist: lane_words must be 1, 4 or 8 (64, 256 or 512 "
+        "lanes); got " +
+        std::to_string(lane_words));
+  lane_words_ = lane_words;
   num_nets_ = nl.num_nets();
   inputs_ = nl.inputs();
   dffs_ = nl.dffs();
   dff_d_.reserve(dffs_.size());
   for (NetId q : dffs_) dff_d_.push_back(nl.gate(q).fanins[0]);
 
-  init_.assign(num_nets_, 0);
+  const unsigned W = lane_words_;
+  init_.assign(num_nets_ * W, 0);
   for (NetId id = 0; id < num_nets_; ++id)
-    if (nl.gate(id).type == GateType::kConst1) init_[id] = ~std::uint64_t{0};
+    if (nl.gate(id).type == GateType::kConst1)
+      for (unsigned w = 0; w < W; ++w) init_[id * W + w] = ~std::uint64_t{0};
 
   const auto& order = nl.topo_order();
   ops_.reserve(order.size());
@@ -32,8 +40,8 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl) {
     ops_.push_back(op);
   }
 
-  and_mask_.assign(num_nets_, ~std::uint64_t{0});
-  or_mask_.assign(num_nets_, 0);
+  and_mask_.assign(num_nets_ * W, ~std::uint64_t{0});
+  or_mask_.assign(num_nets_ * W, 0);
 
   // --- event-scheduler compile products -------------------------------------
   // Net levels: sources (inputs/DFF-q/consts) are level 0; an op's output is
@@ -72,16 +80,19 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl) {
   // output of an earlier dense product) are compiled into one contiguous
   // uint16 index stream evaluated sequentially: literal-only products are
   // grouped by fanin count (fixed inner trip counts, no mispredicted
-  // exits), product-reading chains follow in topo order, and the whole
-  // sweep is skipped on cycles where no product input changed. Requires
-  // net ids to fit uint16.
+  // exits), literal-shaped XOR planes follow (parity-heavy netlists would
+  // otherwise fall back to CSR cone evaluation), then product-reading
+  // chains in topo order, and the whole sweep is skipped on cycles where
+  // no product input changed. Requires net ids to fit uint16.
   dense_.assign(ops_.size(), 0);
   is_dense_input_.assign(num_nets_, 0);
-  std::vector<std::uint32_t> main_ops, chain_ops;  // topo order
+  std::vector<std::uint32_t> main_ops, xor_ops, chain_ops;  // topo order
   if (num_nets_ <= UINT16_MAX + 1) {
     for (std::size_t i = 0; i < ops_.size(); ++i) {
       const Op& op = ops_[i];
-      if (op.type != GateType::kAnd || op.fanin_count < 2) continue;
+      if ((op.type != GateType::kAnd && op.type != GateType::kXor) ||
+          op.fanin_count < 2)
+        continue;
       bool ok = true, chained = false;
       for (std::uint32_t k = 0; ok && k < op.fanin_count; ++k) {
         const NetId f = fanins_[op.fanin_begin + k];
@@ -89,7 +100,13 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl) {
         // by another dense product is NOT a slab literal -- the reader has
         // to go through the chained (values[]-reading) path, which runs
         // after the producer's commit, or it would AND a stale term word.
+        // XOR planes have no chained path: a dense-product fanin keeps the
+        // XOR in the CSR graph (its readers are scheduled past the sweep).
         if (op_of_net_[f] != kNoOp && dense_[op_of_net_[f]]) {
+          if (op.type == GateType::kXor) {
+            ok = false;
+            break;
+          }
           chained = true;
           continue;
         }
@@ -98,19 +115,24 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl) {
       }
       if (!ok) continue;
       dense_[i] = 1;
-      (chained ? chain_ops : main_ops).push_back(static_cast<std::uint32_t>(i));
+      if (op.type == GateType::kXor)
+        xor_ops.push_back(static_cast<std::uint32_t>(i));
+      else
+        (chained ? chain_ops : main_ops).push_back(static_cast<std::uint32_t>(i));
     }
   }
+  num_xor_ops_ = xor_ops.size();
   // Literal slab: one term slot per distinct net read by a literal-only
-  // product, ordered by descending read count (frequent literals share
-  // low slots, which maximizes node reuse below).
+  // product or XOR plane, ordered by descending read count (frequent
+  // literals share low slots, which maximizes node reuse below).
   {
     std::vector<std::uint32_t> reads(num_nets_, 0);
-    for (std::uint32_t op_idx : main_ops) {
-      const Op& op = ops_[op_idx];
-      for (std::uint32_t k = 0; k < op.fanin_count; ++k)
-        ++reads[fanins_[op.fanin_begin + k]];
-    }
+    for (const auto* list : {&main_ops, &xor_ops})
+      for (std::uint32_t op_idx : *list) {
+        const Op& op = ops_[op_idx];
+        for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+          ++reads[fanins_[op.fanin_begin + k]];
+      }
     for (NetId n = 0; n < num_nets_; ++n)
       if (reads[n] > 0) slab_net_.push_back(n);
     std::stable_sort(slab_net_.begin(), slab_net_.end(),
@@ -120,11 +142,12 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl) {
   for (std::size_t t = 0; t < slab_net_.size(); ++t)
     slot_of[slab_net_[t]] = static_cast<std::uint16_t>(t);
 
-  // Factor the products through shared AND nodes: sort each product's term
-  // list, fold consecutive term pairs into deduplicated (a & b) nodes, and
-  // repeat until the lists stop shrinking or the id space / node budget is
-  // exhausted. Exact by associativity: internal nodes are not nets, so
-  // they never carry fault masks.
+  // Factor the AND products through shared AND nodes: sort each product's
+  // term list, fold consecutive term pairs into deduplicated (a & b) nodes,
+  // and repeat until the lists stop shrinking or the id space / node budget
+  // is exhausted. Exact by associativity: internal nodes are not nets, so
+  // they never carry fault masks. (XOR planes read raw slab slots only --
+  // the node table is AND-combined.)
   std::vector<std::vector<std::uint16_t>> terms(main_ops.size());
   for (std::size_t p = 0; p < main_ops.size(); ++p) {
     const Op& op = ops_[main_ops[p]];
@@ -180,25 +203,37 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl) {
   }
 
   // Emit products grouped by final term count (sequential stream per group).
-  {
-    std::vector<std::uint32_t> order(main_ops.size());
+  const auto emit_groups = [&](const std::vector<std::uint32_t>& op_list,
+                               const std::vector<std::vector<std::uint16_t>>& lists,
+                               std::vector<DenseGroup>& groups) {
+    std::vector<std::uint32_t> order(op_list.size());
     for (std::size_t p = 0; p < order.size(); ++p) order[p] = static_cast<std::uint32_t>(p);
     std::stable_sort(order.begin(), order.end(),
                      [&](std::uint32_t a, std::uint32_t b) {
-                       return terms[a].size() < terms[b].size();
+                       return lists[a].size() < lists[b].size();
                      });
     for (std::size_t i = 0; i < order.size();) {
-      const std::uint32_t width = static_cast<std::uint32_t>(terms[order[i]].size());
+      const std::uint32_t width = static_cast<std::uint32_t>(lists[order[i]].size());
       std::size_t j = i;
-      while (j < order.size() && terms[order[j]].size() == width) {
-        dense_out_.push_back(ops_[main_ops[order[j]]].out);
-        dense_prog_.insert(dense_prog_.end(), terms[order[j]].begin(),
-                           terms[order[j]].end());
+      while (j < order.size() && lists[order[j]].size() == width) {
+        dense_out_.push_back(ops_[op_list[order[j]]].out);
+        dense_prog_.insert(dense_prog_.end(), lists[order[j]].begin(),
+                           lists[order[j]].end());
         ++j;
       }
-      dense_groups_.push_back({static_cast<std::uint32_t>(j - i), width});
+      groups.push_back({static_cast<std::uint32_t>(j - i), width});
       i = j;
     }
+  };
+  emit_groups(main_ops, terms, dense_groups_);
+  {
+    std::vector<std::vector<std::uint16_t>> xterms(xor_ops.size());
+    for (std::size_t p = 0; p < xor_ops.size(); ++p) {
+      const Op& op = ops_[xor_ops[p]];
+      for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+        xterms[p].push_back(slot_of[fanins_[op.fanin_begin + k]]);
+    }
+    emit_groups(xor_ops, xterms, xor_groups_);
   }
   for (NetId n : slab_net_) is_dense_input_[n] = 1;
   // Chained products read values[] directly: their stream entries are net
@@ -269,86 +304,125 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl) {
 
 void CompiledNetlist::set_faults(const std::vector<LaneFault>& faults) {
   clear_faults();
+  const unsigned W = lane_words_;
+  // One deterministic allocation on the first batch (a no-op afterwards):
+  // keeps campaign heap traffic invariant in the lane width, where growth
+  // by doubling would take one extra step for the wider batches.
+  dirty_.reserve(num_lanes() - 1);
   for (const LaneFault& f : faults) {
     if (f.net >= num_nets_)
       throw std::out_of_range("set_faults: bad net " + std::to_string(f.net) +
                               " (netlist has " + std::to_string(num_nets_) +
                               " nets)");
-    if (f.lane == 0 || f.lane > 63)
-      throw std::invalid_argument("set_faults: lane must be in 1..63 (net " +
+    if (f.lane == 0 || f.lane >= num_lanes())
+      throw std::invalid_argument("set_faults: lane must be in 1.." +
+                                  std::to_string(num_lanes() - 1) + " (net " +
                                   std::to_string(f.net) + " requested lane " +
                                   std::to_string(f.lane) + ")");
-    if (and_mask_[f.net] == ~std::uint64_t{0} && or_mask_[f.net] == 0)
-      dirty_.push_back(f.net);
+    const std::size_t word = f.net * W + (f.lane >> 6);
+    const std::uint64_t bit = std::uint64_t{1} << (f.lane & 63);
+    if (!lanes_dirty(f.net)) dirty_.push_back(f.net);
     if (f.stuck_value)
-      or_mask_[f.net] |= std::uint64_t{1} << f.lane;
+      or_mask_[word] |= bit;
     else
-      and_mask_[f.net] &= ~(std::uint64_t{1} << f.lane);
+      and_mask_[word] &= ~bit;
   }
   if (!faults.empty()) ++faults_version_;
 }
 
+bool CompiledNetlist::lanes_dirty(NetId net) const {
+  const unsigned W = lane_words_;
+  for (unsigned w = 0; w < W; ++w)
+    if (and_mask_[net * W + w] != ~std::uint64_t{0} || or_mask_[net * W + w] != 0)
+      return true;
+  return false;
+}
+
 void CompiledNetlist::clear_faults() {
   if (dirty_.empty()) return;
-  for (NetId n : dirty_) {
-    and_mask_[n] = ~std::uint64_t{0};
-    or_mask_[n] = 0;
-  }
+  const unsigned W = lane_words_;
+  for (NetId n : dirty_)
+    for (unsigned w = 0; w < W; ++w) {
+      and_mask_[n * W + w] = ~std::uint64_t{0};
+      or_mask_[n * W + w] = 0;
+    }
   dirty_.clear();
   ++faults_version_;
 }
 
-template <bool kMasked>
+template <bool kMasked, unsigned W>
 void CompiledNetlist::run_ops(std::uint64_t* values) const {
   const std::uint32_t* pool = fanins_.data();
   for (const Op& op : ops_) {
     const std::uint32_t* f = pool + op.fanin_begin;
-    std::uint64_t v;
+    std::uint64_t v[W];
     switch (op.type) {
       case GateType::kBuf:
-        v = values[f[0]];
+        lanes::copy<W>(v, values + std::size_t{f[0]} * W);
         break;
       case GateType::kNot:
-        v = ~values[f[0]];
+        lanes::not_to<W>(v, values + std::size_t{f[0]} * W);
         break;
       case GateType::kAnd:
-        v = ~std::uint64_t{0};
-        for (std::uint32_t k = 0; k < op.fanin_count; ++k) v &= values[f[k]];
+        lanes::fill<W>(v, ~std::uint64_t{0});
+        for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+          lanes::and_in<W>(v, values + std::size_t{f[k]} * W);
         break;
       case GateType::kOr:
-        v = 0;
-        for (std::uint32_t k = 0; k < op.fanin_count; ++k) v |= values[f[k]];
+        lanes::fill<W>(v, 0);
+        for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+          lanes::or_in<W>(v, values + std::size_t{f[k]} * W);
         break;
       case GateType::kXor:
-        v = 0;
-        for (std::uint32_t k = 0; k < op.fanin_count; ++k) v ^= values[f[k]];
+        lanes::fill<W>(v, 0);
+        for (std::uint32_t k = 0; k < op.fanin_count; ++k)
+          lanes::xor_in<W>(v, values + std::size_t{f[k]} * W);
         break;
       default:
-        v = 0;
+        lanes::fill<W>(v, 0);
         break;
     }
+    std::uint64_t* out = values + std::size_t{op.out} * W;
     if (kMasked)
-      values[op.out] = (v & and_mask_[op.out]) | or_mask_[op.out];
+      lanes::mask_store<W>(out, v, and_mask_.data() + std::size_t{op.out} * W,
+                           or_mask_.data() + std::size_t{op.out} * W);
     else
-      values[op.out] = v;
+      lanes::copy<W>(out, v);
   }
 }
 
 void CompiledNetlist::evaluate(const std::uint64_t* input_lanes,
                                const std::uint64_t* dff_lanes,
                                std::uint64_t* values) const {
+  const unsigned W = lane_words_;
   std::copy(init_.begin(), init_.end(), values);
-  for (std::size_t k = 0; k < inputs_.size(); ++k) values[inputs_[k]] = input_lanes[k];
-  for (std::size_t k = 0; k < dffs_.size(); ++k) values[dffs_[k]] = dff_lanes[k];
-  if (dirty_.empty()) {
-    // Fault-free reference path: all masks are the identity, skip them.
-    run_ops<false>(values);
-    return;
+  for (std::size_t k = 0; k < inputs_.size(); ++k)
+    for (unsigned w = 0; w < W; ++w)
+      values[inputs_[k] * W + w] = input_lanes[k * W + w];
+  for (std::size_t k = 0; k < dffs_.size(); ++k)
+    for (unsigned w = 0; w < W; ++w)
+      values[dffs_[k] * W + w] = dff_lanes[k * W + w];
+  if (!dirty_.empty()) {
+    // Source nets (inputs, DFF outputs, consts) get their masks here; the
+    // op loop re-applies masks to combinational nets after driving them.
+    for (NetId n : dirty_)
+      lanes::mask_to_runtime(values + std::size_t{n} * W,
+                             values + std::size_t{n} * W,
+                             and_mask_.data() + std::size_t{n} * W,
+                             or_mask_.data() + std::size_t{n} * W, W);
   }
-  // Source nets (inputs, DFF outputs, consts) get their masks here; the op
-  // loop re-applies masks to combinational nets after driving them.
-  for (NetId n : dirty_) values[n] = (values[n] & and_mask_[n]) | or_mask_[n];
-  run_ops<true>(values);
+  // Fault-free reference path: all masks are the identity, skip them.
+  switch (W) {
+    case 1:
+      dirty_.empty() ? run_ops<false, 1>(values) : run_ops<true, 1>(values);
+      break;
+    case 4:
+      dirty_.empty() ? run_ops<false, 4>(values) : run_ops<true, 4>(values);
+      break;
+    case 8:
+      dirty_.empty() ? run_ops<false, 8>(values) : run_ops<true, 8>(values);
+      break;
+  }
 }
 
 }  // namespace stc

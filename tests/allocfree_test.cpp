@@ -40,11 +40,12 @@ ControllerStructure fig1_for(const std::string& name) {
 
 std::uint64_t count_campaign_allocs(const ControllerStructure& cs,
                                     std::size_t cycles, CampaignEngine engine,
-                                    bool collapse) {
+                                    bool collapse, unsigned lane_words = 1) {
   CampaignOptions opt;
   opt.engine = engine;
   opt.num_threads = 1;  // worker threads allocate their own stacks
   opt.collapse = collapse;
+  opt.lane_words = lane_words;
   const std::uint64_t before = g_allocations.load();
   const CampaignResult res =
       run_fault_campaign(cs, SelfTestPlan::two_session(cycles), opt);
@@ -65,6 +66,24 @@ TEST_P(CampaignAllocations, IndependentOfCycleCount) {
   EXPECT_EQ(short_run, long_run)
       << "campaign allocations must not scale with BIST cycles (engine "
       << campaign_engine_name(engine) << ")";
+}
+
+TEST_P(CampaignAllocations, IndependentOfLaneWords) {
+  // Wide scratch allocates *larger* vectors, not more of them: the W-word
+  // lane groups live in the same per-worker buffers (sized once), the wide
+  // banks/MISR keep one row vector each, and the batch/diff-mask vectors
+  // are reserved up front. So the allocation count is invariant in the
+  // lane width, on top of being invariant in the cycle count.
+  const ControllerStructure cs = fig1_for("dk27");
+  const CampaignEngine engine = GetParam();
+  const std::uint64_t narrow = count_campaign_allocs(cs, 48, engine, false, 1);
+  for (const unsigned lane_words : {4u, 8u}) {
+    const std::uint64_t wide =
+        count_campaign_allocs(cs, 48, engine, false, lane_words);
+    EXPECT_EQ(narrow, wide)
+        << "campaign allocations must not scale with lane words (engine "
+        << campaign_engine_name(engine) << ", W=" << lane_words << ")";
+  }
 }
 
 TEST_P(CampaignAllocations, StableAcrossRepeatedCampaigns) {

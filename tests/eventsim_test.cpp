@@ -53,6 +53,31 @@ void expect_engines_identical(const Netlist& nl, CompiledNetlist& cn,
   EXPECT_GE(ev.full_evals, 1u);  // the first call takes the reset path
 }
 
+/// Wide variant: drive W-word broadcast-free random lane groups through
+/// both engines and require identical word groups on every net.
+void expect_engines_identical_wide(const Netlist& nl, CompiledNetlist& cn,
+                                   std::size_t cycles, std::uint64_t seed) {
+  const unsigned W = cn.lane_words();
+  EventScratch ev;
+  std::vector<std::uint64_t> in(nl.num_inputs() * W, 0),
+      dff(nl.num_dffs() * W, 0);
+  std::vector<std::uint64_t> flat(nl.num_nets() * W, 0);
+  Rng rng(seed);
+  for (std::size_t c = 0; c < cycles; ++c) {
+    for (auto& w : in) w = (std::uint64_t(rng.below(1u << 16)) << 48) ^
+                           (std::uint64_t(rng.below(1u << 16)) << 24) ^
+                           rng.below(1u << 16);
+    for (auto& w : dff) w = (std::uint64_t(rng.below(1u << 16)) << 40) ^
+                            rng.below(1u << 16);
+    cn.evaluate_event(in.data(), dff.data(), ev);
+    cn.evaluate(in.data(), dff.data(), flat.data());
+    for (NetId id = 0; id < nl.num_nets(); ++id)
+      for (unsigned w = 0; w < W; ++w)
+        ASSERT_EQ(ev.values[id * W + w], flat[id * W + w])
+            << "cycle " << c << " net " << id << " word " << w;
+  }
+}
+
 // --- corpus-wide differential ------------------------------------------------
 
 class EventEvaluator : public ::testing::TestWithParam<std::string> {};
@@ -74,6 +99,30 @@ TEST_P(EventEvaluator, MatchesFlatEngineWordForWord) {
   // And again after clearing -- the masks must be fully gone.
   cn.clear_faults();
   expect_engines_identical(cs.nl, cn, 24, 0xE3);
+}
+
+TEST_P(EventEvaluator, WideLanesMatchFlatEngineWordForWord) {
+  const ControllerStructure cs = fig1_for(GetParam());
+  const auto faults = enumerate_stuck_faults(cs.nl);
+  for (const unsigned W : {4u, 8u}) {
+    CompiledNetlist cn(cs.nl, W);
+    ASSERT_EQ(cn.lane_words(), W);
+    // Fault-free, with per-word independent random stimulus (stress beyond
+    // the campaign's broadcast inputs).
+    expect_engines_identical_wide(cs.nl, cn, 24, 0xA0 + W);
+    // With a full wide batch installed: lanes spread over every word of
+    // the group, including the last lane.
+    std::vector<LaneFault> batch;
+    const unsigned num_lanes = 64 * W;
+    for (unsigned l = 1; l < num_lanes - 1; l += 3)
+      batch.push_back({faults[(l * 7) % faults.size()].net,
+                       faults[(l * 7) % faults.size()].stuck_value, l});
+    batch.push_back({faults[0].net, faults[0].stuck_value, num_lanes - 1});
+    cn.set_faults(batch);
+    expect_engines_identical_wide(cs.nl, cn, 24, 0xB0 + W);
+    cn.clear_faults();
+    expect_engines_identical_wide(cs.nl, cn, 12, 0xC0 + W);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKissMachines, EventEvaluator,
@@ -132,8 +181,10 @@ TEST(EventEvaluator, XorConesPropagateExactly) {
 }
 
 TEST(EventEvaluator, GlitchSuppressionKillsConeWhenWordReturnsToOldValue) {
-  // x = XOR(a, b): toggling a and b together leaves x unchanged, so the
-  // cone below x must not be re-evaluated even though x itself is.
+  // x = XOR(a, b) is a literal XOR plane, so it lives in the dense sweep:
+  // toggling a and b together leaves its raw word group unchanged and the
+  // cheap resident-group compare skips it without counting an evaluation
+  // -- and without waking the cone below it.
   Netlist nl;
   const NetId a = nl.add_input("a");
   const NetId b = nl.add_input("b");
@@ -145,6 +196,7 @@ TEST(EventEvaluator, GlitchSuppressionKillsConeWhenWordReturnsToOldValue) {
   nl.finalize();
 
   CompiledNetlist cn(nl);
+  ASSERT_EQ(cn.num_dense_xor_ops(), 1u);  // x; y reads the deep net w
   EventScratch ev;
   std::vector<std::uint64_t> in = {0, 0};
   std::vector<std::uint64_t> flat(nl.num_nets(), 0);
@@ -155,9 +207,49 @@ TEST(EventEvaluator, GlitchSuppressionKillsConeWhenWordReturnsToOldValue) {
     in[1] = ~in[1];  // a and b toggle together: x glitches back to old value
     const std::uint64_t before = ev.ops_evaluated;
     cn.evaluate_event(in.data(), nullptr, ev);
-    // x is re-evaluated (its fanins changed) and y is re-evaluated (it
-    // reads `a` directly), but w -- behind the suppressed glitch -- is not.
-    EXPECT_EQ(ev.ops_evaluated - before, 2u) << "cycle " << c;
+    // y is recomputed to a fresh value (it reads `a` directly); x's group
+    // is confirmed unchanged by the sweep and w -- behind the suppressed
+    // glitch -- never wakes at all.
+    EXPECT_EQ(ev.ops_evaluated - before, 1u) << "cycle " << c;
+    cn.evaluate(in.data(), nullptr, flat.data());
+    for (NetId id = 0; id < nl.num_nets(); ++id)
+      ASSERT_EQ(ev.values[id], flat[id]) << "net " << id;
+  }
+}
+
+TEST(EventEvaluator, CsrGlitchSuppressionForXorReadingADenseProduct) {
+  // s = XOR(p, c) reads the dense product p = AND(a, b), so it stays in
+  // the CSR path (a dense-producer fanin would read a stale term word from
+  // the slab). With b held at 1, p mirrors a; toggling a and c together
+  // leaves s = p XOR c unchanged, so the recomputed word group equals the
+  // old one and the cone below s (w) must not be re-evaluated.
+  Netlist nl;
+  const NetId a = nl.add_input("a");
+  const NetId b = nl.add_input("b");
+  const NetId c = nl.add_input("c");
+  const NetId p = nl.add_and({a, b});
+  const NetId s = nl.add_xor({p, c});
+  const NetId w = nl.add_not(s);
+  const NetId y = nl.add_xor({w, c});  // also sees `c` directly: must update
+  nl.add_output(w, "w");
+  nl.add_output(y, "y");
+  nl.finalize();
+
+  CompiledNetlist cn(nl);
+  EXPECT_EQ(cn.num_dense_xor_ops(), 0u);  // s and y read non-literal fanins
+  EventScratch ev;
+  std::vector<std::uint64_t> in = {0, ~std::uint64_t{0}, 0};  // b = 1
+  std::vector<std::uint64_t> flat(nl.num_nets(), 0);
+  cn.evaluate_event(in.data(), nullptr, ev);  // reset path
+
+  for (int cyc = 1; cyc <= 6; ++cyc) {
+    in[0] = ~in[0];
+    in[2] = ~in[2];  // a and c toggle together: s glitches back
+    const std::uint64_t before = ev.ops_evaluated;
+    cn.evaluate_event(in.data(), nullptr, ev);
+    // p (dense) changes, s is re-evaluated and suppressed, y updates; w
+    // behind the suppressed glitch does not run.
+    EXPECT_EQ(ev.ops_evaluated - before, 3u) << "cycle " << cyc;
     cn.evaluate(in.data(), nullptr, flat.data());
     for (NetId id = 0; id < nl.num_nets(); ++id)
       ASSERT_EQ(ev.values[id], flat[id]) << "net " << id;

@@ -88,6 +88,66 @@ TEST(CompiledNetlist, MatchesScalarEvaluateWithLaneFaults) {
   }
 }
 
+TEST(CompiledNetlist, WideLanesMatchScalarEvaluateOnHighLanes) {
+  // W = 8 (512 lanes): faults pinned to lanes across the whole word group,
+  // including the top word, must each reproduce the scalar evaluator's
+  // faulty values while lane 0 stays fault-free.
+  const ControllerStructure cs = fig1_for("dk27");
+  const Netlist& nl = cs.nl;
+  CompiledNetlist cn(nl, 8);
+  ASSERT_EQ(cn.num_lanes(), 512u);
+
+  const auto faults = enumerate_stuck_faults(nl);
+  Rng rng(99);
+  std::vector<LaneFault> batch;
+  for (const unsigned lane : {1u, 63u, 64u, 127u, 200u, 321u, 448u, 511u}) {
+    const Fault& f = faults[rng.below(faults.size())];
+    batch.push_back({f.net, f.stuck_value, lane});
+  }
+  cn.set_faults(batch);
+
+  const unsigned W = cn.lane_words();
+  std::vector<std::uint64_t> in_lanes(nl.num_inputs() * W);
+  std::vector<std::uint64_t> dff_lanes(nl.num_dffs() * W);
+  std::vector<std::uint64_t> lane_values(nl.num_nets() * W);
+  std::vector<bool> in(nl.num_inputs());
+  std::vector<bool> scalar_values;
+
+  for (int trial = 0; trial < 10; ++trial) {
+    Netlist::SimState state = nl.initial_state();
+    for (std::size_t k = 0; k < nl.num_inputs(); ++k) in[k] = rng.below(2) != 0;
+    for (std::size_t k = 0; k < nl.num_dffs(); ++k) state.dff[k] = rng.below(2) != 0;
+    for (std::size_t k = 0; k < nl.num_inputs(); ++k)
+      for (unsigned w = 0; w < W; ++w)
+        in_lanes[k * W + w] = in[k] ? ~std::uint64_t{0} : 0;
+    for (std::size_t k = 0; k < nl.num_dffs(); ++k)
+      for (unsigned w = 0; w < W; ++w)
+        dff_lanes[k * W + w] = state.dff[k] ? ~std::uint64_t{0} : 0;
+
+    cn.evaluate(in_lanes.data(), dff_lanes.data(), lane_values.data());
+
+    nl.evaluate(in, state, scalar_values);
+    for (NetId id = 0; id < nl.num_nets(); ++id)
+      ASSERT_EQ(lane_values[id * W] & 1, scalar_values[id] ? 1u : 0u)
+          << "net " << id << " lane 0";
+
+    for (const LaneFault& lf : batch) {
+      nl.evaluate(in, state, scalar_values, lf.net, lf.stuck_value);
+      for (NetId id = 0; id < nl.num_nets(); ++id)
+        ASSERT_EQ((lane_values[id * W + (lf.lane >> 6)] >> (lf.lane & 63)) & 1,
+                  scalar_values[id] ? 1u : 0u)
+            << "net " << id << " lane " << lf.lane;
+    }
+  }
+}
+
+TEST(CompiledNetlist, RejectsUnsupportedLaneWords) {
+  const ControllerStructure cs = fig1_for("shiftreg");
+  for (const unsigned bad : {0u, 2u, 3u, 5u, 16u})
+    EXPECT_THROW(CompiledNetlist cn(cs.nl, bad), std::invalid_argument)
+        << "lane_words=" << bad;
+}
+
 TEST(CompiledNetlist, ClearFaultsRestoresFaultFree) {
   const ControllerStructure cs = fig1_for("shiftreg");
   const Netlist& nl = cs.nl;
@@ -240,37 +300,87 @@ TEST_P(CampaignEquivalence, BothLaneEnginesMatchSerialOracleAtAllThreadCounts) {
   const CoverageResult serial = measure_coverage(cs, plan, list);
   const auto serial_undet = fault_set(serial.undetected);
 
-  for (const CampaignEngine engine : {CampaignEngine::kEvent, CampaignEngine::kFlat}) {
-    for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
-      for (const bool collapse : {true, false}) {
-        CampaignOptions opt;
-        opt.engine = engine;
-        opt.num_threads = threads;
-        opt.collapse = collapse;
-        const CampaignResult par = run_fault_campaign(cs, plan, opt, list);
-        EXPECT_EQ(par.raw.total, serial.total);
-        EXPECT_EQ(par.raw.detected, serial.detected)
-            << "engine=" << campaign_engine_name(engine) << " threads=" << threads
-            << " collapse=" << collapse;
-        EXPECT_EQ(fault_set(par.raw.undetected), serial_undet)
-            << "engine=" << campaign_engine_name(engine) << " threads=" << threads
-            << " collapse=" << collapse;
-        if (collapse) {
-          EXPECT_LE(par.collapsed_total, par.raw.total);
-          EXPECT_LE(par.session_runs, (par.collapsed_total + 62) / 63);
-        }
-        // Activity accounting: the flat engine evaluates everything; the
-        // event engine never does more work than flat.
-        EXPECT_GT(par.cycles_simulated, 0u);
-        if (engine == CampaignEngine::kFlat) {
-          EXPECT_DOUBLE_EQ(par.mean_activity(), 1.0);
-        } else {
-          EXPECT_LE(par.mean_activity(), 1.0);
-          EXPECT_GT(par.mean_activity(), 0.0);
+  for (const unsigned lane_words : kSupportedLaneWords) {
+    for (const CampaignEngine engine :
+         {CampaignEngine::kEvent, CampaignEngine::kFlat}) {
+      for (const std::size_t threads : {std::size_t{1}, std::size_t{4}}) {
+        for (const bool collapse : {true, false}) {
+          CampaignOptions opt;
+          opt.engine = engine;
+          opt.num_threads = threads;
+          opt.collapse = collapse;
+          opt.lane_words = lane_words;
+          const CampaignResult par = run_fault_campaign(cs, plan, opt, list);
+          EXPECT_EQ(par.raw.total, serial.total);
+          EXPECT_EQ(par.raw.detected, serial.detected)
+              << "engine=" << campaign_engine_name(engine)
+              << " threads=" << threads << " collapse=" << collapse
+              << " lane_words=" << lane_words;
+          EXPECT_EQ(fault_set(par.raw.undetected), serial_undet)
+              << "engine=" << campaign_engine_name(engine)
+              << " threads=" << threads << " collapse=" << collapse
+              << " lane_words=" << lane_words;
+          if (collapse) {
+            EXPECT_LE(par.collapsed_total, par.raw.total);
+            const std::size_t per_run = faults_per_run(lane_words);
+            EXPECT_LE(par.session_runs,
+                      (par.collapsed_total + per_run - 1) / per_run);
+          }
+          // Activity accounting: the flat engine evaluates everything; the
+          // event engine never does more work than flat.
+          EXPECT_GT(par.cycles_simulated, 0u);
+          if (engine == CampaignEngine::kFlat) {
+            EXPECT_DOUBLE_EQ(par.mean_activity(), 1.0);
+          } else {
+            EXPECT_LE(par.mean_activity(), 1.0);
+            EXPECT_GT(par.mean_activity(), 0.0);
+          }
         }
       }
     }
   }
+}
+
+TEST(Campaign, WiderLanesTakeFewerSessionRuns) {
+  const ControllerStructure cs = fig1_for("bbara");
+  const SelfTestPlan plan = SelfTestPlan::two_session(48);
+  std::size_t prev_runs = SIZE_MAX;
+  for (const unsigned lane_words : kSupportedLaneWords) {
+    CampaignOptions opt;
+    opt.lane_words = lane_words;
+    opt.collapse = false;
+    const CampaignResult r = run_fault_campaign(cs, plan, opt);
+    const std::size_t per_run = faults_per_run(lane_words);
+    EXPECT_EQ(r.session_runs, (r.raw.total + per_run - 1) / per_run);
+    EXPECT_LE(r.session_runs, prev_runs);
+    prev_runs = r.session_runs;
+  }
+}
+
+TEST(Campaign, RejectsUnsupportedLaneWordsUpFront) {
+  const ControllerStructure cs = fig1_for("dk27");
+  const SelfTestPlan plan = SelfTestPlan::two_session(16);
+  for (const unsigned bad : {0u, 2u, 3u, 5u, 16u}) {
+    CampaignOptions opt;
+    opt.lane_words = bad;
+    try {
+      run_fault_campaign(cs, plan, opt);
+      FAIL() << "lane_words=" << bad << " must be rejected";
+    } catch (const std::invalid_argument& e) {
+      // The error must name the accepted values.
+      EXPECT_NE(std::string(e.what()).find("1, 4 or 8"), std::string::npos)
+          << e.what();
+    }
+  }
+}
+
+TEST(Campaign, LaneWordsFromLanesMapsDriverFlag) {
+  EXPECT_EQ(lane_words_from_lanes(64), 1u);
+  EXPECT_EQ(lane_words_from_lanes(256), 4u);
+  EXPECT_EQ(lane_words_from_lanes(512), 8u);
+  for (const unsigned bad : {0u, 1u, 63u, 128u, 1024u})
+    EXPECT_THROW(lane_words_from_lanes(bad), std::invalid_argument)
+        << "lanes=" << bad;
 }
 
 INSTANTIATE_TEST_SUITE_P(AllKissMachines, CampaignEquivalence,
