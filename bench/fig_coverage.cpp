@@ -28,12 +28,17 @@
 //                 multi_level (algebraically factored logic; simulation-
 //                 equivalent, and the table gains the factored literal
 //                 column -- the area tables' second technology point)
+//   --time-budget-ms N
+//                 anytime wall-clock budget per machine flow; truncated
+//                 stages are listed after the table. Ctrl-C cancels
+//                 gracefully (the bench still prints what it measured).
 
 #include <cstdio>
 #include <thread>
 
 #include "benchdata/iwls93.hpp"
 #include "synth/flow.hpp"
+#include "util/budget.hpp"
 #include "util/cli.hpp"
 #include "util/table.hpp"
 
@@ -66,6 +71,10 @@ int main(int argc, char** argv) {
                   campaign_engine_name(engine) + ", tech: " +
                   technology_name(tech) + "]");
 
+  const auto cancel = install_sigint_cancel();
+  const long budget_ms = cli.get_int("time-budget-ms", -1);
+  std::vector<std::string> degradation_lines;
+
   for (const char* name : machines) {
     const MealyMachine m = load_benchmark(name);
     FlowOptions opts;
@@ -75,6 +84,10 @@ int main(int argc, char** argv) {
     opts.campaign.num_threads = threads;
     opts.campaign.engine = engine;
     opts.campaign.lane_words = lane_words;
+    // Per-machine anytime budget: wall clock (when asked for) + Ctrl-C.
+    opts.budget.with_cancel(cancel);
+    if (budget_ms >= 0)
+      opts.budget.with_deadline_ms(static_cast<double>(budget_ms));
     const FlowResult res = run_flow(m, opts);
 
     for (const StructureReport* s : {&res.fig1, &res.fig2, &res.fig3, &res.fig4}) {
@@ -92,9 +105,20 @@ int main(int argc, char** argv) {
                      s->logic_ml ? std::to_string(s->logic_ml->literals) : "-",
                      pct(s->coverage), pct(s->feedback_coverage),
                      std::to_string(s->total_faults), pct(s->activity), ms});
+      for (const Degradation& d : s->degradations) {
+        const std::string line = render_degradation(d);
+        if (!line.empty())
+          degradation_lines.push_back(std::string(name) + "/" + s->kind + ": " + line);
+      }
     }
   }
   std::printf("%s\n", table.render().c_str());
+  if (!degradation_lines.empty()) {
+    std::printf("Degraded (anytime-budget) stages:\n");
+    for (const std::string& l : degradation_lines)
+      std::printf("  ! %s\n", l.c_str());
+    std::printf("\n");
+  }
 
   // Coverage vs test length for the pipeline structure (series data).
   std::printf("Pipeline (fig4) coverage vs cycles per session, machine dk27 "
@@ -108,11 +132,15 @@ int main(int argc, char** argv) {
     copt.num_threads = threads;
     copt.engine = engine;
     copt.lane_words = lane_words;
+    copt.budget.with_cancel(cancel);
+    if (budget_ms >= 0)
+      copt.budget.with_deadline_ms(static_cast<double>(budget_ms));
     std::printf("  cycles  coverage  activity\n");
     for (std::size_t cycles : {4, 8, 16, 32, 64, 128, 256, 512}) {
       const auto camp = run_fault_campaign(fig4, SelfTestPlan::two_session(cycles), copt);
-      std::printf("  %6zu  %6.1f%%  %7.1f%%\n", cycles, camp.coverage() * 100.0,
-                  camp.mean_activity() * 100.0);
+      std::printf("  %6zu  %6.1f%%  %7.1f%%%s\n", cycles, camp.coverage() * 100.0,
+                  camp.mean_activity() * 100.0,
+                  camp.degradation.degraded ? "  [truncated]" : "");
     }
   }
   return 0;

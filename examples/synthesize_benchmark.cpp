@@ -6,6 +6,7 @@
 //                              [--engine event|flat|serial]
 //                              [--lanes 64|256|512]
 //                              [--tech two_level|multi_level]
+//                              [--time-budget-ms N] [--max-nodes N]
 //       ./synthesize_benchmark --kiss path/to/machine.kiss2
 //       ./synthesize_benchmark --list
 //
@@ -14,6 +15,12 @@
 // multi_level the combinational blocks are algebraically factored
 // (simulation-equivalent) and the report shows both the two-level PLA and
 // the factored cost points.
+//
+// Anytime operation: --time-budget-ms bounds the wall time of the whole
+// flow (OSTR, minimization, factoring, fault campaigns), --max-nodes caps
+// the OSTR search, and Ctrl-C cancels gracefully. In every case the flow
+// finishes with valid, behavior-exact netlists; truncated stages are
+// labeled in the report (a second Ctrl-C kills the process).
 
 #include <cstdio>
 #include <thread>
@@ -21,6 +28,7 @@
 #include "benchdata/iwls93.hpp"
 #include "fsm/kiss.hpp"
 #include "synth/report.hpp"
+#include "util/budget.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -63,6 +71,13 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
   }
+
+  // Anytime controls: one whole-flow budget carrying the wall-clock
+  // deadline (--time-budget-ms) and SIGINT cancellation. Either one makes
+  // the budget non-unlimited, which routes it to every governed stage.
+  opts.budget.with_cancel(install_sigint_cancel());
+  const long budget_ms = cli.get_int("time-budget-ms", -1);
+  if (budget_ms >= 0) opts.budget.with_deadline_ms(static_cast<double>(budget_ms));
 
   std::printf("Machine: %zu states, %zu inputs, %zu outputs\n\n", m.num_states(),
               m.num_inputs(), m.num_outputs());

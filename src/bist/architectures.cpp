@@ -39,12 +39,17 @@ std::vector<NetId> build_minimized(Netlist& nl, const MinimizedBlock& mb,
 /// restricted copy): factor the PLA when the multi-output engine ran, or
 /// the covers when they fit the 64-output CubeList bound — an oversized
 /// covers block stays two-level rather than failing.
-void maybe_factor(MinimizedBlock& mb) {
+void maybe_factor(MinimizedBlock& mb, const Budget& budget,
+                  std::vector<Degradation>* degradations) {
+  FactorOptions fopt;
+  fopt.budget = budget;
+  Degradation deg;
   if (mb.pla) {
-    mb.factored = extract_factored(*mb.pla);
+    mb.factored = extract_factored(*mb.pla, fopt, &deg);
   } else if (mb.covers.size() <= 64) {
-    mb.factored = extract_factored(mb.covers);
+    mb.factored = extract_factored(mb.covers, fopt, &deg);
   }
+  if (degradations && deg.degraded) degradations->push_back(std::move(deg));
 }
 
 /// Accumulate one block into the structure: the two-level cost point
@@ -85,35 +90,50 @@ std::vector<TruthTable> combined_tables(const EncodedFsm& enc) {
 }  // namespace
 
 MinimizedBlock minimize_for(const PlaSpec& spec, const std::vector<TruthTable>& tables,
-                            MinimizerKind mk, Technology tech) {
+                            MinimizerKind mk, Technology tech, const Budget& budget,
+                            std::vector<Degradation>* degradations) {
   MinimizedBlock mb;
   mb.covers.reserve(tables.size());
   const std::size_t num_vars = tables.empty() ? spec.num_vars : tables[0].num_vars();
+  EspressoOptions eopt;
+  eopt.budget = budget;
+  const auto collect = [degradations](Degradation&& deg) {
+    if (degradations && deg.degraded) degradations->push_back(std::move(deg));
+  };
   // QM's prime enumeration is exact but exponential; hand larger tables
   // to the heuristic.
   const bool want_heuristic =
       mk == MinimizerKind::kEspresso ||
       (mk == MinimizerKind::kAuto && num_vars > 10);
   if (want_heuristic && !tables.empty() && spec.num_outputs == tables.size()) {
-    mb.pla = minimize_espresso_mv(spec);
+    Degradation deg;
+    mb.pla = minimize_espresso_mv(spec, eopt, &deg);
+    collect(std::move(deg));
     for (std::size_t b = 0; b < spec.num_outputs; ++b)
       mb.covers.push_back(mb.pla->output_cover(b));
   } else if (want_heuristic) {
     // No usable spec for this block (e.g. more outputs than the 64-bit
     // output part can carry): per-output heuristic, no product sharing.
-    for (const auto& tt : tables) mb.covers.push_back(minimize_espresso(tt));
+    // Each output gets its own copy of the budget (the deadline stays
+    // absolute across them).
+    for (const auto& tt : tables) {
+      Degradation deg;
+      mb.covers.push_back(minimize_espresso(tt, eopt, &deg));
+      collect(std::move(deg));
+    }
   } else {
+    // Exact QM on small tables: not budget-governed (bounded and fast).
     for (const auto& tt : tables) mb.covers.push_back(minimize_qm(tt));
   }
   // Multi-level: greedy algebraic extraction on the minimized two-level
   // form (the PLA when the multi-output engine ran, the per-output covers
   // on the QM path).
-  if (tech == Technology::kMultiLevel) maybe_factor(mb);
+  if (tech == Technology::kMultiLevel) maybe_factor(mb, budget, degradations);
   return mb;
 }
 
 ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk,
-                               Technology tech) {
+                               Technology tech, const Budget& budget) {
   ControllerStructure cs;
   cs.kind = "fig1";
   cs.tech = tech;
@@ -130,7 +150,8 @@ ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk,
 
   // One multi-output block for next-state and output bits together, so
   // the minimizer can share product terms between the two.
-  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech);
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech,
+                                         budget, &cs.degradations);
   add_block_cost(cs, mb);
   const auto nets = build_minimized(nl, mb, vars);
   for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], nets[b]);
@@ -143,7 +164,7 @@ ControllerStructure build_fig1(const EncodedFsm& enc, MinimizerKind mk,
 }
 
 ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk,
-                               Technology tech) {
+                               Technology tech, const Budget& budget) {
   ControllerStructure cs;
   cs.kind = "fig2";
   cs.tech = tech;
@@ -167,7 +188,8 @@ ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk,
   std::vector<NetId> vars = cs.pi;
   vars.insert(vars.end(), state_in.begin(), state_in.end());
 
-  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech);
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech,
+                                         budget, &cs.degradations);
   add_block_cost(cs, mb);
   const auto nets = build_minimized(nl, mb, vars);
   for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r.q[b], nets[b]);
@@ -184,7 +206,7 @@ ControllerStructure build_fig2(const EncodedFsm& enc, MinimizerKind mk,
 }
 
 ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk,
-                               Technology tech) {
+                               Technology tech, const Budget& budget) {
   ControllerStructure cs;
   cs.kind = "fig3";
   cs.tech = tech;
@@ -196,7 +218,8 @@ ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk,
   cs.reg_a = dff_indices(nl, r1);
   cs.reg_b = dff_indices(nl, r2);
 
-  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech);
+  const MinimizedBlock mb = minimize_for(enc.spec, combined_tables(enc), mk, tech,
+                                         budget, &cs.degradations);
 
   // Copy C: reads R, feeds R' (and drives the primary outputs). Copy C':
   // reads R', feeds R -- only the next-state part is duplicated, with the
@@ -220,7 +243,8 @@ ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk,
   } else {
     next_mb.covers.assign(mb.covers.begin(), mb.covers.begin() + enc.state_bits);
   }
-  if (tech == Technology::kMultiLevel) maybe_factor(next_mb);
+  if (tech == Technology::kMultiLevel)
+    maybe_factor(next_mb, budget, &cs.degradations);
   add_block_cost(cs, next_mb);
   const auto nets2 = build_minimized(nl, next_mb, vars2);
   for (std::size_t b = 0; b < enc.state_bits; ++b) nl.connect_dff(r1.q[b], nets2[b]);
@@ -234,7 +258,8 @@ ControllerStructure build_fig3(const EncodedFsm& enc, MinimizerKind mk,
 }
 
 ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
-                               MinimizerKind mk, Technology tech) {
+                               MinimizerKind mk, Technology tech,
+                               const Budget& budget) {
   ControllerStructure cs;
   cs.kind = "fig4";
   cs.tech = tech;
@@ -265,7 +290,8 @@ ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
   // C1: (inputs, R1) -> D of R2.
   std::vector<NetId> vars1 = cs.pi;
   vars1.insert(vars1.end(), r1.q.begin(), r1.q.end());
-  const MinimizedBlock mb1 = minimize_for(f1.spec, f1.next_state, mk, tech);
+  const MinimizedBlock mb1 = minimize_for(f1.spec, f1.next_state, mk, tech,
+                                          budget, &cs.degradations);
   add_block_cost(cs, mb1);
   const auto c1 = build_minimized(nl, mb1, vars1);
   for (std::size_t b = 0; b < enc2.width; ++b) nl.connect_dff(r2.q[b], c1[b]);
@@ -273,7 +299,8 @@ ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
   // C2: (inputs, R2) -> D of R1.
   std::vector<NetId> vars2 = cs.pi;
   vars2.insert(vars2.end(), r2.q.begin(), r2.q.end());
-  const MinimizedBlock mb2 = minimize_for(f2.spec, f2.next_state, mk, tech);
+  const MinimizedBlock mb2 = minimize_for(f2.spec, f2.next_state, mk, tech,
+                                          budget, &cs.degradations);
   add_block_cost(cs, mb2);
   const auto c2 = build_minimized(nl, mb2, vars2);
   for (std::size_t b = 0; b < enc1.width; ++b) nl.connect_dff(r1.q[b], c2[b]);
@@ -283,7 +310,8 @@ ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
   std::vector<NetId> lvars = cs.pi;
   lvars.insert(lvars.end(), r2.q.begin(), r2.q.end());
   lvars.insert(lvars.end(), r1.q.begin(), r1.q.end());
-  const MinimizedBlock mbl = minimize_for(lam.spec, lam.outputs, mk, tech);
+  const MinimizedBlock mbl = minimize_for(lam.spec, lam.outputs, mk, tech,
+                                          budget, &cs.degradations);
   add_block_cost(cs, mbl);
   const auto po_nets = build_minimized(nl, mbl, lvars);
   for (std::size_t b = 0; b < po_nets.size(); ++b) {

@@ -21,6 +21,7 @@
 #include "logic/cost.hpp"
 #include "netlist/builder.hpp"
 #include "ostr/realization.hpp"
+#include "util/budget.hpp"
 
 namespace stc {
 
@@ -58,6 +59,11 @@ struct ControllerStructure {
   /// per-output-heuristic fallback): these were built two-level, and the
   /// report renders the technology as "multi_level(partial)".
   std::size_t ml_fallback_blocks = 0;
+  /// Anytime labels of every minimization/factoring stage the build
+  /// truncated under its budget (empty = nothing degraded). The netlist
+  /// implements the encoded machine exactly in every case -- degradation
+  /// only means less optimization, never wrong logic.
+  std::vector<Degradation> degradations;
 };
 
 /// One minimized multi-output block. `pla` is set when the cube-calculus
@@ -88,29 +94,45 @@ struct MinimizedBlock {
 /// Technology::kMultiLevel the minimized block is additionally run
 /// through greedy kernel/cube extraction (after espresso on the big
 /// blocks, from the per-output covers on the QM path).
+/// The budget governs the espresso rounds (heuristic path) and, on the
+/// multi-level path, the greedy extraction; the exact QM path for small
+/// tables ignores it. Truncations are appended to `degradations` when
+/// given. The block implements the tables at any budget.
 MinimizedBlock minimize_for(const PlaSpec& spec, const std::vector<TruthTable>& tables,
                             MinimizerKind mk,
-                            Technology tech = Technology::kTwoLevel);
+                            Technology tech = Technology::kTwoLevel,
+                            const Budget& budget = {},
+                            std::vector<Degradation>* degradations = nullptr);
+
+// Every builder accepts an anytime budget shared by all of its
+// minimization/factoring stages (the deadline is absolute, so stages
+// naturally split what remains); truncations are collected in
+// ControllerStructure::degradations. The built netlist is behavior-exact
+// at any budget.
 
 /// Fig. 1: conventional structure.
 ControllerStructure build_fig1(const EncodedFsm& enc,
                                MinimizerKind mk = MinimizerKind::kAuto,
-                               Technology tech = Technology::kTwoLevel);
+                               Technology tech = Technology::kTwoLevel,
+                               const Budget& budget = {});
 
 /// Fig. 2: conventional structure + test register + bypass mux.
 ControllerStructure build_fig2(const EncodedFsm& enc,
                                MinimizerKind mk = MinimizerKind::kAuto,
-                               Technology tech = Technology::kTwoLevel);
+                               Technology tech = Technology::kTwoLevel,
+                               const Budget& budget = {});
 
 /// Fig. 3: doubled registers and combinational logic.
 ControllerStructure build_fig3(const EncodedFsm& enc,
                                MinimizerKind mk = MinimizerKind::kAuto,
-                               Technology tech = Technology::kTwoLevel);
+                               Technology tech = Technology::kTwoLevel,
+                               const Budget& budget = {});
 
 /// Fig. 4: pipeline structure from a realization; states of each factor
 /// are encoded with minimal-width natural codes by default.
 ControllerStructure build_fig4(const MealyMachine& fsm, const Realization& real,
                                MinimizerKind mk = MinimizerKind::kAuto,
-                               Technology tech = Technology::kTwoLevel);
+                               Technology tech = Technology::kTwoLevel,
+                               const Budget& budget = {});
 
 }  // namespace stc

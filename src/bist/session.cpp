@@ -6,6 +6,8 @@
 
 #include "bist/lfsr.hpp"
 #include "netlist/eval64.hpp"
+#include "util/error.hpp"
+#include "util/strings.hpp"
 
 namespace stc {
 
@@ -221,6 +223,7 @@ CoverageResult measure_coverage(const ControllerStructure& cs, const SelfTestPla
 
   CoverageResult res;
   res.total = list.size();
+  res.simulated = list.size();
   for (const Fault& f : list) {
     if (run_self_test(cs, plan, f) != golden) {
       ++res.detected;
@@ -465,24 +468,55 @@ unsigned lane_words_from_lanes(unsigned lanes) {
                               " (expected 64, 256 or 512)");
 }
 
+void CampaignOptions::validate(const SelfTestPlan& plan) const {
+  // Collect EVERY problem before throwing, so a caller with three bad
+  // fields fixes them in one round trip instead of three.
+  std::string problems;
+  const auto add = [&problems](const std::string& p) {
+    if (!problems.empty()) problems += "; ";
+    problems += p;
+  };
+  switch (engine) {
+    case CampaignEngine::kEvent:
+    case CampaignEngine::kFlat:
+    case CampaignEngine::kSerial:
+      break;
+    default:
+      add("engine must be event, flat or serial; got enum value " +
+          std::to_string(static_cast<int>(engine)));
+      break;
+  }
+  if (!lane_words_supported(lane_words))
+    add("lane_words must be 1, 4 or 8 (64, 256 or 512 lanes); got " +
+        std::to_string(lane_words));
+  if (num_threads == 0) add("num_threads must be >= 1; got 0");
+  if (plan.sessions.empty()) add("plan has no sessions");
+  if (plan.output_misr_width == 0 || plan.output_misr_width > 64)
+    add("plan output_misr_width must be in [1, 64]; got " +
+        std::to_string(plan.output_misr_width));
+  if (!problems.empty())
+    throw Error(ErrorCode::kInvalidInput, "invalid fault campaign options",
+                problems);
+}
+
 CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestPlan& plan,
                                   const CampaignOptions& options,
                                   std::optional<std::vector<Fault>> faults) {
   const Netlist& nl = cs.nl;
   if (!nl.finalized())
     throw std::logic_error("run_fault_campaign: netlist not finalized");
-  // Reject unsupported widths before any simulation work, so a bad driver
+  // Reject every bad option before any simulation work, so a bad driver
   // flag fails loudly instead of misbehaving batches later.
-  if (!lane_words_supported(options.lane_words))
-    throw std::invalid_argument(
-        "run_fault_campaign: lane_words must be 1, 4 or 8 (64, 256 or 512 "
-        "lanes); got " +
-        std::to_string(options.lane_words));
+  options.validate(plan);
   const std::vector<Fault> list =
       faults ? std::move(*faults) : enumerate_stuck_faults(nl);
 
   CampaignResult res;
   res.raw.total = list.size();
+  // A budget that is exhausted (or empty) on arrival skips all simulation:
+  // zero batches ran, every fault is unsimulated, coverage() reports 0.
+  const bool skip_all =
+      options.budget.exhausted() || options.budget.work_allowance() == 0;
 
   std::vector<Fault> reps;
   std::vector<std::size_t> class_of;
@@ -498,19 +532,26 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
   res.collapsed_total = reps.size();
 
   std::vector<char> rep_detected(reps.size(), 0);
+  std::vector<char> rep_simulated(reps.size(), 0);
 
-  if (options.engine == CampaignEngine::kSerial) {
+  if (skip_all) {
+    // Nothing ran; fall through to the (all-unsimulated) accounting.
+  } else if (options.engine == CampaignEngine::kSerial) {
+    Budget bud = options.budget;
     const Signatures golden = run_self_test(cs, plan);
-    for (std::size_t i = 0; i < reps.size(); ++i)
+    res.session_runs = 1;
+    for (std::size_t i = 0; i < reps.size(); ++i) {
+      if (bud.spend(1)) break;
       rep_detected[i] = run_self_test(cs, plan, reps[i]) != golden ? 1 : 0;
-    res.session_runs = reps.size() + 1;
+      rep_simulated[i] = 1;
+      ++res.session_runs;
+    }
   } else if (!reps.empty()) {
     const PinMap pins = map_pins(cs);
     // Each run simulates one fault per lane, minus the reserved fault-free
     // reference lane 0.
     const std::size_t batch_size = faults_per_run(options.lane_words);
     const std::size_t num_batches = (reps.size() + batch_size - 1) / batch_size;
-    res.session_runs = num_batches;
     const std::size_t num_threads =
         std::max<std::size_t>(1, std::min(options.num_threads, num_batches));
 
@@ -519,13 +560,18 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
     const CompiledNetlist proto(nl, options.lane_words);
 
     // Batch b covers reps [Bb, Bb+B); worker w takes batches w, w+T, ...
-    // Workers write disjoint rep_detected ranges, so the result is
-    // identical for every thread count.
+    // Workers write disjoint rep_detected / rep_simulated ranges, so the
+    // result is identical for every thread count (a wall-clock budget may
+    // truncate different batches per run; every completed batch's verdicts
+    // stay exact).
     std::vector<std::uint64_t> worker_cycles(num_threads, 0);
     std::vector<std::uint64_t> worker_ops(num_threads, 0);
+    std::vector<std::size_t> worker_runs(num_threads, 0);
     auto worker = [&](std::size_t w) {
+      Budget bud = options.budget;  // per-worker copy, absolute deadline
       CampaignScratch sc(cs, proto, plan, pins);
       for (std::size_t b = w; b < num_batches; b += num_threads) {
+        if (bud.spend(1)) break;
         const std::size_t begin = b * batch_size;
         const std::size_t end = std::min(reps.size(), begin + batch_size);
         sc.batch.clear();
@@ -534,9 +580,11 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
                               static_cast<unsigned>(i - begin + 1)});
         run_self_test_lanes(cs, plan, pins, sc, options.engine);
         for (std::size_t i = begin; i < end; ++i) {
+          rep_simulated[i] = 1;
           const unsigned lane = static_cast<unsigned>(i - begin + 1);
           if ((sc.diff_mask[lane >> 6] >> (lane & 63)) & 1) rep_detected[i] = 1;
         }
+        ++worker_runs[w];
       }
       worker_cycles[w] = sc.cycles;
       worker_ops[w] = options.engine == CampaignEngine::kEvent
@@ -556,27 +604,51 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
     for (std::size_t w = 0; w < num_threads; ++w) {
       res.cycles_simulated += worker_cycles[w];
       res.ops_evaluated += worker_ops[w];
+      res.session_runs += worker_runs[w];
     }
   }
 
   // One deterministic allocation regardless of the detected count (keeps
   // campaign heap traffic independent of plan length; see allocfree_test).
+  // Faults whose class was never simulated land in neither bucket: not
+  // detected, not listed as undetected -- only counted by total.
   res.raw.undetected.reserve(list.size());
   for (std::size_t i = 0; i < list.size(); ++i) {
-    if (rep_detected[class_of[i]]) {
+    const std::size_t cls = class_of[i];
+    if (!rep_simulated[cls]) continue;
+    ++res.faults_simulated;
+    if (rep_detected[cls]) {
       ++res.raw.detected;
     } else {
       res.raw.undetected.push_back(list[i]);
     }
   }
-  for (char d : rep_detected) res.collapsed_detected += d ? 1 : 0;
+  res.raw.simulated = res.faults_simulated;
+  for (std::size_t i = 0; i < reps.size(); ++i) {
+    res.collapsed_detected += rep_detected[i] ? 1 : 0;
+    res.collapsed_simulated += rep_simulated[i] ? 1 : 0;
+  }
+
+  res.degradation.stage = "campaign";
+  res.degradation.work_done = res.collapsed_simulated;
+  res.degradation.work_total = res.collapsed_total;
+  res.degradation.degraded = res.collapsed_simulated < res.collapsed_total;
+  if (res.degradation.degraded) {
+    Budget probe = options.budget;
+    res.degradation.reason = probe.exhausted() ? probe.reason() : "work-allowance";
+    res.degradation.detail =
+        strprintf("simulated %zu/%zu faults; coverage() counts the rest as "
+                  "undetected",
+                  res.faults_simulated, res.raw.total);
+  }
   return res;
 }
 
 CoverageResult measure_functional_coverage(const ControllerStructure& cs,
                                            std::size_t cycles,
                                            std::optional<std::vector<Fault>> faults,
-                                           std::uint64_t seed) {
+                                           std::uint64_t seed, const Budget& budget,
+                                           Degradation* degradation) {
   const Netlist& nl = cs.nl;
   const std::vector<Fault> list =
       faults ? std::move(*faults) : enumerate_stuck_faults(cs.nl);
@@ -604,14 +676,33 @@ CoverageResult measure_functional_coverage(const ControllerStructure& cs,
     return trace;
   };
 
-  const auto golden = run_trace(std::nullopt);
   CoverageResult res;
   res.total = list.size();
-  for (const Fault& f : list) {
-    if (run_trace(f) != golden) {
-      ++res.detected;
-    } else {
-      res.undetected.push_back(f);
+  Budget bud = budget;
+  const bool skip_all = bud.exhausted() || bud.work_allowance() == 0;
+  if (!skip_all) {
+    const auto golden = run_trace(std::nullopt);
+    for (const Fault& f : list) {
+      if (bud.spend(1)) break;
+      ++res.simulated;
+      if (run_trace(f) != golden) {
+        ++res.detected;
+      } else {
+        res.undetected.push_back(f);
+      }
+    }
+  }
+  if (degradation) {
+    degradation->stage = "functional-coverage";
+    degradation->work_done = res.simulated;
+    degradation->work_total = res.total;
+    degradation->degraded = res.simulated < res.total;
+    if (degradation->degraded) {
+      degradation->reason = *bud.reason() ? bud.reason() : "work-allowance";
+      degradation->detail =
+          strprintf("simulated %zu/%zu faults functionally; coverage() counts "
+                    "the rest as undetected",
+                    res.simulated, res.total);
     }
   }
   return res;

@@ -19,6 +19,7 @@
 #include "bist/architectures.hpp"
 #include "bist/bilbo.hpp"
 #include "bist/misr.hpp"
+#include "util/budget.hpp"
 
 namespace stc {
 
@@ -74,10 +75,23 @@ Signatures run_self_test(const ControllerStructure& cs, const SelfTestPlan& plan
 struct CoverageResult {
   std::size_t total = 0;
   std::size_t detected = 0;
+  /// Faults actually simulated; == total unless a budget truncated the
+  /// sweep. `undetected` lists only simulated-but-undetected faults, so
+  /// total - simulated faults are in neither bucket.
+  std::size_t simulated = 0;
   std::vector<Fault> undetected;
 
+  /// Pessimistic coverage over the FULL fault list: unsimulated faults
+  /// count as undetected. The safe number to report for a truncated run.
   double coverage() const {
     return total == 0 ? 1.0 : static_cast<double>(detected) / static_cast<double>(total);
+  }
+  /// Coverage over the simulated subset only (== coverage() when the run
+  /// completed).
+  double coverage_of_simulated() const {
+    return simulated == 0
+               ? 1.0
+               : static_cast<double>(detected) / static_cast<double>(simulated);
   }
 };
 
@@ -141,12 +155,35 @@ struct CampaignOptions {
   /// Validated up front by run_fault_campaign; the serial engine ignores
   /// it. Results are identical for any supported value.
   unsigned lane_words = 1;
+  /// Anytime governance. One work unit = one self-test run (a fault batch
+  /// on the bit-parallel engines, a single fault serially), charged per
+  /// worker thread, checked between runs. Every verdict of a completed
+  /// batch is exact; an exhausted budget truncates the sweep and the
+  /// result reports faults_simulated < raw.total with coverage() counting
+  /// unsimulated faults as undetected (pessimistic). Under a deadline or
+  /// cancellation WHICH batches completed may depend on thread timing; the
+  /// work allowance is deterministic per worker (use num_threads = 1 for a
+  /// deterministic truncated subset).
+  Budget budget;
+
+  /// Check every field against `plan` and report ALL problems in one
+  /// Error(kInvalidInput) -- engine, lane_words, num_threads, empty plan,
+  /// MISR width. Called by run_fault_campaign before any simulation work.
+  void validate(const SelfTestPlan& plan) const;
 };
 
 struct CampaignResult {
   CoverageResult raw;                  // over the full input fault list
-  std::size_t collapsed_total = 0;     // simulated equivalence classes
+  std::size_t collapsed_total = 0;     // fault equivalence classes
   std::size_t collapsed_detected = 0;
+  /// Equivalence classes whose batch actually ran (== collapsed_total
+  /// unless the budget truncated the campaign).
+  std::size_t collapsed_simulated = 0;
+  /// Raw faults whose class was simulated; < raw.total flags a truncated
+  /// campaign (mirrors raw.simulated).
+  std::size_t faults_simulated = 0;
+  /// Anytime label: what the budget cut, if anything.
+  Degradation degradation;
   std::size_t session_runs = 0;        // full self-test executions performed
 
   // Activity accounting (bit-parallel engines only; zero on the serial
@@ -183,11 +220,15 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
 
 /// Functional (non-BIST) baseline: drive `cycles` LFSR input patterns in
 /// system mode and compare primary outputs cycle by cycle. This is what an
-/// external random test of the Fig. 1 structure can observe.
+/// external random test of the Fig. 1 structure can observe. The budget is
+/// checked between faults (one work unit = one fault trace); a truncated
+/// sweep reports simulated < total, optionally labeled via `degradation`.
 CoverageResult measure_functional_coverage(const ControllerStructure& cs,
                                            std::size_t cycles,
                                            std::optional<std::vector<Fault>> faults =
                                                std::nullopt,
-                                           std::uint64_t seed = 0x5EED);
+                                           std::uint64_t seed = 0x5EED,
+                                           const Budget& budget = {},
+                                           Degradation* degradation = nullptr);
 
 }  // namespace stc

@@ -1,5 +1,7 @@
 #include "fsm/kiss.hpp"
 
+#include <cerrno>
+#include <cstring>
 #include <fstream>
 #include <map>
 #include <sstream>
@@ -15,37 +17,66 @@ struct RawRow {
   std::string cur;
   std::string next;
   std::string out_bits;
+  std::size_t line = 0;  // 1-based source line, for error messages
 };
+
+// Sanity bounds on the declared table sizes. They are checked BEFORE any
+// allocation sized from the directives, so a corrupt or hostile header
+// (".s 99999999999999999999", which also silently wraps a naive
+// parse) cannot drive huge reserves. Real MCNC/IWLS machines are
+// orders of magnitude below both.
+constexpr std::size_t kMaxStates = std::size_t{1} << 20;
+constexpr std::size_t kMaxRows = std::size_t{1} << 24;
+
+/// Parse a directive argument as a bounded decimal count. Rejects
+/// non-digits, overlong strings (which could wrap the accumulator), and
+/// values above `max`.
+std::size_t parse_bounded(const std::string& tok, std::size_t max,
+                          const char* what, std::size_t lineno) {
+  if (tok.empty() || tok.size() > 12 ||
+      tok.find_first_not_of("0123456789") != std::string::npos)
+    throw KissParseError(
+        strprintf("line %zu: %s wants a decimal count, got '%s'", lineno, what,
+                  tok.c_str()));
+  const std::size_t value = parse_size(tok);
+  if (value > max)
+    throw KissParseError(strprintf("line %zu: %s %zu exceeds the limit %zu",
+                                   lineno, what, value, max));
+  return value;
+}
 
 /// Expand a cube with '-' positions into every matching input value.
 /// Bit 0 of the value corresponds to the LEFTMOST cube character (MSB-first
 /// reading is conventional, but any fixed convention works as long as the
 /// writer matches; we use MSB-first).
-void expand_cube(const std::string& cube, std::size_t pos, Input value,
-                 std::vector<Input>& out) {
+void expand_cube(const std::string& cube, std::size_t lineno, std::size_t pos,
+                 Input value, std::vector<Input>& out) {
   if (pos == cube.size()) {
     out.push_back(value);
     return;
   }
   const char c = cube[pos];
   if (c == '0' || c == '1') {
-    expand_cube(cube, pos + 1, static_cast<Input>((value << 1) | (c == '1')), out);
+    expand_cube(cube, lineno, pos + 1,
+                static_cast<Input>((value << 1) | (c == '1')), out);
   } else if (c == '-') {
-    expand_cube(cube, pos + 1, static_cast<Input>(value << 1), out);
-    expand_cube(cube, pos + 1, static_cast<Input>((value << 1) | 1), out);
+    expand_cube(cube, lineno, pos + 1, static_cast<Input>(value << 1), out);
+    expand_cube(cube, lineno, pos + 1, static_cast<Input>((value << 1) | 1), out);
   } else {
-    throw KissParseError("bad input cube character: " + cube);
+    throw KissParseError(
+        strprintf("line %zu: bad input cube character: %s", lineno, cube.c_str()));
   }
 }
 
-Output parse_output_bits(const std::string& bits) {
+Output parse_output_bits(const std::string& bits, std::size_t lineno) {
   Output value = 0;
   for (char c : bits) {
     value <<= 1;
     if (c == '1') {
       value |= 1;
     } else if (c != '0' && c != '-') {
-      throw KissParseError("bad output character: " + bits);
+      throw KissParseError(
+          strprintf("line %zu: bad output character: %s", lineno, bits.c_str()));
     }
   }
   return value;
@@ -56,11 +87,22 @@ Output parse_output_bits(const std::string& bits) {
 MealyMachine parse_kiss2(const std::string& text, const KissOptions& options) {
   std::istringstream in(text);
   std::string line;
+  std::size_t lineno = 0;
   std::size_t ni = 0, no = 0, ns = 0, np = 0;
+  bool seen_i = false, seen_o = false, seen_s = false, seen_p = false;
+  bool seen_end = false;
   std::string reset_name;
   std::vector<RawRow> rows;
 
+  // One shared shape for the duplicate-directive complaints.
+  auto reject_duplicate = [&](bool seen, const char* directive) {
+    if (seen)
+      throw KissParseError(
+          strprintf("line %zu: duplicate %s directive", lineno, directive));
+  };
+
   while (std::getline(in, line)) {
+    ++lineno;
     // Strip comments (both '#' and ';' styles appear in the wild).
     auto hash = line.find('#');
     if (hash != std::string::npos) line.resize(hash);
@@ -68,29 +110,52 @@ MealyMachine parse_kiss2(const std::string& text, const KissOptions& options) {
     if (line.empty()) continue;
 
     auto tok = split_ws(line);
+    if (seen_end)
+      throw KissParseError(
+          strprintf("line %zu: content after .e: %s", lineno, line.c_str()));
+    auto arg = [&]() -> const std::string& {
+      if (tok.size() < 2)
+        throw KissParseError(strprintf("line %zu: %s needs an argument", lineno,
+                                       tok[0].c_str()));
+      return tok[1];
+    };
     if (tok[0] == ".i") {
-      ni = parse_size(tok.at(1));
+      reject_duplicate(seen_i, ".i");
+      seen_i = true;
+      ni = parse_bounded(arg(), 64, ".i", lineno);
     } else if (tok[0] == ".o") {
-      no = parse_size(tok.at(1));
+      reject_duplicate(seen_o, ".o");
+      seen_o = true;
+      no = parse_bounded(arg(), 64, ".o", lineno);
     } else if (tok[0] == ".s") {
-      ns = parse_size(tok.at(1));
+      reject_duplicate(seen_s, ".s");
+      seen_s = true;
+      ns = parse_bounded(arg(), kMaxStates, ".s", lineno);
     } else if (tok[0] == ".p") {
-      np = parse_size(tok.at(1));
+      reject_duplicate(seen_p, ".p");
+      seen_p = true;
+      np = parse_bounded(arg(), kMaxRows, ".p", lineno);
+      rows.reserve(np);  // np is bounded above, so this cannot explode
     } else if (tok[0] == ".r") {
-      reset_name = tok.at(1);
+      reset_name = arg();
     } else if (tok[0] == ".e" || tok[0] == ".end") {
-      break;
+      seen_end = true;  // keep scanning: trailing rows are an error
     } else if (tok[0][0] == '.') {
-      throw KissParseError("unknown directive: " + tok[0]);
+      throw KissParseError(
+          strprintf("line %zu: unknown directive: %s", lineno, tok[0].c_str()));
     } else {
       if (tok.size() != 4)
-        throw KissParseError("transition row needs 4 fields: " + line);
-      rows.push_back({tok[0], tok[1], tok[2], tok[3]});
+        throw KissParseError(strprintf("line %zu: transition row needs 4 fields: %s",
+                                       lineno, line.c_str()));
+      if (rows.size() >= kMaxRows)
+        throw KissParseError(
+            strprintf("line %zu: more than %zu transition rows", lineno, kMaxRows));
+      rows.push_back({tok[0], tok[1], tok[2], tok[3], lineno});
     }
   }
 
-  if (ni == 0) throw KissParseError("missing .i");
-  if (no == 0) throw KissParseError("missing .o");
+  if (ni == 0) throw KissParseError(seen_i ? ".i must be positive" : "missing .i");
+  if (no == 0) throw KissParseError(seen_o ? ".o must be positive" : "missing .o");
   if (ni > 20) throw KissParseError(".i too large to enumerate");
   if (np != 0 && np != rows.size())
     throw KissParseError(strprintf(".p says %zu rows, found %zu", np, rows.size()));
@@ -126,23 +191,28 @@ MealyMachine parse_kiss2(const std::string& text, const KissOptions& options) {
 
   for (const auto& r : rows) {
     if (r.in_cube.size() != ni)
-      throw KissParseError("input cube width mismatch: " + r.in_cube);
+      throw KissParseError(strprintf("line %zu: input cube width mismatch: %s",
+                                     r.line, r.in_cube.c_str()));
     if (r.out_bits.size() != no)
-      throw KissParseError("output width mismatch: " + r.out_bits);
+      throw KissParseError(strprintf("line %zu: output width mismatch: %s",
+                                     r.line, r.out_bits.c_str()));
     if (r.next == "*") {
       if (!options.complete_with_reset)
-        throw KissParseError("unspecified next state '*' (machine not fully specified)");
+        throw KissParseError(
+            strprintf("line %zu: unspecified next state '*' (machine not fully "
+                      "specified)", r.line));
       continue;  // handled by the completion pass below
     }
     std::vector<Input> inputs;
-    expand_cube(r.in_cube, 0, 0, inputs);
+    expand_cube(r.in_cube, r.line, 0, 0, inputs);
     const State cur = state_ids.at(r.cur);
     const State nxt = state_ids.at(r.next);
-    const Output out = parse_output_bits(r.out_bits);
+    const Output out = parse_output_bits(r.out_bits, r.line);
     for (Input i : inputs) {
       if (m.has_transition(cur, i) &&
           (m.next(cur, i) != nxt || m.output(cur, i) != out)) {
-        throw KissParseError("conflicting rows for state " + r.cur);
+        throw KissParseError(strprintf("line %zu: conflicting rows for state %s",
+                                       r.line, r.cur.c_str()));
       }
       m.set_transition(cur, i, nxt, out);
     }
@@ -159,7 +229,12 @@ MealyMachine parse_kiss2(const std::string& text, const KissOptions& options) {
 
 MealyMachine load_kiss2_file(const std::string& path, const KissOptions& options) {
   std::ifstream in(path);
-  if (!in) throw KissParseError("cannot open " + path);
+  if (!in) {
+    const int err = errno;
+    throw Error(ErrorCode::kIo, "cannot open KISS2 file",
+                strprintf("path=%s; errno=%d (%s)", path.c_str(), err,
+                          std::strerror(err)));
+  }
   std::ostringstream buf;
   buf << in.rdbuf();
   MealyMachine m = parse_kiss2(buf.str(), options);

@@ -11,10 +11,10 @@
 // `options.complete_with_reset` is set, in which case the machine is
 // completed with a self-loop-to-reset convention.
 
-#include <stdexcept>
 #include <string>
 
 #include "fsm/mealy.hpp"
+#include "util/error.hpp"
 
 namespace stc {
 
@@ -24,15 +24,20 @@ struct KissOptions {
   bool complete_with_reset = false;
 };
 
-struct KissParseError : std::runtime_error {
-  explicit KissParseError(const std::string& what) : std::runtime_error(what) {}
+/// Malformed KISS2 text. An stc::Error(kInvalidInput); the message carries
+/// the 1-based line number of the offending directive or row.
+struct KissParseError : Error {
+  explicit KissParseError(const std::string& what, std::string context = "")
+      : Error(ErrorCode::kInvalidInput, what, std::move(context)) {}
 };
 
 /// Parse KISS2 text. Input symbols are the 2^.i binary input vectors
 /// (value = the vector read MSB-first), output symbols the 2^.o vectors.
 MealyMachine parse_kiss2(const std::string& text, const KissOptions& options = {});
 
-/// Parse from a file path.
+/// Parse from a file path. A file that cannot be opened raises
+/// Error(kIo) with `path=` and `errno=` in the context (distinct from the
+/// KissParseError raised for malformed contents).
 MealyMachine load_kiss2_file(const std::string& path, const KissOptions& options = {});
 
 /// Serialize a machine back to KISS2 (one fully specified row per

@@ -29,11 +29,20 @@ namespace {
 
 /// Per-output OFF covers: complement of ON_b u DC_b via unate recursion.
 /// This is the only place the OFF set is ever computed, and it is a cover,
-/// never a minterm list.
-std::vector<Cover> off_covers(const PlaSpec& spec) {
+/// never a minterm list. The budget is polled between outputs (the unate
+/// recursion for one output is the indivisible step); `*complete` reports
+/// whether every output got its cover -- EXPAND needs all of them, so an
+/// incomplete set means the caller must skip minimization entirely.
+std::vector<Cover> off_covers(const PlaSpec& spec, const Budget& budget,
+                              bool* complete) {
+  *complete = true;
   std::vector<Cover> off;
   off.reserve(spec.num_outputs);
   for (std::size_t b = 0; b < spec.num_outputs; ++b) {
+    if (budget.exhausted()) {
+      *complete = false;
+      break;
+    }
     Cover care_b = spec.on.output_cover(b);
     const Cover dc_b = spec.dc.output_cover(b);
     for (const Cube& q : dc_b.cubes()) care_b.add(q);
@@ -193,28 +202,79 @@ void reduce(CubeList& f, const PlaSpec& spec) {
 
 }  // namespace
 
-CubeList minimize_espresso_mv(const PlaSpec& spec, const EspressoOptions& options) {
+CubeList minimize_espresso_mv(const PlaSpec& spec, const EspressoOptions& options,
+                              Degradation* degradation) {
+  Budget budget = options.budget;
+  std::size_t rounds_done = 0;
+  bool truncated = false;
+  const auto label = [&](const char* what) {
+    if (!degradation) return;
+    degradation->stage = "espresso";
+    degradation->degraded = truncated;
+    degradation->work_done = rounds_done;
+    degradation->work_total = options.max_iterations;
+    if (truncated) {
+      degradation->reason =
+          *budget.reason() ? budget.reason() : "work-allowance";
+      degradation->detail = what;
+    }
+  };
+
   CubeList f = spec.on;
   f.merge_identical_inputs();
-  if (f.empty()) return CubeList(spec.num_vars, spec.num_outputs);
+  if (f.empty()) {
+    label("");
+    return CubeList(spec.num_vars, spec.num_outputs);
+  }
 
-  const std::vector<Cover> off = off_covers(spec);
+  // Zero budget: the merged ON cover is already a valid implementation.
+  if (budget.exhausted() || budget.work_allowance() == 0) {
+    truncated = true;
+    label("returned the merged ON cover; no minimization ran");
+    return f;
+  }
+
+  bool off_complete = true;
+  const std::vector<Cover> off = off_covers(spec, budget, &off_complete);
+  if (!off_complete) {
+    truncated = true;
+    label("OFF-cover complement cut short; returned the merged ON cover");
+    return f;
+  }
 
   CubeList best = f;
   std::size_t best_cost = SIZE_MAX, last_cost = SIZE_MAX;
   for (std::size_t iter = 0; iter < options.max_iterations; ++iter) {
-    // EXPAND.
-    for (MCube& m : f.cubes()) expand_mcube(m, off, spec.num_vars);
+    // One round = one work unit, charged before the round runs.
+    if (budget.spend(1)) {
+      truncated = true;
+      break;
+    }
+    // EXPAND, with a strided deadline/cancel poll per cube. Stopping
+    // mid-loop is safe: each completed single-cube expansion preserves
+    // validity on its own, and the unexpanded tail is still the old cover.
+    bool stop = false;
+    for (MCube& m : f.cubes()) {
+      if (budget.spend(0)) {
+        truncated = stop = true;
+        break;
+      }
+      expand_mcube(m, off, spec.num_vars);
+    }
     f.merge_identical_inputs();
     f.remove_dominated();
-    // IRREDUNDANT.
-    irredundant(f, spec);
+    // IRREDUNDANT runs only at round boundaries (mid-flight its partial
+    // output-bit clearing would still be valid, but it is cheap relative
+    // to EXPAND, so the round either finishes it or skips it whole).
+    if (!stop) irredundant(f, spec);
     const std::size_t cost =
         f.num_cubes() * 64 + f.num_input_literals() + f.num_output_literals();
     if (cost < best_cost) {
       best = f;
       best_cost = cost;
     }
+    ++rounds_done;
+    if (stop) break;
     // Fixpoint on cost, with a relative floor: iterating a 4000-cube cover
     // seven more times to shave 0.1% is not worth seconds of wall clock.
     if (cost >= last_cost ||
@@ -224,13 +284,18 @@ CubeList minimize_espresso_mv(const PlaSpec& spec, const EspressoOptions& option
     // REDUCE (perturb for the next round).
     if (iter + 1 < options.max_iterations) reduce(f, spec);
   }
+  label("returned the best valid cover reached before the budget expired");
   return best;
 }
 
-Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options) {
-  if (tt.on_count() == 0) return Cover(tt.num_vars());
+Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options,
+                        Degradation* degradation) {
+  if (tt.on_count() == 0) {
+    if (degradation) *degradation = Degradation{};
+    return Cover(tt.num_vars());
+  }
   const PlaSpec spec = PlaSpec::from_tables({tt});
-  return minimize_espresso_mv(spec, options).output_cover(0);
+  return minimize_espresso_mv(spec, options, degradation).output_cover(0);
 }
 
 }  // namespace stc

@@ -17,20 +17,35 @@
 // tables.
 
 #include "logic/cubelist.hpp"
+#include "util/budget.hpp"
 
 namespace stc {
 
 struct EspressoOptions {
   std::size_t max_iterations = 8;
+  /// Anytime governance. One work unit = one EXPAND/IRREDUNDANT/REDUCE
+  /// round; the deadline and the cancel token are additionally polled with
+  /// a strided check per cube inside EXPAND and between OFF-cover
+  /// complements. The valid-partial-result invariant: the cover is a
+  /// correct implementation of the spec at EVERY stopping point (the
+  /// initial merged ON cover is valid, each individual cube expansion
+  /// preserves validity, and IRREDUNDANT/REDUCE run only at round
+  /// boundaries), so any budget -- including zero -- yields a cover that
+  /// implements the spec, labeled via the Degradation out-param.
+  Budget budget;
 };
 
 /// Multi-output minimization of `spec`. The initial cover is the ON cube
 /// list with identical input parts merged; the result implements every
-/// output (ON covered, OFF avoided) by construction.
-CubeList minimize_espresso_mv(const PlaSpec& spec, const EspressoOptions& options = {});
+/// output (ON covered, OFF avoided) by construction -- including under an
+/// exhausted budget (see EspressoOptions::budget). When `degradation` is
+/// non-null it is filled with what, if anything, was truncated.
+CubeList minimize_espresso_mv(const PlaSpec& spec, const EspressoOptions& options = {},
+                              Degradation* degradation = nullptr);
 
 /// Single-output convenience wrapper over the multi-output engine.
-Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options = {});
+Cover minimize_espresso(const TruthTable& tt, const EspressoOptions& options = {},
+                        Degradation* degradation = nullptr);
 
 /// Legacy helper kept for differential tests: greedily expand `cube`
 /// against an explicit OFF minterm list (drop literals while no OFF

@@ -288,7 +288,8 @@ namespace {
 class Extractor {
  public:
   Extractor(const CubeList& pla, const FactorOptions& opt)
-      : num_vars_(pla.num_vars()), num_outputs_(pla.num_outputs()), opt_(opt) {
+      : num_vars_(pla.num_vars()), num_outputs_(pla.num_outputs()), opt_(opt),
+        budget_(opt.budget) {
     std::vector<SopExpr> outs = sops_from_cubelist(pla);
     funcs_ = std::move(outs);
     gen_.assign(funcs_.size(), 0);
@@ -299,16 +300,22 @@ class Extractor {
   FactoredNetwork run() {
     // Alternate the two searches until neither finds a profitable divisor:
     // kernel substitutions create fresh cube-sharing opportunities and
-    // cube extraction reshapes the kernel structure.
+    // cube extraction reshapes the kernel structure. Every substitution is
+    // applied atomically, so stopping between steps (budget) leaves an
+    // exactly equivalent network.
     bool changed = true;
-    while (changed && num_nodes() < opt_.max_nodes) {
+    while (changed && num_nodes() < opt_.max_nodes && !truncated_) {
       changed = false;
       if (cube_phase()) changed = true;
-      if (kernel_phase()) changed = true;
+      if (!truncated_ && kernel_phase()) changed = true;
     }
     cleanup();
     return emit();
   }
+
+  bool truncated() const { return truncated_; }
+  /// Budget reason at the stop ("" when not truncated).
+  const char* stop_reason() const { return budget_.reason(); }
 
  private:
   struct CubeRef {
@@ -507,6 +514,11 @@ class Extractor {
   bool cube_phase() {
     bool any = false;
     while (num_nodes() < opt_.max_nodes) {
+      // One extraction step = one budget unit, charged up front.
+      if (budget_.spend(1)) {
+        truncated_ = true;
+        break;
+      }
       // Pop the top candidate pairs (lazy heap: entries are revalidated
       // against the live count).
       constexpr std::size_t kProbe = 16;
@@ -653,8 +665,19 @@ class Extractor {
     std::vector<std::uint64_t> changed;  // per func: round of last rewrite
     std::uint64_t round = 0;
     while (num_nodes() < opt_.max_nodes) {
+      // One kernel round = one budget unit; the enumeration and evaluation
+      // loops below additionally poll the deadline (a first round over a
+      // big network can take a long time on its own).
+      if (budget_.spend(1)) {
+        truncated_ = true;
+        break;
+      }
       ++round;
       for (std::uint32_t f = 0; f < funcs_.size(); ++f) {
+        if (budget_.spend(0)) {
+          truncated_ = true;
+          break;
+        }
         if (!dirty_[f]) continue;
         dirty_[f] = false;
         if (funcs_[f].cubes.size() < 2) continue;
@@ -682,12 +705,18 @@ class Extractor {
         }
       }
 
+      if (truncated_) break;
+
       std::vector<std::uint32_t> max_width;
       const LitFuncIndex index = build_lit_func_index(&max_width);
       changed.resize(funcs_.size(), 0);
       long best_value = 0;
       const std::vector<FCube>* best = nullptr;
       for (auto it = pool.begin(); it != pool.end();) {
+        if (budget_.spend(0)) {
+          truncated_ = true;
+          break;
+        }
         PoolEntry& e = it->second;
         bool stale = e.eval_round == 0;
         for (std::uint32_t f : e.watched)
@@ -707,7 +736,7 @@ class Extractor {
         }
         ++it;
       }
-      if (!best) break;
+      if (truncated_ || !best) break;
 
       // Re-evaluate the winner collecting quotients, then rewrite.
       std::vector<KernelTarget> targets;
@@ -875,6 +904,8 @@ class Extractor {
   std::size_t num_vars_;
   std::size_t num_outputs_;
   FactorOptions opt_;
+  Budget budget_;
+  bool truncated_ = false;
   std::vector<SopExpr> funcs_;
   std::vector<std::uint32_t> gen_;
   std::vector<bool> dirty_;
@@ -888,16 +919,30 @@ class Extractor {
 
 }  // namespace
 
-FactoredNetwork extract_factored(const CubeList& pla, const FactorOptions& options) {
+FactoredNetwork extract_factored(const CubeList& pla, const FactorOptions& options,
+                                 Degradation* degradation) {
   Extractor ex(pla, options);
   FactoredNetwork fn = ex.run();
   fn.check();
+  if (degradation) {
+    degradation->stage = "factor";
+    degradation->degraded = ex.truncated();
+    degradation->work_done = fn.num_nodes();
+    degradation->work_total = 0;  // greedy extraction is open-ended
+    if (ex.truncated()) {
+      degradation->reason =
+          *ex.stop_reason() ? ex.stop_reason() : "work-allowance";
+      degradation->detail =
+          "divisor extraction stopped early; partial factorization is exact";
+    }
+  }
   return fn;
 }
 
 FactoredNetwork extract_factored(const std::vector<Cover>& covers,
-                                 const FactorOptions& options) {
-  return extract_factored(cubelist_from_covers(covers), options);
+                                 const FactorOptions& options,
+                                 Degradation* degradation) {
+  return extract_factored(cubelist_from_covers(covers), options, degradation);
 }
 
 }  // namespace stc

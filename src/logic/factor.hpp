@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "logic/cubelist.hpp"
+#include "util/budget.hpp"
 
 namespace stc {
 
@@ -173,16 +174,29 @@ struct FactorOptions {
   /// enumeration (largest literal mass first): big PLA outputs yield
   /// hundreds of near-identical kernels that all evaluate unprofitable.
   std::size_t max_kernels_per_func = 24;
+  /// Anytime governance. One work unit = one greedy extraction step (a
+  /// cube-divisor pull or a kernel round); the deadline and the cancel
+  /// token are additionally polled inside the kernel enumeration and
+  /// candidate evaluation loops. Every substitution is applied atomically
+  /// and division is an algebraic identity, so the network is exactly
+  /// equivalent to the input PLA at ANY stopping point -- an exhausted
+  /// budget just means fewer shared divisors (zero budget = the flat SOPs
+  /// re-emitted as-is).
+  Budget budget;
 };
 
 /// Greedy extraction: repeatedly pull the best-value cube or kernel
 /// divisor out of the multi-output network until no divisor saves
 /// literals, then inline single-use nodes that do not pay for themselves.
-/// The result computes exactly the same boolean functions as `pla`.
-FactoredNetwork extract_factored(const CubeList& pla, const FactorOptions& options = {});
+/// The result computes exactly the same boolean functions as `pla` --
+/// including under an exhausted budget (see FactorOptions::budget). When
+/// `degradation` is non-null it reports whether extraction was cut short.
+FactoredNetwork extract_factored(const CubeList& pla, const FactorOptions& options = {},
+                                 Degradation* degradation = nullptr);
 
 /// QM-path convenience: factor a per-output cover block.
 FactoredNetwork extract_factored(const std::vector<Cover>& covers,
-                                 const FactorOptions& options = {});
+                                 const FactorOptions& options = {},
+                                 Degradation* degradation = nullptr);
 
 }  // namespace stc

@@ -135,8 +135,12 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl, unsigned lane_words) {
       }
     for (NetId n = 0; n < num_nets_; ++n)
       if (reads[n] > 0) slab_net_.push_back(n);
-    std::stable_sort(slab_net_.begin(), slab_net_.end(),
-                     [&](NetId a, NetId b) { return reads[a] > reads[b]; });
+    // std::sort with an explicit NetId tie-break (slab_net_ starts in
+    // ascending NetId order, so this matches what a stable sort would
+    // produce without the temporary buffer one allocates).
+    std::sort(slab_net_.begin(), slab_net_.end(), [&](NetId a, NetId b) {
+      return reads[a] != reads[b] ? reads[a] > reads[b] : a < b;
+    });
   }
   std::vector<std::uint16_t> slot_of(num_nets_, 0);
   for (std::size_t t = 0; t < slab_net_.size(); ++t)
@@ -208,10 +212,12 @@ CompiledNetlist::CompiledNetlist(const Netlist& nl, unsigned lane_words) {
                                std::vector<DenseGroup>& groups) {
     std::vector<std::uint32_t> order(op_list.size());
     for (std::size_t p = 0; p < order.size(); ++p) order[p] = static_cast<std::uint32_t>(p);
-    std::stable_sort(order.begin(), order.end(),
-                     [&](std::uint32_t a, std::uint32_t b) {
-                       return lists[a].size() < lists[b].size();
-                     });
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return lists[a].size() != lists[b].size()
+                           ? lists[a].size() < lists[b].size()
+                           : a < b;
+              });
     for (std::size_t i = 0; i < order.size();) {
       const std::uint32_t width = static_cast<std::uint32_t>(lists[order[i]].size());
       std::size_t j = i;

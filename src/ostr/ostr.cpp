@@ -85,11 +85,15 @@ struct WorkerCtx {
   std::vector<PartitionId> rho_ids;  // lazily interned pair relations
   std::vector<PartitionId> frame_kappa;  // reusable DFS stack
   std::vector<std::size_t> frame_next;
+  /// Deadline/cancel copy of the caller's budget (the work allowance is
+  /// folded into the deterministic node quotas instead, see run_search).
+  Budget budget;
 
   WorkerCtx(const MealyMachine& f, const OstrOptions& o, PartitionStore& s,
             const Partition& eps, const std::vector<Partition>& basis,
             SharedBound& b)
-      : fsm(f), opt(o), store(s), bound(b) {
+      : fsm(f), opt(o), store(s), bound(b), budget(o.budget) {
+    budget.with_work(UINT64_MAX);
     eps_id = store.intern(eps);
     identity_id = store.identity_id(fsm.num_states());
     basis_ids.reserve(basis.size());
@@ -247,7 +251,7 @@ struct TaskRun {
       const std::size_t j = nxt.back()++;
       const PartitionId child = w.store.join(kap.back(), w.basis_ids[j]);
       if (child == kap.back()) continue;
-      if (res.nodes >= quota) {
+      if (res.nodes >= quota || w.budget.spend()) {
         res.exhausted = false;
         return;
       }
@@ -306,9 +310,27 @@ OstrResult run_search(const MealyMachine& fsm, const OstrOptions& opt,
                                 : (b >> 32) <= (floor_packed >> 32);
   };
 
-  if (opt.max_nodes == 0) {
+  // The budget's work allowance caps nodes exactly like max_nodes; fold
+  // them into one effective cap so the deterministic quota machinery (and
+  // its thread-count invariance) governs both.
+  const std::uint64_t max_nodes =
+      std::min<std::uint64_t>(opt.max_nodes, opt.budget.work_allowance());
+
+  const auto label_degraded = [&out](const Budget& b) {
+    out.degradation.stage = "ostr";
+    out.degradation.work_done = out.stats.nodes_investigated;
+    out.degradation.degraded = !out.stats.exhausted;
+    if (out.degradation.degraded) {
+      out.degradation.reason = b.exhausted() ? b.reason() : "work-allowance";
+      out.degradation.detail =
+          "search tree truncated; best symmetric pair so far returned";
+    }
+  };
+
+  if (max_nodes == 0) {
     out.stats.exhausted = false;
     out.stats.cache = caller_store.stats().delta(caller_before);
+    label_degraded(opt.budget);
     return out;
   }
 
@@ -334,7 +356,7 @@ OstrResult run_search(const MealyMachine& fsm, const OstrOptions& opt,
     // already-visited prefix replays through the memo tables cheaply).
     // Round boundaries are barriers, so the schedule never leaks into the
     // results: any thread count produces the same per-task outcome.
-    std::uint64_t budget = opt.max_nodes - 1;
+    std::uint64_t budget = max_nodes - 1;
     std::vector<std::size_t> active(num_tasks);
     for (std::size_t k = 0; k < num_tasks; ++k) active[k] = k;
     constexpr int kMaxRounds = 16;
@@ -420,6 +442,9 @@ OstrResult run_search(const MealyMachine& fsm, const OstrOptions& opt,
       budget = spent >= budget ? 0 : budget - spent;
       active = std::move(still_active);
       if (reached_floor(bound.load())) break;
+      // Deadline/cancellation: restarting truncated tasks cannot make
+      // progress once the wall-clock budget is gone.
+      if (main_ctx.budget.exhausted()) break;
     }
 
     for (const auto& store : worker_stores) worker_cache += store->stats();
@@ -453,6 +478,7 @@ OstrResult run_search(const MealyMachine& fsm, const OstrOptions& opt,
 
   out.stats.cache = caller_store.stats().delta(caller_before);
   out.stats.cache += worker_cache;
+  label_degraded(main_ctx.budget);
   return out;
 }
 

@@ -29,6 +29,7 @@
 #include "ostr/realization.hpp"
 #include "partition/lattice.hpp"
 #include "partition/store.hpp"
+#include "util/budget.hpp"
 
 namespace stc {
 
@@ -40,6 +41,17 @@ struct OstrOptions {
   /// subtrees with deterministic geometric quotas, so results do not depend
   /// on thread count; the best solution found so far is returned.
   std::uint64_t max_nodes = 5'000'000;
+  /// Anytime governance (util/budget.hpp). The work allowance caps search
+  /// nodes exactly like max_nodes (the effective node cap is the minimum
+  /// of the two, split with the same deterministic quotas); the deadline
+  /// and the cancel token are checked with a cheap strided test at every
+  /// frontier pop, on the calling thread and every subtree worker. Node-
+  /// capped searches stay identical across thread counts; a deadline or a
+  /// cancellation stops all workers near-simultaneously, so WHICH nodes
+  /// were visited may vary -- the returned best is always a valid
+  /// symmetric pair (the doubling solution exists at budget zero), and
+  /// the result is labeled via OstrResult::degradation.
+  Budget budget;
   /// Use cost criterion (ii) as tie-break; when false, the first solution
   /// with minimal (i) wins (ablation bench).
   bool balance_tiebreak = true;
@@ -87,6 +99,9 @@ struct OstrResult {
   OstrSolution best;                   // never absent: doubling always works
   OstrStats stats;
   std::vector<OstrSolution> history;   // improving sequence, if requested
+  /// Anytime label: degraded == !stats.exhausted, with the budget's reason
+  /// ("work-allowance" covers the max_nodes cap too) and the node counts.
+  Degradation degradation;
 };
 
 /// Run the Section-3 depth-first search. The machine must be completely

@@ -16,21 +16,31 @@ StructureReport measure_structure(const ControllerStructure& cs,
   rep.logic = cs.logic;
   rep.logic_ml = cs.logic_ml;
   rep.factored_nodes = cs.factored_nodes;
+  rep.degradations = cs.degradations;
 
   if (options.with_fault_sim) {
     const auto faults = enumerate_stuck_faults(cs.nl);
     rep.total_faults = faults.size();
 
+    // The flow-level budget, when set, governs the measurement stages too.
+    CampaignOptions copt = options.campaign;
+    if (!options.budget.is_unlimited()) copt.budget = options.budget;
+
     const auto t0 = std::chrono::steady_clock::now();
     CoverageResult cov;
     if (cs.kind == "fig1") {
-      cov = measure_functional_coverage(cs, options.functional_cycles, faults);
+      Degradation deg;
+      cov = measure_functional_coverage(cs, options.functional_cycles, faults,
+                                        0x5EED, copt.budget, &deg);
+      if (deg.degraded) rep.degradations.push_back(std::move(deg));
     } else {
       const SelfTestPlan plan =
           cs.kind == "fig2" ? SelfTestPlan::conventional(2 * options.bist_cycles)
                             : SelfTestPlan::two_session(options.bist_cycles);
-      CampaignResult camp = run_fault_campaign(cs, plan, options.campaign, faults);
+      CampaignResult camp = run_fault_campaign(cs, plan, copt, faults);
       if (camp.cycles_simulated > 0) rep.activity = camp.mean_activity();
+      if (camp.degradation.degraded)
+        rep.degradations.push_back(camp.degradation);
       cov = std::move(camp.raw);
     }
     rep.campaign_seconds =
@@ -38,7 +48,10 @@ StructureReport measure_structure(const ControllerStructure& cs,
             .count();
     rep.coverage = cov.coverage();
 
-    if (!cs.feedback_nets.empty()) {
+    // Feedback coverage needs a per-fault verdict for every feedback-line
+    // fault; under a truncated sweep the unsimulated ones have none, so
+    // the number is only reported for a complete sweep.
+    if (!cs.feedback_nets.empty() && cov.simulated == cov.total) {
       std::size_t fb_total = 0, fb_missed = 0;
       for (const Fault& f : enumerate_stuck_faults(cs.nl)) {
         bool on_fb = false;
@@ -59,10 +72,14 @@ StructureReport measure_structure(const ControllerStructure& cs,
 FlowResult run_flow(const MealyMachine& fsm, const FlowOptions& options) {
   fsm.validate();
   FlowResult res;
+  // The flow-level budget, when set, overrides each stage's own budget
+  // (the deadline is absolute, so later stages see only what remains).
+  OstrOptions ostr_opt = options.ostr;
+  if (!options.budget.is_unlimited()) ostr_opt.budget = options.budget;
   // One interner per machine: the OSTR search (and any later partition
   // work on this machine) shares a single partition universe + memo set.
   PartitionStore store(&fsm);
-  res.ostr = solve_ostr(fsm, options.ostr, store);
+  res.ostr = solve_ostr(fsm, ostr_opt, store);
   res.realization = build_realization(fsm, res.ostr.best.pi, res.ostr.best.tau);
   res.verification = verify_realization(fsm, res.realization);
 
@@ -70,13 +87,17 @@ FlowResult run_flow(const MealyMachine& fsm, const FlowOptions& options) {
   const EncodedFsm encoded = encode_fsm(fsm, enc);
 
   res.fig1 = measure_structure(
-      build_fig1(encoded, options.minimizer, options.technology), options);
+      build_fig1(encoded, options.minimizer, options.technology, options.budget),
+      options);
   res.fig2 = measure_structure(
-      build_fig2(encoded, options.minimizer, options.technology), options);
+      build_fig2(encoded, options.minimizer, options.technology, options.budget),
+      options);
   res.fig3 = measure_structure(
-      build_fig3(encoded, options.minimizer, options.technology), options);
+      build_fig3(encoded, options.minimizer, options.technology, options.budget),
+      options);
   res.fig4 = measure_structure(
-      build_fig4(fsm, res.realization, options.minimizer, options.technology),
+      build_fig4(fsm, res.realization, options.minimizer, options.technology,
+                 options.budget),
       options);
   return res;
 }

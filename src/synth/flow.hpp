@@ -30,6 +30,15 @@ struct FlowOptions {
   /// CampaignOptions::engine; every engine produces the identical
   /// detected-fault set, they only differ in speed.
   CampaignOptions campaign;
+  /// Whole-flow anytime budget. When set (not unlimited) it is handed to
+  /// EVERY governed stage -- the OSTR search, each structure's espresso
+  /// and factoring, the fault campaigns and the functional baseline --
+  /// overriding their per-stage budgets. The deadline is one absolute
+  /// point in time, so stages naturally consume whatever remains of it;
+  /// the work allowance applies per stage in that stage's own units.
+  /// Whatever the budget, the flow returns valid, behavior-exact netlists
+  /// with every truncation labeled in the StructureReport degradations.
+  Budget budget;
 };
 
 /// Area/delay/testability summary of one structure.
@@ -59,6 +68,9 @@ struct StructureReport {
   /// paper-table drivers double as the perf harness.
   double campaign_seconds = 0.0;
   std::optional<double> activity;
+  /// Anytime labels: every stage of this structure's build or measurement
+  /// that truncated work under its budget (empty = nothing degraded).
+  std::vector<Degradation> degradations;
 };
 
 struct FlowResult {

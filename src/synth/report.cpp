@@ -21,7 +21,12 @@ std::string render_structure(const StructureReport& s) {
     out += strprintf(", activity %4.1f%%", *s.activity * 100.0);
   if (s.feedback_coverage)
     out += strprintf(", feedback-line coverage %5.1f%%", *s.feedback_coverage * 100.0);
-  return out + "\n";
+  out += "\n";
+  for (const Degradation& d : s.degradations) {
+    const std::string line = render_degradation(d);
+    if (!line.empty()) out += "         ! " + line + "\n";
+  }
+  return out;
 }
 
 }  // namespace

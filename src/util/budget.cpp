@@ -1,0 +1,91 @@
+#include "util/budget.hpp"
+
+#include <csignal>
+
+#include "util/strings.hpp"
+
+namespace stc {
+
+Budget& Budget::with_deadline_ms(double ms) {
+  if (ms < 0) ms = 0;
+  deadline_ = std::chrono::steady_clock::now() +
+              std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+                  std::chrono::duration<double, std::milli>(ms));
+  has_deadline_ = true;
+  return *this;
+}
+
+Budget& Budget::with_work(std::uint64_t units) {
+  work_allowance_ = units;
+  return *this;
+}
+
+Budget& Budget::with_cancel(std::shared_ptr<const CancelToken> token) {
+  cancel_ = std::move(token);
+  return *this;
+}
+
+bool Budget::exhausted() const {
+  if (cancel_ && cancel_->requested()) {
+    reason_ = "cancelled";
+    return true;
+  }
+  if (has_deadline_ && std::chrono::steady_clock::now() >= deadline_) {
+    reason_ = "deadline";
+    return true;
+  }
+  if (spent_ > work_allowance_) {
+    reason_ = "work-allowance";
+    return true;
+  }
+  return false;
+}
+
+namespace {
+
+// The handler may only touch async-signal-safe state: one relaxed atomic
+// store on a token that outlives the handler (leaked on purpose).
+CancelToken* g_sigint_token = nullptr;
+
+extern "C" void sigint_cancel_handler(int) {
+  if (g_sigint_token) g_sigint_token->request();
+  // Second Ctrl-C kills the process: restore the default disposition.
+  std::signal(SIGINT, SIG_DFL);
+}
+
+}  // namespace
+
+std::shared_ptr<CancelToken> install_sigint_cancel() {
+  static std::shared_ptr<CancelToken> token = [] {
+    auto t = std::make_shared<CancelToken>();
+    g_sigint_token = t.get();
+    std::signal(SIGINT, sigint_cancel_handler);
+    return t;
+  }();
+  return token;
+}
+
+std::string render_degradation(const Degradation& d) {
+  if (!d.degraded) return "";
+  std::string out = d.stage + " degraded";
+  if (!d.reason.empty()) out += " (" + d.reason + ")";
+  if (d.work_total > 0) {
+    out += strprintf(": %llu/%llu", static_cast<unsigned long long>(d.work_done),
+                     static_cast<unsigned long long>(d.work_total));
+  } else if (d.work_done > 0) {
+    out += strprintf(": %llu units", static_cast<unsigned long long>(d.work_done));
+  }
+  if (!d.detail.empty()) out += " -- " + d.detail;
+  return out;
+}
+
+std::string render_degradations(const std::vector<Degradation>& ds) {
+  std::string out;
+  for (const Degradation& d : ds) {
+    const std::string line = render_degradation(d);
+    if (!line.empty()) out += line + "\n";
+  }
+  return out;
+}
+
+}  // namespace stc

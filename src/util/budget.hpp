@@ -1,0 +1,125 @@
+#pragma once
+// Resource governance for the anytime synthesis flow.
+//
+// A Budget carries up to three limits: an absolute wall-clock deadline, a
+// work-unit allowance (nodes, rounds, batches -- the stage decides the
+// unit), and a shared CancelToken (SIGINT, a supervising service, a test).
+// Stages consult it at points where stopping is *safe*: OSTR at frontier
+// pops, espresso inside/between EXPAND-IRREDUNDANT-REDUCE rounds,
+// factoring between divisor extractions, fault campaigns between batches.
+//
+// The contract every governed stage honors: ANY budget, however small,
+// yields either a valid partial result labeled with a Degradation record,
+// or a typed Error(kBudgetExhausted) where no valid partial result can
+// exist. Budgets are value types -- each worker thread takes its own copy
+// (the deadline is absolute and the cancel token shared, so all copies
+// agree on when to stop; the strided clock check stays thread-local).
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace stc {
+
+/// Shared cancellation flag. request() is async-signal-safe (a relaxed
+/// atomic store), so a SIGINT handler may call it directly.
+class CancelToken {
+ public:
+  void request() noexcept { flag_.store(true, std::memory_order_relaxed); }
+  bool requested() const noexcept {
+    return flag_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { flag_.store(false, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<bool> flag_{false};
+};
+
+/// Install a process-wide SIGINT handler that requests cancellation on the
+/// returned token. The first Ctrl-C cancels gracefully (stages unwind to
+/// their labeled partial results); a second Ctrl-C restores the default
+/// disposition, so it terminates the process. Idempotent: repeated calls
+/// return the same token.
+std::shared_ptr<CancelToken> install_sigint_cancel();
+
+class Budget {
+ public:
+  /// Default budget: unlimited, never expires.
+  Budget() = default;
+
+  static Budget unlimited() { return Budget(); }
+  static Budget deadline_ms(double ms) { return Budget().with_deadline_ms(ms); }
+  static Budget work_limit(std::uint64_t units) {
+    return Budget().with_work(units);
+  }
+
+  /// Absolute deadline `ms` milliseconds from now.
+  Budget& with_deadline_ms(double ms);
+  /// Allowance of stage-defined work units charged via spend().
+  Budget& with_work(std::uint64_t units);
+  Budget& with_cancel(std::shared_ptr<const CancelToken> token);
+
+  bool is_unlimited() const {
+    return !has_deadline_ && work_allowance_ == UINT64_MAX && !cancel_;
+  }
+  std::uint64_t work_allowance() const { return work_allowance_; }
+
+  /// Hot-loop check: charge `units` of work and report whether the budget
+  /// is exhausted (work must stop at the next safe point). The allowance
+  /// is checked every call; the clock and the cancel token only every
+  /// kStride calls, so a frontier loop can afford one spend() per pop.
+  bool spend(std::uint64_t units = 1) {
+    spent_ += units;
+    if (spent_ > work_allowance_) {
+      reason_ = "work-allowance";
+      return true;
+    }
+    if ((++tick_ & (kStride - 1)) != 0) return false;
+    return exhausted();
+  }
+
+  /// Point-in-time check (round / batch granularity): consults the cancel
+  /// token, the deadline, and the allowance; charges nothing.
+  bool exhausted() const;
+
+  /// Why the last spend()/exhausted() reported exhaustion:
+  /// "deadline", "work-allowance", "cancelled", or "" when not exhausted.
+  const char* reason() const { return reason_; }
+
+  std::uint64_t work_spent() const { return spent_; }
+
+ private:
+  static constexpr std::uint32_t kStride = 256;
+
+  std::chrono::steady_clock::time_point deadline_{};
+  bool has_deadline_ = false;
+  std::uint64_t work_allowance_ = UINT64_MAX;
+  std::uint64_t spent_ = 0;
+  std::shared_ptr<const CancelToken> cancel_;
+  std::uint32_t tick_ = 0;
+  mutable const char* reason_ = "";
+};
+
+/// What one governed stage did with its budget. A degraded result is
+/// *labeled*, never silent: every stage that truncated work reports which
+/// work, how much of it, and why it stopped.
+struct Degradation {
+  std::string stage;             // "ostr", "espresso", "factor", "campaign"
+  bool degraded = false;         // true when any work was truncated
+  std::string reason;            // budget reason() at the stop, "" if none
+  std::string detail;            // human-readable: what was truncated
+  std::uint64_t work_done = 0;   // stage units completed
+  std::uint64_t work_total = 0;  // stage units requested (0 = open-ended)
+};
+
+/// One line, e.g. "espresso degraded (deadline): 3/8 rounds -- returned
+/// best cover so far". Returns "" for a non-degraded record.
+std::string render_degradation(const Degradation& d);
+
+/// All degraded entries rendered one per line (empty string when none).
+std::string render_degradations(const std::vector<Degradation>& ds);
+
+}  // namespace stc

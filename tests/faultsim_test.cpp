@@ -13,6 +13,7 @@
 #include "netlist/builder.hpp"
 #include "netlist/eval64.hpp"
 #include "ostr/ostr.hpp"
+#include "util/error.hpp"
 #include "util/rng.hpp"
 
 namespace stc {
@@ -366,11 +367,33 @@ TEST(Campaign, RejectsUnsupportedLaneWordsUpFront) {
     try {
       run_fault_campaign(cs, plan, opt);
       FAIL() << "lane_words=" << bad << " must be rejected";
-    } catch (const std::invalid_argument& e) {
-      // The error must name the accepted values.
+    } catch (const Error& e) {
+      // A typed invalid-input error that names the accepted values.
+      EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
       EXPECT_NE(std::string(e.what()).find("1, 4 or 8"), std::string::npos)
           << e.what();
     }
+  }
+}
+
+TEST(Campaign, ValidateReportsAllInvalidFieldsAtOnce) {
+  const ControllerStructure cs = fig1_for("dk27");
+  CampaignOptions opt;
+  opt.engine = static_cast<CampaignEngine>(99);
+  opt.lane_words = 7;
+  opt.num_threads = 0;
+  SelfTestPlan empty_plan;  // no sessions
+  try {
+    run_fault_campaign(cs, empty_plan, opt);
+    FAIL() << "invalid options must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+    // Every problem is named in ONE error, not discovered one at a time.
+    const std::string ctx = e.context();
+    EXPECT_NE(ctx.find("engine"), std::string::npos) << ctx;
+    EXPECT_NE(ctx.find("lane_words"), std::string::npos) << ctx;
+    EXPECT_NE(ctx.find("num_threads"), std::string::npos) << ctx;
+    EXPECT_NE(ctx.find("sessions"), std::string::npos) << ctx;
   }
 }
 

@@ -188,6 +188,66 @@ TEST(Kiss, WidthMismatchesRejected) {
   EXPECT_THROW(parse_kiss2(".i 1\n.o 2\n0 a a 1\n1 a a 11\n"), KissParseError);
 }
 
+TEST(Kiss, ErrorsCarryTheOffendingLineNumber) {
+  // Row 5 (1-based) holds the bad output character.
+  const char* text = ".i 1\n.o 1\n.s 1\n0 a a 1\n1 a a x\n.e\n";
+  try {
+    parse_kiss2(text);
+    FAIL() << "bad output character must be rejected";
+  } catch (const KissParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("line 5"), std::string::npos)
+        << e.what();
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+}
+
+TEST(Kiss, DuplicateDirectivesRejected) {
+  EXPECT_THROW(parse_kiss2(".i 1\n.i 1\n.o 1\n0 a a 1\n1 a a 1\n.e\n"),
+               KissParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.o 1\n0 a a 1\n1 a a 1\n.e\n"),
+               KissParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.s 1\n.s 1\n0 a a 1\n1 a a 1\n.e\n"),
+               KissParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.p 2\n.p 2\n0 a a 1\n1 a a 1\n.e\n"),
+               KissParseError);
+}
+
+TEST(Kiss, ContentAfterEndRejected) {
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n0 a a 1\n1 a a 1\n.e\n0 a a 1\n"),
+               KissParseError);
+  // Comments and blank lines after .e are fine.
+  const MealyMachine m =
+      parse_kiss2(".i 1\n.o 1\n0 a a 1\n1 a a 1\n.e\n\n# trailing comment\n");
+  EXPECT_EQ(m.num_states(), 1u);
+}
+
+TEST(Kiss, HostileHeaderCountsBoundedBeforeAllocation) {
+  // Values past the sanity bound, including ones that would wrap a naive
+  // accumulator, are rejected up front -- no allocation is attempted.
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.s 99999999999999999999\n0 a a 1\n"),
+               KissParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.p 99999999999999999999\n0 a a 1\n"),
+               KissParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.s 2000000\n0 a a 1\n"),
+               KissParseError);  // over kMaxStates
+  EXPECT_THROW(parse_kiss2(".i 99\n.o 1\n0 a a 1\n"), KissParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o 1\n.s -3\n0 a a 1\n"), KissParseError);
+  EXPECT_THROW(parse_kiss2(".i 1\n.o\n0 a a 1\n"), KissParseError);  // no arg
+}
+
+TEST(Kiss, MissingFileRaisesTypedIoError) {
+  try {
+    load_kiss2_file("/nonexistent/dir/machine.kiss2");
+    FAIL() << "missing file must be rejected";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_NE(e.context().find("path=/nonexistent/dir/machine.kiss2"),
+              std::string::npos)
+        << e.context();
+    EXPECT_NE(e.context().find("errno="), std::string::npos) << e.context();
+  }
+}
+
 TEST(Kiss, WriteParseRoundTrip) {
   const MealyMachine m = parse_kiss2(corpus::kShiftreg);
   const MealyMachine re = parse_kiss2(write_kiss2(m));
