@@ -10,14 +10,21 @@
 //   * overall stuck-at coverage per structure, and coverage as a function
 //     of test length (the coverage-curve series).
 //
-// The campaign wall time and (event engine) per-cycle activity ratio are
-// printed per structure, so the paper-table runs double as the perf
-// harness for the fault-simulation engines.
+// By default the per-machine flows run as CampaignJobs on the jobs/
+// work-stealing scheduler with the keyed artifact cache -- one shared pool
+// executes whole flows AND their inner fault batches, rows stream in
+// deterministic submission order, and a corpus summary (cache hit rate,
+// pool utilization) closes the run.
 //
 // Options:
-//   --threads N   worker threads for the fault campaigns
-//                 (default: hardware concurrency; results are identical
-//                 for any value)
+//   --all         sweep the WHOLE KISS corpus x fig1-fig4 x
+//                 two_level+multi_level in one command (aggregated report)
+//   --jobs N      scheduler workers (default: hardware concurrency;
+//                 results are identical for any value)
+//   --repeat N    enqueue the job list N times (cache-warm re-runs: every
+//                 repeat after the first is all cache hits, no recompiles)
+//   --serial      legacy serial per-machine loop (the scheduler's A/B
+//                 baseline; --threads N sizes its per-campaign pools)
 //   --cycles N    BIST cycles per session (default 256)
 //   --engine E    campaign engine: event (default), flat, serial
 //                 (identical detected sets; only the speed differs)
@@ -25,41 +32,37 @@
 //                 (faults per self-test run = lanes - 1; identical
 //                 detected sets at every width)
 //   --tech T      implementation technology: two_level (default) or
-//                 multi_level (algebraically factored logic; simulation-
-//                 equivalent, and the table gains the factored literal
-//                 column -- the area tables' second technology point)
+//                 multi_level (ignored under --all, which sweeps both)
 //   --time-budget-ms N
-//                 anytime wall-clock budget per machine flow; truncated
-//                 stages are listed after the table. Ctrl-C cancels
-//                 gracefully (the bench still prints what it measured).
+//                 anytime wall-clock budget per machine flow (per JOB in
+//                 orchestrated mode; the deadline starts when the job
+//                 starts). Truncated stages are labeled. Ctrl-C cancels
+//                 gracefully: queued jobs drain as skipped rows and the
+//                 summary aggregates whatever completed.
 
 #include <cstdio>
 #include <thread>
 
 #include "benchdata/iwls93.hpp"
+#include "jobs/orchestrator.hpp"
 #include "synth/flow.hpp"
 #include "util/budget.hpp"
 #include "util/cli.hpp"
+#include "util/error.hpp"
 #include "util/table.hpp"
 
-int main(int argc, char** argv) {
-  using namespace stc;
-  const Cli cli(argc, argv);
+namespace {
+
+using namespace stc;
+
+// The historical serial loop, kept verbatim as the scheduler's A/B
+// baseline (--serial): nested per-campaign thread pools, no caching.
+int run_serial_loop(const Cli& cli, std::size_t bist_cycles,
+                    CampaignEngine engine, Technology tech, unsigned lane_words,
+                    const std::shared_ptr<CancelToken>& cancel, long budget_ms) {
   const std::size_t hw = std::thread::hardware_concurrency();
   const std::size_t threads = static_cast<std::size_t>(
       cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
-  CampaignEngine engine;
-  Technology tech;
-  unsigned lane_words;
-  try {
-    engine = parse_campaign_engine(cli.get("engine", "event"));
-    tech = parse_technology(cli.get("tech", "two_level"));
-    lane_words = lane_words_from_lanes(
-        static_cast<unsigned>(cli.get_int("lanes", 64)));
-  } catch (const std::exception& e) {
-    std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
-  }
 
   const char* machines[] = {"paper_fig5", "shiftreg", "tav", "dk27", "serial_adder"};
 
@@ -71,8 +74,6 @@ int main(int argc, char** argv) {
                   campaign_engine_name(engine) + ", tech: " +
                   technology_name(tech) + "]");
 
-  const auto cancel = install_sigint_cancel();
-  const long budget_ms = cli.get_int("time-budget-ms", -1);
   std::vector<std::string> degradation_lines;
 
   for (const char* name : machines) {
@@ -80,7 +81,7 @@ int main(int argc, char** argv) {
     FlowOptions opts;
     opts.with_fault_sim = true;
     opts.technology = tech;
-    opts.bist_cycles = static_cast<std::size_t>(cli.get_int("cycles", 256));
+    opts.bist_cycles = bist_cycles;
     opts.campaign.num_threads = threads;
     opts.campaign.engine = engine;
     opts.campaign.lane_words = lane_words;
@@ -119,29 +120,115 @@ int main(int argc, char** argv) {
       std::printf("  ! %s\n", l.c_str());
     std::printf("\n");
   }
+  return 0;
+}
 
+void coverage_series(CampaignEngine engine, unsigned lane_words,
+                     const std::shared_ptr<CancelToken>& cancel, long budget_ms,
+                     std::size_t threads) {
   // Coverage vs test length for the pipeline structure (series data).
   std::printf("Pipeline (fig4) coverage vs cycles per session, machine dk27 "
               "(%zu threads, %s engine):\n", threads, campaign_engine_name(engine));
-  {
-    const MealyMachine m = load_benchmark("dk27");
-    const OstrResult ostr = solve_ostr(m);
-    const Realization real = build_realization(m, ostr.best.pi, ostr.best.tau);
-    const ControllerStructure fig4 = build_fig4(m, real);
-    CampaignOptions copt;
-    copt.num_threads = threads;
-    copt.engine = engine;
-    copt.lane_words = lane_words;
-    copt.budget.with_cancel(cancel);
-    if (budget_ms >= 0)
-      copt.budget.with_deadline_ms(static_cast<double>(budget_ms));
-    std::printf("  cycles  coverage  activity\n");
-    for (std::size_t cycles : {4, 8, 16, 32, 64, 128, 256, 512}) {
-      const auto camp = run_fault_campaign(fig4, SelfTestPlan::two_session(cycles), copt);
-      std::printf("  %6zu  %6.1f%%  %7.1f%%%s\n", cycles, camp.coverage() * 100.0,
-                  camp.mean_activity() * 100.0,
-                  camp.degradation.degraded ? "  [truncated]" : "");
-    }
+  const MealyMachine m = load_benchmark("dk27");
+  const OstrResult ostr = solve_ostr(m);
+  const Realization real = build_realization(m, ostr.best.pi, ostr.best.tau);
+  const ControllerStructure fig4 = build_fig4(m, real);
+  CampaignOptions copt;
+  copt.num_threads = threads;
+  copt.engine = engine;
+  copt.lane_words = lane_words;
+  copt.budget.with_cancel(cancel);
+  if (budget_ms >= 0)
+    copt.budget.with_deadline_ms(static_cast<double>(budget_ms));
+  std::printf("  cycles  coverage  activity\n");
+  for (std::size_t cycles : {4, 8, 16, 32, 64, 128, 256, 512}) {
+    const auto camp = run_fault_campaign(fig4, SelfTestPlan::two_session(cycles), copt);
+    std::printf("  %6zu  %6.1f%%  %7.1f%%%s\n", cycles, camp.coverage() * 100.0,
+                camp.mean_activity() * 100.0,
+                camp.degradation.degraded ? "  [truncated]" : "");
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stc;
+  const Cli cli(argc, argv);
+
+  // Parse + validate every flag ONCE, up front (the per-machine loop used
+  // to re-read --cycles on every iteration); a bad value is one typed
+  // error before any synthesis work starts.
+  CampaignEngine engine;
+  Technology tech;
+  unsigned lane_words;
+  std::size_t bist_cycles;
+  try {
+    engine = parse_campaign_engine(cli.get("engine", "event"));
+    tech = parse_technology(cli.get("tech", "two_level"));
+    lane_words = lane_words_from_lanes(
+        static_cast<unsigned>(cli.get_int("lanes", 64)));
+    const long cycles_raw = cli.get_int("cycles", 256);
+    if (cycles_raw < 1 || cycles_raw > 1'000'000)
+      throw Error(ErrorCode::kInvalidInput, "invalid --cycles",
+                  "BIST cycles per session must be in [1, 1000000]; got " +
+                      std::to_string(cycles_raw));
+    bist_cycles = static_cast<std::size_t>(cycles_raw);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+
+  const auto cancel = install_sigint_cancel();
+  const long budget_ms = cli.get_int("time-budget-ms", -1);
+  const bool all = cli.has("all");
+
+  if (cli.has("serial")) {
+    const int rc = run_serial_loop(cli, bist_cycles, engine, tech, lane_words,
+                                   cancel, budget_ms);
+    if (rc != 0) return rc;
+  } else {
+    // Orchestrated path: every (machine, arch, tech) is a CampaignJob on
+    // one work-stealing pool; --jobs sizes the pool, the artifact cache
+    // deduplicates builds, rows stream in submission order.
+    const std::size_t hw = std::thread::hardware_concurrency();
+    SweepOptions sw;
+    if (!all)
+      sw.machines = {"paper_fig5", "shiftreg", "tav", "dk27", "serial_adder"};
+    sw.techs = all ? std::vector<Technology>{Technology::kTwoLevel,
+                                             Technology::kMultiLevel}
+                   : std::vector<Technology>{tech};
+    sw.engine = engine;
+    sw.lane_words = lane_words;
+    sw.bist_cycles = bist_cycles;
+    sw.jobs = static_cast<std::size_t>(
+        cli.get_int("jobs", hw > 0 ? static_cast<long>(hw) : 1));
+    sw.repeat = static_cast<std::size_t>(cli.get_int("repeat", 1));
+    sw.job_budget_ms = static_cast<double>(budget_ms);
+    sw.cancel = cancel;
+
+    std::printf("Corpus sweep: %s, engine %s, %zu lanes, %zu jobs%s\n",
+                all ? "full KISS corpus x fig1-fig4 x two_level+multi_level"
+                    : "paper set x fig1-fig4",
+                campaign_engine_name(engine), 64 * (std::size_t)lane_words,
+                sw.jobs, sw.repeat > 1 ? " (repeated)" : "");
+    std::printf("%s\n", corpus_row_header().c_str());
+    JobCache cache;
+    const CorpusReport rep =
+        run_corpus_sweep(sw, cache, [](const CampaignJobResult& row) {
+          std::printf("%s\n", render_corpus_row(row).c_str());
+          std::fflush(stdout);
+        });
+    std::printf("\n%s\n", render_corpus_summary(rep).c_str());
+    std::printf("\n");
+  }
+
+  // The dk27 series stays a focused single-structure study; skip it for
+  // the corpus-wide sweep (and once cancellation has been requested).
+  if (!all && !(cancel && cancel->requested())) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    const std::size_t threads = static_cast<std::size_t>(
+        cli.get_int("threads", hw > 0 ? static_cast<long>(hw) : 1));
+    coverage_series(engine, lane_words, cancel, budget_ms, threads);
   }
   return 0;
 }

@@ -7,8 +7,15 @@
 //                              [--lanes 64|256|512]
 //                              [--tech two_level|multi_level]
 //                              [--time-budget-ms N] [--max-nodes N]
+//       ./synthesize_benchmark --all [--jobs N] [--repeat N] [--faultsim]
 //       ./synthesize_benchmark --kiss path/to/machine.kiss2
 //       ./synthesize_benchmark --list
+//
+// --all synthesizes the WHOLE corpus (every machine x fig1-fig4 x the
+// selected --tech) as CampaignJobs on the jobs/ work-stealing scheduler:
+// --jobs sizes the shared pool (results identical at any value), the keyed
+// artifact cache deduplicates builds (--repeat 2 demonstrates all-hit
+// re-runs), and one aggregated corpus report closes the run.
 //
 // With --faultsim the per-structure report includes campaign wall time and
 // (event engine) the mean per-cycle activity ratio. With --tech
@@ -27,6 +34,7 @@
 
 #include "benchdata/iwls93.hpp"
 #include "fsm/kiss.hpp"
+#include "jobs/orchestrator.hpp"
 #include "synth/report.hpp"
 #include "util/budget.hpp"
 #include "util/cli.hpp"
@@ -41,6 +49,42 @@ int main(int argc, char** argv) {
       std::printf("  %-14s %s%s\n", info.name.c_str(), info.description.c_str(),
                   info.in_table1 ? "  [Table 1]" : "");
     return 0;
+  }
+
+  if (cli.has("all")) {
+    const std::size_t hw = std::thread::hardware_concurrency();
+    SweepOptions sw;  // empty machine list = the full corpus
+    sw.with_fault_sim = cli.has("faultsim");
+    sw.jobs = static_cast<std::size_t>(
+        cli.get_int("jobs", hw > 0 ? static_cast<long>(hw) : 1));
+    sw.repeat = static_cast<std::size_t>(cli.get_int("repeat", 1));
+    sw.bist_cycles = static_cast<std::size_t>(cli.get_int("cycles", 256));
+    sw.ostr_max_nodes =
+        static_cast<std::uint64_t>(cli.get_int("max-nodes", 2000000));
+    try {
+      sw.engine = parse_campaign_engine(cli.get("engine", "event"));
+      sw.lane_words = lane_words_from_lanes(
+          static_cast<unsigned>(cli.get_int("lanes", 64)));
+      sw.techs = {parse_technology(cli.get("tech", "two_level"))};
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "error: %s\n", e.what());
+      return 1;
+    }
+    sw.job_budget_ms = static_cast<double>(cli.get_int("time-budget-ms", -1));
+    sw.cancel = install_sigint_cancel();
+
+    std::printf("Corpus synthesis sweep: %zu jobs, engine %s%s\n", sw.jobs,
+                campaign_engine_name(sw.engine),
+                sw.with_fault_sim ? ", fault simulation on" : "");
+    std::printf("%s\n", corpus_row_header().c_str());
+    JobCache cache;
+    const CorpusReport rep =
+        run_corpus_sweep(sw, cache, [](const CampaignJobResult& row) {
+          std::printf("%s\n", render_corpus_row(row).c_str());
+          std::fflush(stdout);
+        });
+    std::printf("\n%s\n", render_corpus_summary(rep).c_str());
+    return rep.jobs_failed == 0 ? 0 : 1;
   }
 
   MealyMachine m;

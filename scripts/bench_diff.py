@@ -9,9 +9,12 @@ change, plus any requested counters (default: activity, cycles_per_sec and
 faults_per_sec if present). Campaign benchmarks carrying a lanes:N axis
 additionally get a lane-width scaling table: faults_per_sec at each width
 relative to the 64-lane run of the same benchmark, for both archives --
-the wide-lane speedup tracked across PRs. Benchmarks present in only one
-file are listed separately. Used to track the BENCH_faultsim.json /
-BENCH_search_perf.json / BENCH_logic.json artifacts archived by CI.
+the wide-lane speedup tracked across PRs. Orchestrator benchmarks carrying
+a jobs:N axis get the analogous scheduler-scaling table: jobs_per_sec at
+each pool width relative to the single-worker run (sweep throughput as the
+work-stealing pool widens). Benchmarks present in only one file are listed
+separately. Used to track the BENCH_faultsim.json / BENCH_search_perf.json
+/ BENCH_logic.json / BENCH_orchestrator.json artifacts archived by CI.
 """
 
 import argparse
@@ -64,6 +67,35 @@ def print_lane_scaling(label, bench_map):
             print(r)
 
 
+def jobs_groups(bench_map):
+    """Group jobs:N benchmark variants: base name -> {workers: jobs_per_sec}."""
+    groups = {}
+    for name, b in bench_map.items():
+        m = re.search(r"(^|/)jobs:(\d+)", name)
+        if not m or not isinstance(b.get("jobs_per_sec"), (int, float)):
+            continue
+        base = name[:m.start()] + name[m.end():]
+        groups.setdefault(base, {})[int(m.group(2))] = b["jobs_per_sec"]
+    return groups
+
+
+def print_jobs_scaling(label, bench_map):
+    groups = jobs_groups(bench_map)
+    rows = []
+    for base in sorted(groups):
+        widths = groups[base]
+        ref = widths.get(1)
+        if not ref or len(widths) < 2:
+            continue
+        cells = "".join("  %2d jobs %8.3g/s (%.2fx)" % (w, widths[w], widths[w] / ref)
+                        for w in sorted(widths) if w != 1)
+        rows.append("  %-38s 1 job %8.3g/s%s" % (base, ref, cells))
+    if rows:
+        print("\nscheduler scaling, jobs_per_sec vs 1 job [%s]:" % label)
+        for r in rows:
+            print(r)
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -108,6 +140,8 @@ def main():
 
     print_lane_scaling("old: " + args.old, old)
     print_lane_scaling("new: " + args.new, new)
+    print_jobs_scaling("old: " + args.old, old)
+    print_jobs_scaling("new: " + args.new, new)
 
     # Exit code 0 always: this is a reporting tool, CI gates on tests.
     return 0

@@ -6,6 +6,7 @@
 #include "fsm/generate.hpp"
 #include "fsm/kiss.hpp"
 #include "ostr/state_split.hpp"
+#include "util/hash.hpp"
 
 namespace stc {
 namespace {
@@ -87,6 +88,24 @@ MealyMachine load_benchmark(const std::string& name) {
                               "tbk", 6, 3);
 
   throw std::invalid_argument("load_benchmark: unknown benchmark '" + name + "'");
+}
+
+std::uint64_t machine_fingerprint(const MealyMachine& m) {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u64(h, m.num_states());
+  h = fnv1a_u64(h, m.num_inputs());
+  h = fnv1a_u64(h, m.num_outputs());
+  h = fnv1a_u64(h, m.input_bits());
+  h = fnv1a_u64(h, m.output_bits());
+  h = fnv1a_u64(h, m.reset_state());
+  for (State s = 0; s < m.num_states(); ++s)
+    for (Input i = 0; i < m.num_inputs(); ++i) {
+      // Unspecified entries hash as their sentinels so partially specified
+      // machines fingerprint distinctly from any completion of them.
+      h = fnv1a_u64(h, m.has_transition(s, i) ? m.next(s, i) : kNoState);
+      h = fnv1a_u64(h, m.has_transition(s, i) ? m.output(s, i) : kNoOutput);
+    }
+  return h;
 }
 
 }  // namespace stc

@@ -47,4 +47,12 @@ MealyMachine load_benchmark(const std::string& name);
 /// Names only, in catalog order.
 std::vector<std::string> benchmark_names(bool table1_only = false);
 
+/// Stable content fingerprint of a machine: transition/output tables,
+/// alphabet widths, reset state -- everything that determines the
+/// synthesized netlists -- but NOT the name. The jobs/ cache keys build
+/// artifacts on this, so identical machines share entries regardless of
+/// how they were loaded, and a same-named but different external KISS
+/// machine can never collide with a corpus entry.
+std::uint64_t machine_fingerprint(const MealyMachine& m);
+
 }  // namespace stc

@@ -1,6 +1,8 @@
 #include "bist/session.hpp"
 
 #include <algorithm>
+#include <memory>
+#include <mutex>
 #include <stdexcept>
 #include <thread>
 
@@ -445,6 +447,78 @@ void run_self_test_lanes(const ControllerStructure& cs, const SelfTestPlan& plan
 
 }  // namespace
 
+// --- warm campaign state -----------------------------------------------------
+
+/// Compiled program + pin map + scratch free-list for one (structure, MISR
+/// width, lane_words) tuple. Defined here so it can hold the TU-local
+/// CampaignScratch; callers only ever see the opaque handle.
+class CampaignWarmState {
+ public:
+  CampaignWarmState(const ControllerStructure& cs, const SelfTestPlan& plan,
+                    unsigned lane_words)
+      : cs_(&cs),
+        misr_width_(plan.output_misr_width),
+        pins_(map_pins(cs)),
+        proto_(cs.nl, lane_words) {}
+
+  const ControllerStructure* structure() const { return cs_; }
+  std::size_t misr_width() const { return misr_width_; }
+  unsigned lane_words() const { return proto_.lane_words(); }
+  const PinMap& pins() const { return pins_; }
+  const CompiledNetlist& proto() const { return proto_; }
+
+  /// Lease a scratch: reuse a parked one (warm start) or build a fresh one.
+  std::unique_ptr<CampaignScratch> acquire(const ControllerStructure& cs,
+                                           const SelfTestPlan& plan) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!free_.empty()) {
+        std::unique_ptr<CampaignScratch> sc = std::move(free_.back());
+        free_.pop_back();
+        reuses_.fetch_add(1, std::memory_order_relaxed);
+        return sc;
+      }
+    }
+    builds_.fetch_add(1, std::memory_order_relaxed);
+    return std::make_unique<CampaignScratch>(cs, proto_, plan, pins_);
+  }
+
+  void release(std::unique_ptr<CampaignScratch> sc) {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_.push_back(std::move(sc));
+  }
+
+  std::size_t reuses() const { return reuses_.load(std::memory_order_relaxed); }
+  std::size_t builds() const { return builds_.load(std::memory_order_relaxed); }
+
+ private:
+  const ControllerStructure* cs_;
+  std::size_t misr_width_;
+  PinMap pins_;
+  CompiledNetlist proto_;
+  std::mutex mu_;
+  std::vector<std::unique_ptr<CampaignScratch>> free_;
+  std::atomic<std::size_t> reuses_{0};
+  std::atomic<std::size_t> builds_{0};
+};
+
+std::shared_ptr<CampaignWarmState> make_campaign_warm_state(
+    const ControllerStructure& cs, const SelfTestPlan& plan,
+    unsigned lane_words) {
+  if (!lane_words_supported(lane_words))
+    throw Error(ErrorCode::kInvalidInput,
+                "make_campaign_warm_state: unsupported lane_words",
+                "lane_words=" + std::to_string(lane_words));
+  return std::make_shared<CampaignWarmState>(cs, plan, lane_words);
+}
+
+std::size_t campaign_warm_reuses(const CampaignWarmState& warm) {
+  return warm.reuses();
+}
+std::size_t campaign_warm_builds(const CampaignWarmState& warm) {
+  return warm.builds();
+}
+
 CampaignEngine parse_campaign_engine(const std::string& name) {
   if (name == "event") return CampaignEngine::kEvent;
   if (name == "flat") return CampaignEngine::kFlat;
@@ -490,6 +564,12 @@ void CampaignOptions::validate(const SelfTestPlan& plan) const {
     add("lane_words must be 1, 4 or 8 (64, 256 or 512 lanes); got " +
         std::to_string(lane_words));
   if (num_threads == 0) add("num_threads must be >= 1; got 0");
+  if (executor != nullptr && num_threads > 1)
+    add("scheduler-owned campaign (executor set) must pass num_threads = 1: "
+        "nesting a per-campaign thread pool under the shared work-stealing "
+        "pool oversubscribes every core -- size the shared pool with the "
+        "orchestrator's --jobs flag instead; got num_threads = " +
+        std::to_string(num_threads));
   if (plan.sessions.empty()) add("plan has no sessions");
   if (plan.output_misr_width == 0 || plan.output_misr_width > 64)
     add("plan output_misr_width must be in [1, 64]; got " +
@@ -547,30 +627,70 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
       ++res.session_runs;
     }
   } else if (!reps.empty()) {
-    const PinMap pins = map_pins(cs);
+    // Warm state (when given) carries the compiled program, the pin map
+    // and parked scratch for this exact structure; verify the binding
+    // before trusting any of it.
+    CampaignWarmState* warm = options.warm;
+    if (warm != nullptr) {
+      std::string mismatch;
+      if (warm->structure() != &cs)
+        mismatch = "warm state was built for a different structure object";
+      else if (warm->lane_words() != options.lane_words)
+        mismatch = "warm lane_words=" + std::to_string(warm->lane_words()) +
+                   " != options lane_words=" + std::to_string(options.lane_words);
+      else if (warm->misr_width() != plan.output_misr_width)
+        mismatch = "warm misr_width=" + std::to_string(warm->misr_width()) +
+                   " != plan output_misr_width=" +
+                   std::to_string(plan.output_misr_width);
+      if (!mismatch.empty())
+        throw Error(ErrorCode::kInvalidInput,
+                    "run_fault_campaign: incompatible warm state", mismatch);
+    }
+    const PinMap pins = warm ? warm->pins() : map_pins(cs);
     // Each run simulates one fault per lane, minus the reserved fault-free
     // reference lane 0.
     const std::size_t batch_size = faults_per_run(options.lane_words);
     const std::size_t num_batches = (reps.size() + batch_size - 1) / batch_size;
-    const std::size_t num_threads =
-        std::max<std::size_t>(1, std::min(options.num_threads, num_batches));
+    const std::size_t parallelism =
+        options.executor
+            ? std::max<std::size_t>(1, options.executor->max_parallelism())
+            : options.num_threads;
+    const std::size_t num_chunks =
+        std::max<std::size_t>(1, std::min(parallelism, num_batches));
 
-    // Compile once; workers copy the program (cheap) instead of re-running
-    // the netlist compile per thread.
-    const CompiledNetlist proto(nl, options.lane_words);
+    // Compile once per structure: reuse the warm state's program when
+    // given, otherwise compile here; chunks copy the program (cheap)
+    // instead of re-running the compile.
+    std::optional<CompiledNetlist> local_proto;
+    if (!warm) local_proto.emplace(nl, options.lane_words);
+    const CompiledNetlist& proto = warm ? warm->proto() : *local_proto;
 
-    // Batch b covers reps [Bb, Bb+B); worker w takes batches w, w+T, ...
-    // Workers write disjoint rep_detected / rep_simulated ranges, so the
-    // result is identical for every thread count (a wall-clock budget may
-    // truncate different batches per run; every completed batch's verdicts
-    // stay exact).
-    std::vector<std::uint64_t> worker_cycles(num_threads, 0);
-    std::vector<std::uint64_t> worker_ops(num_threads, 0);
-    std::vector<std::size_t> worker_runs(num_threads, 0);
-    auto worker = [&](std::size_t w) {
-      Budget bud = options.budget;  // per-worker copy, absolute deadline
-      CampaignScratch sc(cs, proto, plan, pins);
-      for (std::size_t b = w; b < num_batches; b += num_threads) {
+    // Batch b covers reps [Bb, Bb+B); chunk c takes batches c, c+K, ...
+    // (K = num_chunks). Chunks write disjoint rep_detected / rep_simulated
+    // ranges, so the result is identical for every chunk count, thread
+    // count and execution interleaving -- whether the chunks run on the
+    // internal pool below or on the scheduler's shared pool via
+    // options.executor (a wall-clock budget may truncate different batches
+    // per run; every completed batch's verdicts stay exact).
+    std::vector<std::uint64_t> chunk_cycles(num_chunks, 0);
+    std::vector<std::uint64_t> chunk_ops(num_chunks, 0);
+    std::vector<std::size_t> chunk_runs(num_chunks, 0);
+    auto chunk_fn = [&](std::size_t c) {
+      Budget bud = options.budget;  // per-chunk copy, absolute deadline
+      // Lease warm scratch when available (zero rebuild on reuse);
+      // otherwise build chunk-local scratch the way each worker used to.
+      std::unique_ptr<CampaignScratch> leased;
+      std::optional<CampaignScratch> local;
+      if (warm) {
+        leased = warm->acquire(cs, plan);
+      } else {
+        local.emplace(cs, proto, plan, pins);
+      }
+      CampaignScratch& sc = warm ? *leased : *local;
+      const std::uint64_t cycles0 = sc.cycles;
+      const std::uint64_t ops0 =
+          options.engine == CampaignEngine::kEvent ? sc.ev.ops_evaluated : 0;
+      for (std::size_t b = c; b < num_batches; b += num_chunks) {
         if (bud.spend(1)) break;
         const std::size_t begin = b * batch_size;
         const std::size_t end = std::min(reps.size(), begin + batch_size);
@@ -584,27 +704,30 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
           const unsigned lane = static_cast<unsigned>(i - begin + 1);
           if ((sc.diff_mask[lane >> 6] >> (lane & 63)) & 1) rep_detected[i] = 1;
         }
-        ++worker_runs[w];
+        ++chunk_runs[c];
       }
-      worker_cycles[w] = sc.cycles;
-      worker_ops[w] = options.engine == CampaignEngine::kEvent
-                          ? sc.ev.ops_evaluated
-                          : sc.cycles * sc.cn.num_ops();
+      chunk_cycles[c] = sc.cycles - cycles0;
+      chunk_ops[c] = options.engine == CampaignEngine::kEvent
+                         ? sc.ev.ops_evaluated - ops0
+                         : chunk_cycles[c] * sc.cn.num_ops();
+      if (warm) warm->release(std::move(leased));
     };
 
-    if (num_threads == 1) {
-      worker(0);
+    if (options.executor && num_chunks > 1) {
+      options.executor->run_chunks(num_chunks, chunk_fn);
+    } else if (num_chunks == 1) {
+      chunk_fn(0);
     } else {
       std::vector<std::thread> pool;
-      pool.reserve(num_threads);
-      for (std::size_t w = 0; w < num_threads; ++w) pool.emplace_back(worker, w);
+      pool.reserve(num_chunks);
+      for (std::size_t c = 0; c < num_chunks; ++c) pool.emplace_back(chunk_fn, c);
       for (std::thread& t : pool) t.join();
     }
     res.ops_per_cycle = nl.topo_order().size();
-    for (std::size_t w = 0; w < num_threads; ++w) {
-      res.cycles_simulated += worker_cycles[w];
-      res.ops_evaluated += worker_ops[w];
-      res.session_runs += worker_runs[w];
+    for (std::size_t c = 0; c < num_chunks; ++c) {
+      res.cycles_simulated += chunk_cycles[c];
+      res.ops_evaluated += chunk_ops[c];
+      res.session_runs += chunk_runs[c];
     }
   }
 

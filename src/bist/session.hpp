@@ -13,6 +13,8 @@
 // run. The paper's pipeline scheme is: session 1 = R1 generates / R2
 // compresses, session 2 = the converse.
 
+#include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -141,6 +143,44 @@ enum class CampaignEngine {
 CampaignEngine parse_campaign_engine(const std::string& name);
 const char* campaign_engine_name(CampaignEngine engine);
 
+/// Shared-pool execution hook for the campaign's independent fault-batch
+/// chunks. When CampaignOptions::executor is set, run_fault_campaign
+/// decomposes the batch loop into up to max_parallelism() chunks and hands
+/// them to run_chunks() instead of spawning its own thread pool -- this is
+/// how the jobs/ work-stealing scheduler flattens every campaign's inner
+/// parallelism into ONE process-wide pool (no nested pools, no
+/// oversubscription). run_chunks(n, fn) must invoke fn(0..n-1) exactly
+/// once each (concurrently or not) and return only when all have finished.
+/// Chunks write disjoint result slots, so the detected-fault sets are
+/// identical for every chunk count and any execution order/interleaving.
+class CampaignChunkExecutor {
+ public:
+  virtual ~CampaignChunkExecutor() = default;
+  virtual std::size_t max_parallelism() const = 0;
+  virtual void run_chunks(std::size_t n,
+                          const std::function<void(std::size_t)>& fn) = 0;
+};
+
+/// Warm per-structure campaign state: the compiled lane program plus a
+/// free-list of per-worker scratch (lane buffers, banks, event residency).
+/// Building one costs the netlist compile; a campaign handed a warm state
+/// via CampaignOptions::warm skips the compile entirely and its workers
+/// lease scratch instead of allocating it -- re-queued jobs on a cached
+/// structure start hot. Bound to one (structure, MISR width, lane_words)
+/// tuple; run_fault_campaign rejects a mismatched warm state with a typed
+/// Error. Thread-safe: concurrent campaigns may share one warm state.
+class CampaignWarmState;
+
+std::shared_ptr<CampaignWarmState> make_campaign_warm_state(
+    const ControllerStructure& cs, const SelfTestPlan& plan,
+    unsigned lane_words);
+
+/// How many times a leased scratch was *reused* (warm starts) -- the
+/// hit-counter the cache tests and the orchestrator report assert on.
+std::size_t campaign_warm_reuses(const CampaignWarmState& warm);
+/// How many scratches the warm state has constructed in total.
+std::size_t campaign_warm_builds(const CampaignWarmState& warm);
+
 struct CampaignOptions {
   /// Fan fault batches across worker threads (mirrors
   /// OstrOptions::num_threads). Results are identical for any value.
@@ -165,10 +205,20 @@ struct CampaignOptions {
   /// work allowance is deterministic per worker (use num_threads = 1 for a
   /// deterministic truncated subset).
   Budget budget;
+  /// Scheduler-owned campaigns: when set, the batch loop is sharded over
+  /// this executor's shared pool and num_threads MUST stay 1 (validate()
+  /// rejects anything else -- nesting a per-campaign pool under the
+  /// scheduler oversubscribes every core). Results are identical to the
+  /// internal-pool path by construction. Non-owning; must outlive the call.
+  CampaignChunkExecutor* executor = nullptr;
+  /// Warm compiled-program + scratch state for this exact structure (see
+  /// make_campaign_warm_state). Non-owning; must outlive the call.
+  CampaignWarmState* warm = nullptr;
 
   /// Check every field against `plan` and report ALL problems in one
   /// Error(kInvalidInput) -- engine, lane_words, num_threads, empty plan,
-  /// MISR width. Called by run_fault_campaign before any simulation work.
+  /// MISR width, executor/num_threads nesting. Called by run_fault_campaign
+  /// before any simulation work.
   void validate(const SelfTestPlan& plan) const;
 };
 

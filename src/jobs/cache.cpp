@@ -1,0 +1,169 @@
+#include "jobs/cache.hpp"
+
+#include "encoding/encoding.hpp"
+#include "ostr/ostr.hpp"
+#include "util/error.hpp"
+#include "util/hash.hpp"
+
+namespace stc {
+
+const char* arch_name(ArchKind arch) {
+  switch (arch) {
+    case ArchKind::kFig1: return "fig1";
+    case ArchKind::kFig2: return "fig2";
+    case ArchKind::kFig3: return "fig3";
+    case ArchKind::kFig4: return "fig4";
+  }
+  return "?";
+}
+
+ArchKind parse_arch(const std::string& name) {
+  if (name == "fig1") return ArchKind::kFig1;
+  if (name == "fig2") return ArchKind::kFig2;
+  if (name == "fig3") return ArchKind::kFig3;
+  if (name == "fig4") return ArchKind::kFig4;
+  throw Error(ErrorCode::kInvalidInput, "unknown architecture",
+              "arch=" + name + "; expected fig1..fig4");
+}
+
+std::size_t JobCache::StructKeyHash::operator()(const StructKey& k) const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u64(h, k.fingerprint);
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(k.arch));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(k.tech));
+  h = fnv1a_u64(h, static_cast<std::uint64_t>(k.minimizer));
+  return static_cast<std::size_t>(h);
+}
+
+std::size_t JobCache::WarmKeyHash::operator()(const WarmKey& k) const {
+  std::uint64_t h = kFnvOffset;
+  h = fnv1a_u64(h, reinterpret_cast<std::uintptr_t>(k.structure));
+  h = fnv1a_u64(h, k.lane_words);
+  h = fnv1a_u64(h, k.misr_width);
+  return static_cast<std::size_t>(h);
+}
+
+std::shared_ptr<JobCache::MachineEntry> JobCache::machine(
+    const std::string& name,
+    const std::function<MealyMachine(const std::string&)>& loader, bool* hit) {
+  std::shared_ptr<Slot<MachineEntry>> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& s = machines_[name];
+    if (!s) {
+      s = std::make_shared<Slot<MachineEntry>>();
+      ++stats_.machine_misses;
+      if (hit != nullptr) *hit = false;
+    } else {
+      ++stats_.machine_hits;
+      if (hit != nullptr) *hit = true;
+    }
+    slot = s;
+  }
+  std::lock_guard<std::mutex> build(slot->build_mu);
+  if (!slot->built) {
+    auto e = std::make_shared<MachineEntry>();
+    e->fsm = loader(name);
+    e->fsm.validate();
+    e->fingerprint = machine_fingerprint(e->fsm);
+    e->encoded = encode_fsm(e->fsm, natural_encoding(e->fsm.num_states()));
+    slot->value = std::move(e);
+    slot->built = true;
+  }
+  return slot->value;
+}
+
+void JobCache::ensure_ostr(MachineEntry& m, const OstrOptions& options) {
+  std::lock_guard<std::mutex> lock(m.ostr_mu);
+  if (m.ostr_built) {
+    std::lock_guard<std::mutex> stats_lock(mu_);
+    ++stats_.ostr_hits;
+    return;
+  }
+  m.ostr = solve_ostr(m.fsm, options);
+  m.realization = build_realization(m.fsm, m.ostr.best.pi, m.ostr.best.tau);
+  m.verification = verify_realization(m.fsm, m.realization);
+  m.ostr_built = true;
+  std::lock_guard<std::mutex> stats_lock(mu_);
+  ++stats_.ostr_misses;
+}
+
+std::shared_ptr<JobCache::StructureEntry> JobCache::structure(
+    const std::shared_ptr<MachineEntry>& m, ArchKind arch, Technology tech,
+    MinimizerKind minimizer, const OstrOptions& ostr_options,
+    const Budget& budget, bool* hit) {
+  const StructKey key{m->fingerprint, arch, tech, minimizer};
+  std::shared_ptr<Slot<StructureEntry>> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& s = structures_[key];
+    if (!s) {
+      s = std::make_shared<Slot<StructureEntry>>();
+      ++stats_.structure_misses;
+      if (hit != nullptr) *hit = false;
+    } else {
+      ++stats_.structure_hits;
+      if (hit != nullptr) *hit = true;
+    }
+    slot = s;
+  }
+  std::lock_guard<std::mutex> build(slot->build_mu);
+  if (!slot->built) {
+    auto e = std::make_shared<StructureEntry>();
+    switch (arch) {
+      case ArchKind::kFig1:
+        e->cs = build_fig1(m->encoded, minimizer, tech, budget);
+        break;
+      case ArchKind::kFig2:
+        e->cs = build_fig2(m->encoded, minimizer, tech, budget);
+        break;
+      case ArchKind::kFig3:
+        e->cs = build_fig3(m->encoded, minimizer, tech, budget);
+        break;
+      case ArchKind::kFig4:
+        ensure_ostr(*m, ostr_options);
+        e->cs = build_fig4(m->fsm, m->realization, minimizer, tech, budget);
+        break;
+    }
+    slot->value = std::move(e);
+    slot->built = true;
+  }
+  return slot->value;
+}
+
+std::shared_ptr<CampaignWarmState> JobCache::warm(
+    const std::shared_ptr<StructureEntry>& s, const SelfTestPlan& plan,
+    unsigned lane_words, bool* hit) {
+  const WarmKey key{s.get(), lane_words, plan.output_misr_width};
+  std::shared_ptr<Slot<CampaignWarmState>> slot;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto& w = warms_[key];
+    if (!w) {
+      w = std::make_shared<Slot<CampaignWarmState>>();
+      ++stats_.warm_misses;
+      if (hit != nullptr) *hit = false;
+    } else {
+      ++stats_.warm_hits;
+      if (hit != nullptr) *hit = true;
+    }
+    slot = w;
+  }
+  std::lock_guard<std::mutex> build(slot->build_mu);
+  if (!slot->built) {
+    slot->value = make_campaign_warm_state(s->cs, plan, lane_words);
+    slot->built = true;
+    std::lock_guard<std::mutex> lock(mu_);
+    all_warms_.push_back(slot->value);
+  }
+  return slot->value;
+}
+
+JobCacheStats JobCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JobCacheStats s = stats_;
+  for (const auto& w : all_warms_) s.scratch_reuses += campaign_warm_reuses(*w);
+  return s;
+}
+
+}  // namespace stc

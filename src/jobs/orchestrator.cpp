@@ -1,0 +1,255 @@
+#include "jobs/orchestrator.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <exception>
+#include <iomanip>
+#include <mutex>
+#include <sstream>
+
+#include "benchdata/iwls93.hpp"
+#include "util/error.hpp"
+
+namespace stc {
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+std::string pct(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << v * 100.0 << "%";
+  return os.str();
+}
+
+std::string fixed1(double v) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(1) << v;
+  return os.str();
+}
+
+/// The self-test plan a job's campaign runs (figs 2-4; fig1 has none).
+SelfTestPlan plan_for(const CampaignJobSpec& spec) {
+  return spec.arch == ArchKind::kFig2
+             ? SelfTestPlan::conventional(2 * spec.bist_cycles)
+             : SelfTestPlan::two_session(spec.bist_cycles);
+}
+
+}  // namespace
+
+std::vector<CampaignJobSpec> expand_sweep(const SweepOptions& opt) {
+  const std::vector<std::string> machines =
+      opt.machines.empty() ? benchmark_names() : opt.machines;
+  std::vector<CampaignJobSpec> specs;
+  specs.reserve(machines.size() * opt.techs.size() * opt.archs.size() *
+                std::max<std::size_t>(1, opt.repeat));
+  for (std::size_t rep = 0; rep < std::max<std::size_t>(1, opt.repeat); ++rep) {
+    for (const std::string& name : machines) {
+      for (Technology tech : opt.techs) {
+        for (ArchKind arch : opt.archs) {
+          CampaignJobSpec s;
+          s.machine = name;
+          s.arch = arch;
+          s.tech = tech;
+          s.engine = opt.engine;
+          s.lane_words = opt.lane_words;
+          s.bist_cycles = opt.bist_cycles;
+          s.functional_cycles = opt.functional_cycles;
+          s.minimizer = opt.minimizer;
+          s.with_fault_sim = opt.with_fault_sim;
+          specs.push_back(std::move(s));
+        }
+      }
+    }
+  }
+  return specs;
+}
+
+CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
+                                   const Budget& budget,
+                                   CampaignChunkExecutor* executor,
+                                   std::uint64_t ostr_max_nodes) {
+  CampaignJobResult r;
+  r.spec = spec;
+  const auto t0 = std::chrono::steady_clock::now();
+  try {
+    auto m = cache.machine(spec.machine,
+                           [](const std::string& n) { return load_benchmark(n); },
+                           &r.machine_cached);
+
+    OstrOptions ostr_opt;
+    ostr_opt.max_nodes = ostr_max_nodes;
+    ostr_opt.budget = budget;
+    auto s = cache.structure(m, spec.arch, spec.tech, spec.minimizer, ostr_opt,
+                             budget, &r.structure_cached);
+
+    FlowOptions fopt;
+    fopt.minimizer = spec.minimizer;
+    fopt.technology = spec.tech;
+    fopt.with_fault_sim = spec.with_fault_sim;
+    fopt.bist_cycles = spec.bist_cycles;
+    fopt.functional_cycles = spec.functional_cycles;
+    fopt.budget = budget;
+    fopt.campaign.engine = spec.engine;
+    fopt.campaign.lane_words = spec.lane_words;
+    // Scheduler-owned: inner parallelism goes through the shared pool (or
+    // stays serial when there is none) -- never a nested per-campaign pool.
+    fopt.campaign.num_threads = 1;
+    fopt.campaign.executor = executor;
+
+    // Warm compiled-netlist + scratch for the campaign-driven structures
+    // (the serial oracle engine compiles nothing, fig1 runs no sessions).
+    std::shared_ptr<CampaignWarmState> warm;
+    if (spec.with_fault_sim && spec.arch != ArchKind::kFig1 &&
+        spec.engine != CampaignEngine::kSerial) {
+      warm = cache.warm(s, plan_for(spec), spec.lane_words, &r.warm_cached);
+      fopt.campaign.warm = warm.get();
+    }
+
+    r.report = measure_structure(s->cs, fopt, &r.coverage);
+  } catch (const std::exception& e) {
+    r.error = e.what();
+  }
+  r.seconds = seconds_since(t0);
+  return r;
+}
+
+CorpusReport run_corpus_sweep(
+    const SweepOptions& opt, JobCache& cache,
+    const std::function<void(const CampaignJobResult&)>& on_row) {
+  const std::vector<CampaignJobSpec> specs = expand_sweep(opt);
+  CorpusReport rep;
+  rep.jobs_total = specs.size();
+  rep.rows.resize(specs.size());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  {
+    TaskPool pool(std::max<std::size_t>(1, opt.jobs));
+    PoolChunkExecutor exec(pool);
+
+    // Ordered retirement: results land in their submission-order slot; the
+    // finishing worker advances the retire cursor and emits every newly
+    // contiguous row, so on_row sees submission order at any job count.
+    std::mutex retire_mu;
+    std::size_t retired = 0;
+    std::vector<char> done(specs.size(), 0);
+
+    TaskPool::Group group(pool);
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      group.run([&, i] {
+        CampaignJobResult r;
+        if (opt.cancel && opt.cancel->requested()) {
+          // Drain, don't run: queued jobs become labeled 'skipped' rows.
+          r.spec = specs[i];
+          r.skipped = true;
+        } else {
+          Budget budget;
+          if (opt.job_budget_ms >= 0.0) budget.with_deadline_ms(opt.job_budget_ms);
+          if (opt.cancel) budget.with_cancel(opt.cancel);
+          r = run_campaign_job(specs[i], cache, budget, &exec,
+                               opt.ostr_max_nodes);
+        }
+        std::lock_guard<std::mutex> lock(retire_mu);
+        rep.rows[i] = std::move(r);
+        done[i] = 1;
+        while (retired < done.size() && done[retired]) {
+          if (on_row) on_row(rep.rows[retired]);
+          ++retired;
+        }
+      });
+    }
+    group.wait();
+    rep.pool = pool.stats();
+  }
+  rep.wall_seconds = seconds_since(t0);
+  rep.cache = cache.stats();
+  rep.cancelled = opt.cancel && opt.cancel->requested();
+
+  for (const CampaignJobResult& row : rep.rows) {
+    if (row.skipped) {
+      ++rep.jobs_skipped;
+      continue;
+    }
+    if (!row.error.empty()) {
+      ++rep.jobs_failed;
+      continue;
+    }
+    ++rep.jobs_completed;
+    if (!row.report.degradations.empty()) ++rep.jobs_degraded;
+    rep.total_faults += row.coverage.total;
+    rep.faults_simulated += row.coverage.simulated;
+    rep.faults_detected += row.coverage.detected;
+    rep.area_ge += row.report.area_ge;
+    rep.literals_two_level += row.report.logic.literals;
+    if (row.report.logic_ml) rep.literals_multi_level += row.report.logic_ml->literals;
+    rep.campaign_seconds += row.report.campaign_seconds;
+  }
+  return rep;
+}
+
+std::string corpus_row_header() {
+  std::ostringstream os;
+  os << std::left << std::setw(13) << "machine" << std::setw(6) << "arch"
+     << std::setw(12) << "tech" << std::right << std::setw(4) << "ff"
+     << std::setw(9) << "area" << std::setw(6) << "depth" << std::setw(9)
+     << "faults" << std::setw(9) << "coverage" << std::setw(9) << "time"
+     << "  cache";
+  return os.str();
+}
+
+std::string render_corpus_row(const CampaignJobResult& row) {
+  std::ostringstream os;
+  os << std::left << std::setw(13) << row.spec.machine << std::setw(6)
+     << arch_name(row.spec.arch);
+  if (row.skipped) {
+    os << "skipped (cancelled before start)";
+    return os.str();
+  }
+  if (!row.error.empty()) {
+    os << "FAILED: " << row.error;
+    return os.str();
+  }
+  os << std::setw(12) << row.report.technology << std::right << std::setw(4)
+     << row.report.flipflops << std::setw(9) << fixed1(row.report.area_ge)
+     << std::setw(6) << row.report.depth;
+  if (row.report.coverage) {
+    os << std::setw(9) << row.report.total_faults << std::setw(9)
+       << pct(*row.report.coverage);
+  } else {
+    os << std::setw(9) << "-" << std::setw(9) << "-";
+  }
+  os << std::setw(9) << (fixed1(row.seconds * 1000.0) + "ms");
+  // Which cache levels were hot for this job: Machine / Structure / Warm.
+  os << "  " << (row.machine_cached ? 'M' : '.')
+     << (row.structure_cached ? 'S' : '.') << (row.warm_cached ? 'W' : '.');
+  if (!row.report.degradations.empty()) os << "  [degraded]";
+  return os.str();
+}
+
+std::string render_corpus_summary(const CorpusReport& rep) {
+  std::ostringstream os;
+  os << "jobs: " << rep.jobs_total << " total, " << rep.jobs_completed
+     << " completed, " << rep.jobs_skipped << " skipped, " << rep.jobs_failed
+     << " failed, " << rep.jobs_degraded << " degraded\n";
+  if (rep.cancelled)
+    os << "cancelled: yes (partial aggregates below cover completed jobs)\n";
+  os << "wall: " << fixed1(rep.wall_seconds) << "s, pool: " << rep.pool.workers
+     << " workers, " << rep.pool.tasks_executed << " tasks ("
+     << rep.pool.steals << " steals), utilization "
+     << pct(rep.pool_utilization()) << "\n";
+  os << "cache hits: " << rep.cache.hits() << " (hit rate "
+     << pct(rep.cache.hit_rate()) << "), misses " << rep.cache.misses()
+     << ", warm scratch reuses " << rep.cache.scratch_reuses << "\n";
+  os << "corpus: " << rep.total_faults << " faults, " << rep.faults_simulated
+     << " simulated, " << rep.faults_detected << " detected, coverage "
+     << pct(rep.coverage()) << "\n";
+  os << "corpus area: " << fixed1(rep.area_ge) << " GE, two-level literals "
+     << rep.literals_two_level << ", multi-level literals "
+     << rep.literals_multi_level << ", campaign time "
+     << fixed1(rep.campaign_seconds) << "s";
+  return os.str();
+}
+
+}  // namespace stc

@@ -1,0 +1,145 @@
+#pragma once
+// Corpus-scale campaign orchestration: (machine x architecture x
+// technology x test plan x lane width) as a first-class CampaignJob,
+// executed on the work-stealing TaskPool with the JobCache supplying every
+// reusable artifact, aggregated into a single streamed CorpusReport.
+//
+// Determinism contract: with no wall-clock deadline, every per-job
+// artifact (StructureReport fields, detected/undetected fault sets) is
+// bit-identical to running the same (machine, arch, tech) through the
+// serial drivers, at EVERY job count -- builds are deterministic
+// functions, cached artifacts are built exactly once, and campaign chunks
+// write disjoint result slots. Rows retire in submission order (ordered
+// retirement), so the streamed output is byte-stable too.
+
+#include <functional>
+
+#include "jobs/cache.hpp"
+#include "jobs/scheduler.hpp"
+#include "synth/flow.hpp"
+
+namespace stc {
+
+/// One orchestrated unit of work.
+struct CampaignJobSpec {
+  std::string machine;
+  ArchKind arch = ArchKind::kFig1;
+  Technology tech = Technology::kTwoLevel;
+  CampaignEngine engine = CampaignEngine::kEvent;
+  unsigned lane_words = 1;
+  std::size_t bist_cycles = 256;       // per session (figs 2-4 plans)
+  std::size_t functional_cycles = 512; // fig1 baseline
+  MinimizerKind minimizer = MinimizerKind::kAuto;
+  bool with_fault_sim = true;
+};
+
+struct CampaignJobResult {
+  CampaignJobSpec spec;
+  StructureReport report;
+  /// Full per-fault verdicts (undetected list) -- what the determinism
+  /// tests compare across job counts and against the serial driver.
+  CoverageResult coverage;
+  /// Set when the job never ran (cancelled while queued); the row is
+  /// labeled, not silently dropped.
+  bool skipped = false;
+  /// Non-empty when the job failed with an error (typed message).
+  std::string error;
+  double seconds = 0.0;  // job wall time (build amortized into first job)
+  // Which cache levels served this job hot:
+  bool machine_cached = false, structure_cached = false, warm_cached = false;
+};
+
+/// Whole-sweep configuration (the drivers' --all mode).
+struct SweepOptions {
+  /// Machines to sweep; empty = the full benchmark catalog.
+  std::vector<std::string> machines;
+  std::vector<ArchKind> archs = {ArchKind::kFig1, ArchKind::kFig2,
+                                 ArchKind::kFig3, ArchKind::kFig4};
+  std::vector<Technology> techs = {Technology::kTwoLevel};
+  CampaignEngine engine = CampaignEngine::kEvent;
+  unsigned lane_words = 1;
+  std::size_t bist_cycles = 256;
+  std::size_t functional_cycles = 512;
+  MinimizerKind minimizer = MinimizerKind::kAuto;
+  bool with_fault_sim = true;
+  /// Worker threads of the shared pool (the --jobs flag). Results are
+  /// identical for any value; only wall time differs.
+  std::size_t jobs = 1;
+  /// Enqueue the whole job list this many times: pass 2+ exercises the
+  /// warm path end to end (every repeat after the first must be all cache
+  /// hits -- no recompiles).
+  std::size_t repeat = 1;
+  /// Per-job wall-clock budget in ms (< 0 = none). The deadline starts
+  /// when the job starts, so queueing delay is never charged to a job.
+  double job_budget_ms = -1.0;
+  std::uint64_t ostr_max_nodes = 2000000;
+  /// Cooperative cancellation (Ctrl-C): queued jobs drain as 'skipped'
+  /// labeled rows, running jobs truncate via their budget, and the report
+  /// aggregates whatever completed.
+  std::shared_ptr<const CancelToken> cancel;
+};
+
+/// Aggregated sweep outcome. Totals cover completed fault-sim rows only;
+/// skipped/failed rows are counted but never silently folded in.
+struct CorpusReport {
+  std::vector<CampaignJobResult> rows;  // submission order
+  std::size_t jobs_total = 0;
+  std::size_t jobs_completed = 0;
+  std::size_t jobs_skipped = 0;
+  std::size_t jobs_failed = 0;
+  std::size_t jobs_degraded = 0;  // completed but budget-truncated somewhere
+  bool cancelled = false;
+  double wall_seconds = 0.0;
+  TaskPool::Stats pool;
+  JobCacheStats cache;
+  // Corpus-level totals over completed rows:
+  std::size_t total_faults = 0;
+  std::size_t faults_simulated = 0;
+  std::size_t faults_detected = 0;
+  double area_ge = 0.0;
+  std::size_t literals_two_level = 0;
+  std::size_t literals_multi_level = 0;  // rows carrying an ML cost point
+  double campaign_seconds = 0.0;  // summed per-row measurement time
+
+  double coverage() const {
+    return total_faults == 0
+               ? 1.0
+               : static_cast<double>(faults_detected) / total_faults;
+  }
+  /// Busy worker-seconds over available worker-seconds.
+  double pool_utilization() const {
+    return wall_seconds <= 0.0 || pool.workers == 0
+               ? 0.0
+               : pool.busy_seconds / (wall_seconds * pool.workers);
+  }
+};
+
+/// Expand `opt` into the ordered job list (machine-major, then tech, then
+/// arch, repeated `repeat` times) -- exposed so tests and benches can
+/// reason about row order.
+std::vector<CampaignJobSpec> expand_sweep(const SweepOptions& opt);
+
+/// Run the sweep on a fresh work-stealing pool of opt.jobs workers,
+/// reusing (and filling) `cache`. `on_row` -- when given -- is invoked in
+/// submission order as jobs retire, from whichever thread retires them
+/// (calls are serialized).
+CorpusReport run_corpus_sweep(const SweepOptions& opt, JobCache& cache,
+                              const std::function<void(const CampaignJobResult&)>&
+                                  on_row = nullptr);
+
+/// Run ONE job outside any pool/sweep (the daemon-mode building block and
+/// the test seam): same artifact path as a sweep job, inner batches run on
+/// `executor` when given.
+CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
+                                   const Budget& budget = {},
+                                   CampaignChunkExecutor* executor = nullptr,
+                                   std::uint64_t ostr_max_nodes = 2000000);
+
+// --- text rendering (the drivers' streamed table) ---------------------------
+
+std::string corpus_row_header();
+std::string render_corpus_row(const CampaignJobResult& row);
+/// Multi-line summary: job/cache/pool counters plus corpus totals.
+std::string render_corpus_summary(const CorpusReport& rep);
+
+}  // namespace stc

@@ -1,0 +1,211 @@
+#include "jobs/scheduler.hpp"
+
+#include <chrono>
+
+namespace stc {
+
+namespace {
+// Which pool (if any) the current thread works for. A thread serves at
+// most one pool; the orchestrator creates one pool per sweep.
+thread_local const TaskPool* tl_pool = nullptr;
+thread_local std::size_t tl_index = 0;
+// Nesting depth of execute(): a job that helps while waiting for its
+// chunks re-enters execute(), and only the outermost frame may charge
+// busy time (otherwise helped work double-counts and utilization reads
+// above 1).
+thread_local std::size_t tl_depth = 0;
+
+std::uint64_t xorshift64(std::uint64_t& s) {
+  s ^= s << 13;
+  s ^= s >> 7;
+  s ^= s << 17;
+  return s;
+}
+}  // namespace
+
+TaskPool::TaskPool(std::size_t workers) {
+  const std::size_t n = workers == 0 ? 1 : workers;
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    workers_.push_back(std::make_unique<Worker>());
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_[i]->rng = 0x9E3779B97F4A7C15ull * (i + 1) | 1;
+    workers_[i]->th = std::thread([this, i] { worker_loop(i); });
+  }
+}
+
+TaskPool::~TaskPool() {
+  stop_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(sleep_mu_);
+    sleep_cv_.notify_all();
+  }
+  for (auto& w : workers_) w->th.join();
+}
+
+bool TaskPool::on_worker_thread() const { return tl_pool == this; }
+
+TaskPool::Stats TaskPool::stats() const {
+  Stats s;
+  s.workers = workers_.size();
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->tasks;
+    s.steals += w->steals;
+    s.busy_seconds += w->busy_seconds;
+  }
+  return s;
+}
+
+bool TaskPool::pop_own(std::size_t self, Task& out) {
+  Worker& w = *workers_[self];
+  std::lock_guard<std::mutex> lock(w.mu);
+  if (w.dq.empty()) return false;
+  out = std::move(w.dq.back());
+  w.dq.pop_back();
+  ready_tasks_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TaskPool::pop_injected(Task& out) {
+  std::lock_guard<std::mutex> lock(inject_mu_);
+  if (injected_.empty()) return false;
+  out = std::move(injected_.front());
+  injected_.pop_front();
+  ready_tasks_.fetch_sub(1, std::memory_order_relaxed);
+  return true;
+}
+
+bool TaskPool::steal(std::size_t self, Task& out) {
+  Worker& me = *workers_[self];
+  const std::size_t n = workers_.size();
+  if (n <= 1) return false;
+  // Random starting victim, then scan everyone once.
+  const std::size_t start = xorshift64(me.rng) % n;
+  for (std::size_t k = 0; k < n; ++k) {
+    const std::size_t v = (start + k) % n;
+    if (v == self) continue;
+    Worker& victim = *workers_[v];
+    std::lock_guard<std::mutex> lock(victim.mu);
+    if (victim.dq.empty()) continue;
+    out = std::move(victim.dq.front());
+    victim.dq.pop_front();
+    ready_tasks_.fetch_sub(1, std::memory_order_relaxed);
+    me.steals += 1;
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::execute(Task task, std::size_t self) {
+  Worker& w = *workers_[self];
+  const bool outermost = tl_depth == 0;
+  ++tl_depth;
+  const auto t0 = std::chrono::steady_clock::now();
+  task.fn();
+  --tl_depth;
+  if (outermost)
+    w.busy_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+  w.tasks += 1;
+  finish(task.group);
+}
+
+void TaskPool::finish(Group* g) {
+  if (g == nullptr) return;
+  if (g->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last task: wake the waiter. The lock pairs with the predicate check
+    // in wait() so the notification cannot be lost.
+    std::lock_guard<std::mutex> lock(g->mu_);
+    g->cv_.notify_all();
+  }
+}
+
+bool TaskPool::run_one(std::size_t self) {
+  Task t;
+  // Own subtasks first (LIFO: the job's freshest chunks, hot in cache),
+  // then new top-level jobs, then steal from a random victim.
+  if (pop_own(self, t) || pop_injected(t) || steal(self, t)) {
+    execute(std::move(t), self);
+    return true;
+  }
+  return false;
+}
+
+void TaskPool::worker_loop(std::size_t self) {
+  tl_pool = this;
+  tl_index = self;
+  while (true) {
+    if (run_one(self)) continue;
+    std::unique_lock<std::mutex> lock(sleep_mu_);
+    // Timed wait: a wakeup lost to the pre-lock window only costs one
+    // timeout period, never liveness.
+    sleep_cv_.wait_for(lock, std::chrono::milliseconds(10), [this] {
+      return stop_.load(std::memory_order_acquire) ||
+             ready_tasks_.load(std::memory_order_relaxed) > 0;
+    });
+    if (stop_.load(std::memory_order_acquire) &&
+        ready_tasks_.load(std::memory_order_relaxed) == 0)
+      break;
+  }
+  tl_pool = nullptr;
+}
+
+void TaskPool::Group::run(std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_relaxed);
+  Task t{std::move(fn), this};
+  if (pool_.on_worker_thread()) {
+    Worker& w = *pool_.workers_[tl_index];
+    std::lock_guard<std::mutex> lock(w.mu);
+    w.dq.push_back(std::move(t));
+  } else {
+    std::lock_guard<std::mutex> lock(pool_.inject_mu_);
+    pool_.injected_.push_back(std::move(t));
+  }
+  pool_.ready_tasks_.fetch_add(1, std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(pool_.sleep_mu_);
+    pool_.sleep_cv_.notify_one();
+  }
+}
+
+void TaskPool::Group::wait() {
+  if (pending_.load(std::memory_order_acquire) == 0) return;
+  if (pool_.on_worker_thread()) {
+    // Help: drain our own deque (this group's chunks, unless stolen) and
+    // steal; park briefly only when every remaining task of the group is
+    // in flight on another worker. Never blocks while runnable work
+    // exists, so nested fork/join cannot deadlock.
+    const std::size_t self = tl_index;
+    while (pending_.load(std::memory_order_acquire) > 0) {
+      if (pool_.run_one(self)) continue;
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait_for(lock, std::chrono::milliseconds(2), [this] {
+        return pending_.load(std::memory_order_acquire) == 0;
+      });
+    }
+  } else {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] {
+      return pending_.load(std::memory_order_acquire) == 0;
+    });
+  }
+}
+
+void PoolChunkExecutor::run_chunks(std::size_t n,
+                                   const std::function<void(std::size_t)>& fn) {
+  if (n == 0) return;
+  if (n == 1) {
+    fn(0);
+    return;
+  }
+  TaskPool::Group group(pool_);
+  // Chunks 1..n-1 go to the pool (own deque when called from a job on a
+  // worker; stealable); chunk 0 runs inline so the calling job always
+  // contributes a core.
+  for (std::size_t c = 1; c < n; ++c) group.run([&fn, c] { fn(c); });
+  fn(0);
+  group.wait();
+}
+
+}  // namespace stc

@@ -1,0 +1,130 @@
+#pragma once
+// Work-stealing task pool for corpus-scale campaign orchestration.
+//
+// One process-wide pool replaces today's nested per-campaign thread pools:
+// whole synthesis/campaign jobs AND their inner fault-batch chunks share
+// the same workers. Design (see DESIGN.md "Job scheduling"):
+//
+//   * every worker owns a deque: it pushes/pops its own subtasks at the
+//     back (LIFO -- hot caches, bounded memory), idle workers steal from a
+//     random victim's front (FIFO -- oldest, largest work first);
+//   * top-level jobs enter through a shared injection queue (only
+//     non-worker threads submit those), workers drain it before stealing;
+//   * fork/join via TaskGroup: a job that sharded its campaign into chunk
+//     subtasks wait()s by HELPING -- it executes its own deque (its chunks,
+//     unless already stolen) and steals, so a waiting worker never idles
+//     a core and nested parallelism cannot deadlock (chunks never block).
+//
+// The pool is oblivious to what tasks compute; determinism of campaign
+// results is owned by the campaign layer (disjoint result slots per
+// chunk) and by the orchestrator (ordered retirement), not by the
+// scheduler.
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bist/session.hpp"
+
+namespace stc {
+
+class TaskPool {
+ public:
+  struct Stats {
+    std::size_t workers = 0;
+    std::uint64_t tasks_executed = 0;  // jobs + chunks, across all workers
+    std::uint64_t steals = 0;          // tasks taken from another worker
+    double busy_seconds = 0.0;         // summed task-execution wall time
+  };
+
+  /// Spawn `workers` >= 1 worker threads, idle until work is submitted.
+  explicit TaskPool(std::size_t workers);
+  ~TaskPool();  // drains nothing: join after your groups have completed
+  TaskPool(const TaskPool&) = delete;
+  TaskPool& operator=(const TaskPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+  Stats stats() const;
+
+  /// True when the calling thread is one of this pool's workers.
+  bool on_worker_thread() const;
+
+  /// Fork/join scope. run() submits a task into the group; wait() blocks
+  /// until every submitted task has finished, helping with this pool's
+  /// work when called from a worker thread. Groups may nest (a job task
+  /// opens a group for its campaign chunks). Tasks must not throw: an
+  /// escaping exception terminates the process (std::thread semantics) --
+  /// the orchestrator catches per-job errors inside its closures.
+  class Group {
+   public:
+    explicit Group(TaskPool& pool) : pool_(pool) {}
+    ~Group() { wait(); }
+    Group(const Group&) = delete;
+    Group& operator=(const Group&) = delete;
+
+    void run(std::function<void()> fn);
+    void wait();
+
+   private:
+    friend class TaskPool;
+    TaskPool& pool_;
+    std::atomic<std::size_t> pending_{0};
+    std::mutex mu_;
+    std::condition_variable cv_;
+  };
+
+ private:
+  struct Task {
+    std::function<void()> fn;
+    Group* group = nullptr;
+  };
+
+  struct Worker {
+    std::mutex mu;
+    std::deque<Task> dq;  // back = owner side, front = steal side
+    std::thread th;
+    std::uint64_t tasks = 0;
+    std::uint64_t steals = 0;
+    double busy_seconds = 0.0;
+    std::uint64_t rng = 0;  // steal-victim xorshift state
+  };
+
+  void worker_loop(std::size_t self);
+  bool pop_own(std::size_t self, Task& out);
+  bool pop_injected(Task& out);
+  bool steal(std::size_t self, Task& out);
+  /// Find and execute one task as worker `self`; false when none found.
+  bool run_one(std::size_t self);
+  void execute(Task task, std::size_t self);
+  static void finish(Group* g);
+
+  std::vector<std::unique_ptr<Worker>> workers_;
+  std::mutex inject_mu_;
+  std::deque<Task> injected_;
+  std::mutex sleep_mu_;
+  std::condition_variable sleep_cv_;
+  std::atomic<std::size_t> ready_tasks_{0};  // queued, not yet picked up
+  std::atomic<bool> stop_{false};
+};
+
+/// CampaignChunkExecutor bound to a pool: run_fault_campaign hands its
+/// fault-batch chunks here and they run as subtasks of the calling job on
+/// the SAME workers (stealable by idle ones) -- the flattening that
+/// replaces nested campaign pools.
+class PoolChunkExecutor : public CampaignChunkExecutor {
+ public:
+  explicit PoolChunkExecutor(TaskPool& pool) : pool_(pool) {}
+  std::size_t max_parallelism() const override { return pool_.size(); }
+  void run_chunks(std::size_t n,
+                  const std::function<void(std::size_t)>& fn) override;
+
+ private:
+  TaskPool& pool_;
+};
+
+}  // namespace stc

@@ -5,7 +5,8 @@
 namespace stc {
 
 StructureReport measure_structure(const ControllerStructure& cs,
-                                  const FlowOptions& options) {
+                                  const FlowOptions& options,
+                                  CoverageResult* coverage_out) {
   StructureReport rep;
   rep.kind = cs.kind;
   rep.technology = technology_name(cs.tech);
@@ -53,7 +54,7 @@ StructureReport measure_structure(const ControllerStructure& cs,
     // the number is only reported for a complete sweep.
     if (!cs.feedback_nets.empty() && cov.simulated == cov.total) {
       std::size_t fb_total = 0, fb_missed = 0;
-      for (const Fault& f : enumerate_stuck_faults(cs.nl)) {
+      for (const Fault& f : faults) {
         bool on_fb = false;
         for (NetId n : cs.feedback_nets) on_fb = on_fb || (n == f.net);
         if (!on_fb) continue;
@@ -65,6 +66,7 @@ StructureReport measure_structure(const ControllerStructure& cs,
         rep.feedback_coverage =
             1.0 - static_cast<double>(fb_missed) / static_cast<double>(fb_total);
     }
+    if (coverage_out != nullptr) *coverage_out = std::move(cov);
   }
   return rep;
 }

@@ -84,8 +84,11 @@ struct FlowResult {
 FlowResult run_flow(const MealyMachine& fsm, const FlowOptions& options = {});
 
 /// Build + measure one structure in isolation (used by the area/coverage
-/// benches to avoid re-running OSTR).
+/// benches to avoid re-running OSTR). When `coverage_out` is non-null and
+/// fault simulation ran, it receives the full per-fault CoverageResult
+/// (the orchestrator's determinism tests compare these across job counts).
 StructureReport measure_structure(const ControllerStructure& cs,
-                                  const FlowOptions& options);
+                                  const FlowOptions& options,
+                                  CoverageResult* coverage_out = nullptr);
 
 }  // namespace stc

@@ -1,0 +1,46 @@
+#pragma once
+// Small stable hashing helpers (FNV-1a, 64-bit) for content-keyed caches.
+//
+// The JobCache (jobs/cache.hpp) keys artifacts on *content* fingerprints,
+// not names, so two differently-named but identical machines share cache
+// entries and an external KISS file that happens to reuse a corpus name
+// can never collide with the bundled machine. FNV-1a is not
+// cryptographic; it is stable across platforms and runs, which is what a
+// deterministic in-process cache key needs.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace stc {
+
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/// Fold one byte into an FNV-1a state.
+inline std::uint64_t fnv1a_byte(std::uint64_t h, unsigned char b) {
+  return (h ^ b) * kFnvPrime;
+}
+
+/// Fold a 64-bit word (little-endian byte order, platform independent).
+inline std::uint64_t fnv1a_u64(std::uint64_t h, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    h = fnv1a_byte(h, static_cast<unsigned char>(v & 0xff));
+    v >>= 8;
+  }
+  return h;
+}
+
+/// Fold a string (length-prefixed so "ab","c" != "a","bc").
+inline std::uint64_t fnv1a_str(std::uint64_t h, const std::string& s) {
+  h = fnv1a_u64(h, s.size());
+  for (char c : s) h = fnv1a_byte(h, static_cast<unsigned char>(c));
+  return h;
+}
+
+/// Combine two hashes (for composite keys held in unordered_map).
+inline std::uint64_t hash_combine(std::uint64_t a, std::uint64_t b) {
+  return fnv1a_u64(a, b);
+}
+
+}  // namespace stc
