@@ -1,6 +1,7 @@
 #include "bist/session.hpp"
 
 #include <algorithm>
+#include <exception>
 #include <memory>
 #include <mutex>
 #include <stdexcept>
@@ -349,13 +350,17 @@ struct CampaignScratch {
   /// `proto` is a compiled program shared by all workers: copying its
   /// vectors is far cheaper than re-running the compile (CSR build +
   /// AND-node folding fixpoint) once per thread, and each worker still
-  /// gets its own mutable mask state.
+  /// gets its own mutable mask state. Takes only `output_misr_width`, not
+  /// the whole SelfTestPlan: scratch is cached/pooled per (structure,
+  /// lane_words, MISR width) tuple -- see JobCache's warm key -- and this
+  /// signature is what proves plans differing in anything else can share
+  /// it safely.
   CampaignScratch(const ControllerStructure& cs, const CompiledNetlist& proto,
-                  const SelfTestPlan& plan, const PinMap& pins)
+                  std::size_t output_misr_width, const PinMap& pins)
       : cn(proto),
         bank_a(cs.nl, cs.reg_a, proto.lane_words()),
         bank_b(cs.nl, cs.reg_b, proto.lane_words()),
-        out_misr(plan.output_misr_width, proto.lane_words()),
+        out_misr(output_misr_width, proto.lane_words()),
         input_gen(std::max<std::size_t>(8, cs.pi.size())),
         in_lanes(cs.nl.num_inputs() * proto.lane_words(), 0),
         dff_lanes(cs.nl.num_dffs() * proto.lane_words(), 0),
@@ -454,10 +459,14 @@ void run_self_test_lanes(const ControllerStructure& cs, const SelfTestPlan& plan
 /// CampaignScratch; callers only ever see the opaque handle.
 class CampaignWarmState {
  public:
-  CampaignWarmState(const ControllerStructure& cs, const SelfTestPlan& plan,
+  // Deliberately takes output_misr_width rather than a SelfTestPlan: the
+  // cache keys warm state on (structure, lane_words, MISR width) only, and
+  // this constructor consuming nothing else from a plan is what makes that
+  // key sufficient by construction.
+  CampaignWarmState(const ControllerStructure& cs, std::size_t output_misr_width,
                     unsigned lane_words)
       : cs_(&cs),
-        misr_width_(plan.output_misr_width),
+        misr_width_(output_misr_width),
         pins_(map_pins(cs)),
         proto_(cs.nl, lane_words) {}
 
@@ -468,8 +477,7 @@ class CampaignWarmState {
   const CompiledNetlist& proto() const { return proto_; }
 
   /// Lease a scratch: reuse a parked one (warm start) or build a fresh one.
-  std::unique_ptr<CampaignScratch> acquire(const ControllerStructure& cs,
-                                           const SelfTestPlan& plan) {
+  std::unique_ptr<CampaignScratch> acquire(const ControllerStructure& cs) {
     {
       std::lock_guard<std::mutex> lock(mu_);
       if (!free_.empty()) {
@@ -480,7 +488,7 @@ class CampaignWarmState {
       }
     }
     builds_.fetch_add(1, std::memory_order_relaxed);
-    return std::make_unique<CampaignScratch>(cs, proto_, plan, pins_);
+    return std::make_unique<CampaignScratch>(cs, proto_, misr_width_, pins_);
   }
 
   void release(std::unique_ptr<CampaignScratch> sc) {
@@ -503,13 +511,13 @@ class CampaignWarmState {
 };
 
 std::shared_ptr<CampaignWarmState> make_campaign_warm_state(
-    const ControllerStructure& cs, const SelfTestPlan& plan,
+    const ControllerStructure& cs, std::size_t output_misr_width,
     unsigned lane_words) {
   if (!lane_words_supported(lane_words))
     throw Error(ErrorCode::kInvalidInput,
                 "make_campaign_warm_state: unsupported lane_words",
                 "lane_words=" + std::to_string(lane_words));
-  return std::make_shared<CampaignWarmState>(cs, plan, lane_words);
+  return std::make_shared<CampaignWarmState>(cs, output_misr_width, lane_words);
 }
 
 std::size_t campaign_warm_reuses(const CampaignWarmState& warm) {
@@ -679,12 +687,22 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
       Budget bud = options.budget;  // per-chunk copy, absolute deadline
       // Lease warm scratch when available (zero rebuild on reuse);
       // otherwise build chunk-local scratch the way each worker used to.
+      // The lease returns to the free-list via RAII so an engine throw
+      // mid-batch (rethrown by the executor's exception barrier) does not
+      // leak the scratch out of the warm state.
       std::unique_ptr<CampaignScratch> leased;
       std::optional<CampaignScratch> local;
+      struct LeaseReturn {
+        CampaignWarmState* warm;
+        std::unique_ptr<CampaignScratch>& sc;
+        ~LeaseReturn() {
+          if (warm != nullptr && sc) warm->release(std::move(sc));
+        }
+      } lease_return{warm, leased};
       if (warm) {
-        leased = warm->acquire(cs, plan);
+        leased = warm->acquire(cs);
       } else {
-        local.emplace(cs, proto, plan, pins);
+        local.emplace(cs, proto, plan.output_misr_width, pins);
       }
       CampaignScratch& sc = warm ? *leased : *local;
       const std::uint64_t cycles0 = sc.cycles;
@@ -710,7 +728,6 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
       chunk_ops[c] = options.engine == CampaignEngine::kEvent
                          ? sc.ev.ops_evaluated - ops0
                          : chunk_cycles[c] * sc.cn.num_ops();
-      if (warm) warm->release(std::move(leased));
     };
 
     if (options.executor && num_chunks > 1) {
@@ -718,10 +735,24 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
     } else if (num_chunks == 1) {
       chunk_fn(0);
     } else {
+      // Same exception barrier as PoolChunkExecutor: a throw escaping a
+      // std::thread terminates the process, so park the first exception
+      // and rethrow it here after every worker joined.
+      std::mutex err_mu;
+      std::exception_ptr first_error;
       std::vector<std::thread> pool;
       pool.reserve(num_chunks);
-      for (std::size_t c = 0; c < num_chunks; ++c) pool.emplace_back(chunk_fn, c);
+      for (std::size_t c = 0; c < num_chunks; ++c)
+        pool.emplace_back([&, c] {
+          try {
+            chunk_fn(c);
+          } catch (...) {
+            std::lock_guard<std::mutex> lock(err_mu);
+            if (!first_error) first_error = std::current_exception();
+          }
+        });
       for (std::thread& t : pool) t.join();
+      if (first_error) std::rethrow_exception(first_error);
     }
     res.ops_per_cycle = nl.topo_order().size();
     for (std::size_t c = 0; c < num_chunks; ++c) {

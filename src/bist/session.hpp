@@ -171,8 +171,12 @@ class CampaignChunkExecutor {
 /// Error. Thread-safe: concurrent campaigns may share one warm state.
 class CampaignWarmState;
 
+/// Takes `output_misr_width` (not a SelfTestPlan) on purpose: the three
+/// parameters here ARE the warm state's full identity, so any two plans
+/// agreeing on output_misr_width may share one warm state -- the property
+/// JobCache's warm key relies on.
 std::shared_ptr<CampaignWarmState> make_campaign_warm_state(
-    const ControllerStructure& cs, const SelfTestPlan& plan,
+    const ControllerStructure& cs, std::size_t output_misr_width,
     unsigned lane_words);
 
 /// How many times a leased scratch was *reused* (warm starts) -- the

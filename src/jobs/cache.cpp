@@ -132,9 +132,9 @@ std::shared_ptr<JobCache::StructureEntry> JobCache::structure(
 }
 
 std::shared_ptr<CampaignWarmState> JobCache::warm(
-    const std::shared_ptr<StructureEntry>& s, const SelfTestPlan& plan,
+    const std::shared_ptr<StructureEntry>& s, std::size_t output_misr_width,
     unsigned lane_words, bool* hit) {
-  const WarmKey key{s.get(), lane_words, plan.output_misr_width};
+  const WarmKey key{s.get(), lane_words, output_misr_width};
   std::shared_ptr<Slot<CampaignWarmState>> slot;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -151,7 +151,7 @@ std::shared_ptr<CampaignWarmState> JobCache::warm(
   }
   std::lock_guard<std::mutex> build(slot->build_mu);
   if (!slot->built) {
-    slot->value = make_campaign_warm_state(s->cs, plan, lane_words);
+    slot->value = make_campaign_warm_state(s->cs, output_misr_width, lane_words);
     slot->built = true;
     std::lock_guard<std::mutex> lock(mu_);
     all_warms_.push_back(slot->value);

@@ -113,8 +113,13 @@ class JobCache {
                                             bool* hit = nullptr);
 
   /// Compiled lane program + scratch free-list for a cached structure.
+  /// Keyed (and parameterized) on exactly (structure, lane_words, MISR
+  /// width): callers pass plan.output_misr_width, and because the warm
+  /// state cannot consume anything else from a plan (its constructor does
+  /// not see one), plans differing in sessions/cycles/seeds share entries
+  /// safely.
   std::shared_ptr<CampaignWarmState> warm(const std::shared_ptr<StructureEntry>& s,
-                                          const SelfTestPlan& plan,
+                                          std::size_t output_misr_width,
                                           unsigned lane_words,
                                           bool* hit = nullptr);
 

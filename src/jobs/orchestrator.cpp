@@ -104,7 +104,8 @@ CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
     std::shared_ptr<CampaignWarmState> warm;
     if (spec.with_fault_sim && spec.arch != ArchKind::kFig1 &&
         spec.engine != CampaignEngine::kSerial) {
-      warm = cache.warm(s, plan_for(spec), spec.lane_words, &r.warm_cached);
+      warm = cache.warm(s, plan_for(spec).output_misr_width, spec.lane_words,
+                        &r.warm_cached);
       fopt.campaign.warm = warm.get();
     }
 

@@ -1,6 +1,7 @@
 #include "jobs/scheduler.hpp"
 
 #include <chrono>
+#include <exception>
 
 namespace stc {
 
@@ -49,9 +50,10 @@ TaskPool::Stats TaskPool::stats() const {
   Stats s;
   s.workers = workers_.size();
   for (const auto& w : workers_) {
-    s.tasks_executed += w->tasks;
-    s.steals += w->steals;
-    s.busy_seconds += w->busy_seconds;
+    s.tasks_executed += w->tasks.load(std::memory_order_relaxed);
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.busy_seconds +=
+        1e-9 * static_cast<double>(w->busy_ns.load(std::memory_order_relaxed));
   }
   return s;
 }
@@ -90,7 +92,7 @@ bool TaskPool::steal(std::size_t self, Task& out) {
     out = std::move(victim.dq.front());
     victim.dq.pop_front();
     ready_tasks_.fetch_sub(1, std::memory_order_relaxed);
-    me.steals += 1;
+    me.steals.fetch_add(1, std::memory_order_relaxed);
     return true;
   }
   return false;
@@ -104,21 +106,26 @@ void TaskPool::execute(Task task, std::size_t self) {
   task.fn();
   --tl_depth;
   if (outermost)
-    w.busy_seconds +=
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
-  w.tasks += 1;
+    w.busy_ns.fetch_add(
+        static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count()),
+        std::memory_order_relaxed);
+  w.tasks.fetch_add(1, std::memory_order_relaxed);
   finish(task.group);
 }
 
 void TaskPool::finish(Group* g) {
   if (g == nullptr) return;
-  if (g->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    // Last task: wake the waiter. The lock pairs with the predicate check
-    // in wait() so the notification cannot be lost.
-    std::lock_guard<std::mutex> lock(g->mu_);
+  // The decrement happens inside the critical section: wait() makes its
+  // final pending_ == 0 check while holding mu_, so by the time it can
+  // observe zero under the lock, every finisher has already released mu_
+  // and will never touch the Group again -- the waiter may destroy the
+  // (stack-allocated) Group the moment wait() returns.
+  std::lock_guard<std::mutex> lock(g->mu_);
+  if (g->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1)
     g->cv_.notify_all();
-  }
 }
 
 bool TaskPool::run_one(std::size_t self) {
@@ -170,12 +177,13 @@ void TaskPool::Group::run(std::function<void()> fn) {
 }
 
 void TaskPool::Group::wait() {
-  if (pending_.load(std::memory_order_acquire) == 0) return;
   if (pool_.on_worker_thread()) {
     // Help: drain our own deque (this group's chunks, unless stolen) and
     // steal; park briefly only when every remaining task of the group is
     // in flight on another worker. Never blocks while runnable work
-    // exists, so nested fork/join cannot deadlock.
+    // exists, so nested fork/join cannot deadlock. The unlocked pending_
+    // polls here are only a hint to keep helping -- the authoritative exit
+    // check happens under mu_ below.
     const std::size_t self = tl_index;
     while (pending_.load(std::memory_order_acquire) > 0) {
       if (pool_.run_one(self)) continue;
@@ -184,12 +192,14 @@ void TaskPool::Group::wait() {
         return pending_.load(std::memory_order_acquire) == 0;
       });
     }
-  } else {
-    std::unique_lock<std::mutex> lock(mu_);
-    cv_.wait(lock, [this] {
-      return pending_.load(std::memory_order_acquire) == 0;
-    });
   }
+  // Exit decision under mu_, pairing with the locked decrement in
+  // finish(): observing pending_ == 0 while holding the lock proves the
+  // last finisher has left its critical section, so the caller may
+  // destroy this Group (and its mutex/cv) immediately after we return.
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock,
+           [this] { return pending_.load(std::memory_order_acquire) == 0; });
 }
 
 void PoolChunkExecutor::run_chunks(std::size_t n,
@@ -199,13 +209,32 @@ void PoolChunkExecutor::run_chunks(std::size_t n,
     fn(0);
     return;
   }
-  TaskPool::Group group(pool_);
-  // Chunks 1..n-1 go to the pool (own deque when called from a job on a
-  // worker; stealable); chunk 0 runs inline so the calling job always
-  // contributes a core.
-  for (std::size_t c = 1; c < n; ++c) group.run([&fn, c] { fn(c); });
-  fn(0);
-  group.wait();
+  // Exception barrier: pool tasks must not throw (an escaping exception
+  // unwinds worker_loop and terminates the process), so every chunk runs
+  // under a catch-all that parks the first exception; it is rethrown on
+  // the calling thread after the join, where the per-job handler can see
+  // it. Later chunks still run -- they write disjoint slots, and a
+  // campaign-level throw discards the whole result anyway.
+  std::mutex err_mu;
+  std::exception_ptr first_error;
+  const auto guarded = [&](std::size_t c) {
+    try {
+      fn(c);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(err_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+  };
+  {
+    TaskPool::Group group(pool_);
+    // Chunks 1..n-1 go to the pool (own deque when called from a job on a
+    // worker; stealable); chunk 0 runs inline so the calling job always
+    // contributes a core.
+    for (std::size_t c = 1; c < n; ++c) group.run([&guarded, c] { guarded(c); });
+    guarded(0);
+    group.wait();
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace stc

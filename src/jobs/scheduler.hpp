@@ -20,6 +20,7 @@
 // chunk) and by the orchestrator (ordered retirement), not by the
 // scheduler.
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -49,6 +50,9 @@ class TaskPool {
   TaskPool& operator=(const TaskPool&) = delete;
 
   std::size_t size() const { return workers_.size(); }
+  /// Safe to call at any time, including while tasks execute (counters are
+  /// atomic); a live read sees a consistent-enough snapshot for progress
+  /// display, an after-wait() read sees exact totals.
   Stats stats() const;
 
   /// True when the calling thread is one of this pool's workers.
@@ -57,9 +61,13 @@ class TaskPool {
   /// Fork/join scope. run() submits a task into the group; wait() blocks
   /// until every submitted task has finished, helping with this pool's
   /// work when called from a worker thread. Groups may nest (a job task
-  /// opens a group for its campaign chunks). Tasks must not throw: an
-  /// escaping exception terminates the process (std::thread semantics) --
-  /// the orchestrator catches per-job errors inside its closures.
+  /// opens a group for its campaign chunks). When wait() returns, no
+  /// finishing worker still touches the Group, so a stack-allocated Group
+  /// may be destroyed immediately. Tasks must not throw: an escaping
+  /// exception terminates the process (std::thread semantics) -- the
+  /// orchestrator catches per-job errors inside its closures, and
+  /// PoolChunkExecutor wraps every chunk in an exception barrier that
+  /// rethrows on the calling thread after the join.
   class Group {
    public:
     explicit Group(TaskPool& pool) : pool_(pool) {}
@@ -88,9 +96,12 @@ class TaskPool {
     std::mutex mu;
     std::deque<Task> dq;  // back = owner side, front = steal side
     std::thread th;
-    std::uint64_t tasks = 0;
-    std::uint64_t steals = 0;
-    double busy_seconds = 0.0;
+    // Counters are atomic (single writer: the owning worker) so stats()
+    // may be called for live progress while tasks execute, not just after
+    // a Group::wait() quiesced the pool.
+    std::atomic<std::uint64_t> tasks{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> busy_ns{0};
     std::uint64_t rng = 0;  // steal-victim xorshift state
   };
 

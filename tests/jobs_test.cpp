@@ -118,7 +118,7 @@ TEST(CampaignValidate, RejectsMismatchedWarmState) {
   const ControllerStructure fig3 = build_fig3(enc);
   const ControllerStructure fig2 = build_fig2(enc);
   const SelfTestPlan plan = SelfTestPlan::two_session(16);
-  auto warm = make_campaign_warm_state(fig3, plan, 1);
+  auto warm = make_campaign_warm_state(fig3, plan.output_misr_width, 1);
   CampaignOptions opt;
   opt.warm = warm.get();
   try {
