@@ -49,6 +49,7 @@
 #include "util/budget.hpp"
 #include "util/cli.hpp"
 #include "util/error.hpp"
+#include "util/faultpoint.hpp"
 #include "util/table.hpp"
 
 namespace {
@@ -154,6 +155,7 @@ void coverage_series(CampaignEngine engine, unsigned lane_words,
 int main(int argc, char** argv) {
   using namespace stc;
   const Cli cli(argc, argv);
+  faultpoints::arm_from_env();
 
   // Parse + validate every flag ONCE, up front (the per-machine loop used
   // to re-read --cycles on every iteration); a bad value is one typed
@@ -220,6 +222,9 @@ int main(int argc, char** argv) {
         });
     std::printf("\n%s\n", render_corpus_summary(rep).c_str());
     std::printf("\n");
+    // Hard failures (anything but a budget-exhausted anytime row) must
+    // fail the bench run -- CI gates on this exit code.
+    if (hard_failures(rep) > 0) return 1;
   }
 
   // The dk27 series stays a focused single-structure study; skip it for

@@ -1,0 +1,162 @@
+// stcd -- the durable BIST-synthesis daemon over a file-backed job spool.
+//
+// Run:  ./stc_daemon serve  <spool-dir> [--jobs N] [--budget-ms N]
+//                           [--drain] [--cache-max-entries N]
+//                           [--max-attempts N] [--watchdog-grace X]
+//                           [--watchdog-kill-grace X] [--quiet]
+//       ./stc_daemon submit <spool-dir> --machine NAME [--arch fig1..fig4]
+//                           [--tech two_level|multi_level]
+//                           [--engine event|flat|serial] [--lanes 64|256|512]
+//                           [--cycles N] [--minimizer auto|qm|espresso]
+//                           [--no-faultsim] [--budget-ms N] [--count N]
+//       ./stc_daemon status <spool-dir>
+//
+// serve claims jobs from <spool-dir>/pending, runs them on one persistent
+// pool + artifact cache, and retires them into done/ or failed/ with a
+// result record next to each job file. SIGINT/SIGTERM drains gracefully
+// (in-flight jobs are cancelled and requeued or retired; a second signal
+// kills). Startup always runs crash recovery first, so a daemon that was
+// SIGKILLed mid-sweep resumes with every job in a well-defined state and
+// nothing run twice. --drain exits once the spool is empty (the CI smoke
+// and batch mode); without it the daemon waits for more submissions.
+//
+// STC_FAULTPOINTS=name@N[xC][!crash|~MS],... arms fault-injection points
+// (util/faultpoint) in the child -- the crash-recovery tests drive serve
+// through injected torn writes, rename crashes, and wedged jobs.
+
+#include <cstdio>
+#include <cstring>
+
+#include "benchdata/iwls93.hpp"
+#include "jobs/daemon.hpp"
+#include "util/budget.hpp"
+#include "util/cli.hpp"
+#include "util/error.hpp"
+#include "util/faultpoint.hpp"
+#include "util/strings.hpp"
+
+namespace {
+
+int usage(const char* prog) {
+  std::fprintf(stderr,
+               "usage: %s serve|submit|status <spool-dir> [options]\n"
+               "       (see the header of examples/stc_daemon.cpp)\n",
+               prog);
+  return 2;
+}
+
+int cmd_serve(const stc::Cli& cli, const std::string& spool) {
+  using namespace stc;
+  DaemonOptions opt;
+  opt.spool_dir = spool;
+  opt.jobs = static_cast<std::size_t>(cli.get_int("jobs", 1));
+  opt.default_budget_ms = static_cast<double>(cli.get_int("budget-ms", -1));
+  opt.drain = cli.has("drain");
+  opt.cache_max_entries =
+      static_cast<std::size_t>(cli.get_int("cache-max-entries", 0));
+  opt.retry.max_attempts =
+      static_cast<std::size_t>(cli.get_int("max-attempts", 3));
+  opt.watchdog_grace = static_cast<double>(cli.get_int("watchdog-grace", 2));
+  opt.watchdog_kill_grace =
+      static_cast<double>(cli.get_int("watchdog-kill-grace", 4));
+  opt.max_recoveries =
+      static_cast<std::uint64_t>(cli.get_int("max-recoveries", 3));
+  opt.shutdown = install_sigint_cancel();
+  if (!cli.has("quiet")) {
+    opt.log = [](const std::string& line) {
+      std::printf("stcd: %s\n", line.c_str());
+      std::fflush(stdout);
+    };
+  }
+
+  const DaemonReport rep = run_daemon(opt);
+  std::printf(
+      "stcd: served %zu done, %zu failed, %zu stuck, %zu requeued "
+      "(%zu attempts, %zu watchdog cancels) in %.2fs\n",
+      rep.jobs_done, rep.jobs_failed, rep.jobs_stuck, rep.jobs_requeued,
+      rep.attempts_total, rep.watchdog_cancels, rep.wall_seconds);
+  std::printf("stcd: cache %zu hits / %zu misses (%.0f%% hit rate)\n",
+              rep.cache.hits(), rep.cache.misses(),
+              100.0 * rep.cache.hit_rate());
+  // A drained shutdown is a SUCCESS exit: the supervisor asked us to stop
+  // and we stopped cleanly. Hard failures in served jobs do not fail the
+  // daemon process either -- they are per-job results in failed/.
+  return 0;
+}
+
+int cmd_submit(const stc::Cli& cli, const std::string& spool) {
+  using namespace stc;
+  SpoolJob job;
+  job.spec.machine = cli.get("machine", "");
+  if (job.spec.machine.empty()) {
+    std::fprintf(stderr, "error: submit requires --machine\n");
+    return 2;
+  }
+  job.spec.arch = parse_arch(cli.get("arch", "fig1"));
+  job.spec.tech = parse_technology(cli.get("tech", "two_level"));
+  job.spec.engine = parse_campaign_engine(cli.get("engine", "event"));
+  job.spec.lane_words =
+      lane_words_from_lanes(static_cast<unsigned>(cli.get_int("lanes", 64)));
+  job.spec.bist_cycles = static_cast<std::size_t>(cli.get_int("cycles", 256));
+  job.spec.functional_cycles =
+      static_cast<std::size_t>(cli.get_int("functional-cycles", 512));
+  job.spec.minimizer = parse_minimizer(cli.get("minimizer", "auto"));
+  job.spec.with_fault_sim = !cli.has("no-faultsim");
+  job.budget_ms = static_cast<double>(cli.get_int("budget-ms", -1));
+
+  JobQueue queue(spool);
+  const long count = cli.get_int("count", 1);
+  for (long i = 0; i < count; ++i) {
+    SpoolJob j = job;
+    std::printf("%s\n", queue.submit(std::move(j)).c_str());
+  }
+  return 0;
+}
+
+int cmd_status(const std::string& spool) {
+  using namespace stc;
+  JobQueue queue(spool);
+  const JobQueue::Counts c = queue.scan();
+  std::printf("pending %zu  running %zu  done %zu  failed %zu\n", c.pending,
+              c.running, c.done, c.failed);
+  for (const std::string& id : queue.list_failed()) {
+    const auto r = queue.result(id);
+    if (r) {
+      std::printf("  %s %s: %s [%s]\n", r->status.c_str(), id.c_str(),
+                  r->error.c_str(), r->error_code.c_str());
+    }
+  }
+  for (const std::string& id : queue.list_done()) {
+    const auto r = queue.result(id);
+    if (!r) continue;
+    std::printf("  done %s: %.3fs", id.c_str(), r->seconds);
+    if (r->coverage >= 0.0)
+      std::printf("  coverage %.4f (%llu faults)", r->coverage,
+                  static_cast<unsigned long long>(r->total_faults));
+    if (!r->degradation.empty())
+      std::printf("  [degraded: %s]", r->degradation.c_str());
+    std::printf("\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stc;
+  const Cli cli(argc, argv);
+  if (cli.positional().size() < 2) return usage(argv[0]);
+  const std::string& cmd = cli.positional()[0];
+  const std::string& spool = cli.positional()[1];
+
+  try {
+    faultpoints::arm_from_env();
+    if (cmd == "serve") return cmd_serve(cli, spool);
+    if (cmd == "submit") return cmd_submit(cli, spool);
+    if (cmd == "status") return cmd_status(spool);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage(argv[0]);
+}

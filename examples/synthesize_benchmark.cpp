@@ -38,10 +38,12 @@
 #include "synth/report.hpp"
 #include "util/budget.hpp"
 #include "util/cli.hpp"
+#include "util/faultpoint.hpp"
 
 int main(int argc, char** argv) {
   using namespace stc;
   const Cli cli(argc, argv);
+  faultpoints::arm_from_env();
 
   if (cli.has("list")) {
     std::printf("Available corpus machines:\n");
@@ -84,7 +86,9 @@ int main(int argc, char** argv) {
           std::fflush(stdout);
         });
     std::printf("\n%s\n", render_corpus_summary(rep).c_str());
-    return rep.jobs_failed == 0 ? 0 : 1;
+    // Nonzero exit on any HARD failure; budget-exhausted rows are valid
+    // anytime results and keep the sweep green.
+    return hard_failures(rep) == 0 ? 0 : 1;
   }
 
   MealyMachine m;

@@ -28,6 +28,12 @@ namespace stc {
 /// Which two-level minimizer prepares the covers.
 enum class MinimizerKind { kAuto, kQuineMcCluskey, kEspresso };
 
+/// Stable identifier ("auto", "qm", "espresso") -- spool spec files and
+/// the drivers' --minimizer flag round-trip through these.
+const char* minimizer_name(MinimizerKind mk);
+/// Parse a minimizer_name(); throws Error(kInvalidInput) otherwise.
+MinimizerKind parse_minimizer(const std::string& name);
+
 // The builders take a Technology (logic/cost.hpp) selecting the style of
 // the combinational blocks:
 //   * kTwoLevel   -- flat AND-OR planes (the historical netlists);

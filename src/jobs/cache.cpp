@@ -1,8 +1,11 @@
 #include "jobs/cache.hpp"
 
+#include <algorithm>
+
 #include "encoding/encoding.hpp"
 #include "ostr/ostr.hpp"
 #include "util/error.hpp"
+#include "util/faultpoint.hpp"
 #include "util/hash.hpp"
 
 namespace stc {
@@ -62,6 +65,10 @@ std::shared_ptr<JobCache::MachineEntry> JobCache::machine(
   }
   std::lock_guard<std::mutex> build(slot->build_mu);
   if (!slot->built) {
+    // Injection site: an armed failure surfaces as Error(kIo) before any
+    // state is published -- the slot stays unbuilt, so a retried job
+    // rebuilds cleanly (the recovery behavior the fault suite asserts).
+    fault_point("cache.machine.build");
     auto e = std::make_shared<MachineEntry>();
     e->fsm = loader(name);
     e->fsm.validate();
@@ -105,10 +112,13 @@ std::shared_ptr<JobCache::StructureEntry> JobCache::structure(
       ++stats_.structure_hits;
       if (hit != nullptr) *hit = true;
     }
+    s->last_use = ++lru_tick_;
     slot = s;
+    evict_locked();
   }
   std::lock_guard<std::mutex> build(slot->build_mu);
   if (!slot->built) {
+    fault_point("cache.structure.build");
     auto e = std::make_shared<StructureEntry>();
     switch (arch) {
       case ArchKind::kFig1:
@@ -147,7 +157,9 @@ std::shared_ptr<CampaignWarmState> JobCache::warm(
       ++stats_.warm_hits;
       if (hit != nullptr) *hit = true;
     }
+    w->last_use = ++lru_tick_;
     slot = w;
+    evict_locked();
   }
   std::lock_guard<std::mutex> build(slot->build_mu);
   if (!slot->built) {
@@ -159,9 +171,58 @@ std::shared_ptr<CampaignWarmState> JobCache::warm(
   return slot->value;
 }
 
+void JobCache::evict_locked() {
+  if (max_entries_ == 0) return;
+  while (structures_.size() + warms_.size() > max_entries_) {
+    // Warm entries go first: cheapest to rebuild, and a structure may only
+    // leave once nothing compiled points into it. Pinned = value leased
+    // outside the cache (use_count beyond our own references: the slot
+    // plus, for warms, the all_warms_ stats list).
+    auto wv = warms_.end();
+    for (auto it = warms_.begin(); it != warms_.end(); ++it) {
+      const auto& slot = it->second;
+      if (!slot->built || slot->value.use_count() > 2) continue;
+      if (wv == warms_.end() || slot->last_use < wv->second->last_use) wv = it;
+    }
+    if (wv != warms_.end()) {
+      // Keep the monotonic scratch counter before the state is destroyed.
+      evicted_scratch_reuses_ += campaign_warm_reuses(*wv->second->value);
+      all_warms_.erase(std::remove(all_warms_.begin(), all_warms_.end(),
+                                   wv->second->value),
+                       all_warms_.end());
+      warms_.erase(wv);
+      ++stats_.warm_evictions;
+      continue;
+    }
+    auto sv = structures_.end();
+    for (auto it = structures_.begin(); it != structures_.end(); ++it) {
+      const auto& slot = it->second;
+      if (!slot->built || slot->value.use_count() > 1) continue;
+      // A warm entry keyed on this structure still exists (it was pinned,
+      // or younger): the compiled program references the structure's
+      // netlist, so the structure must stay.
+      bool referenced = false;
+      for (const auto& [wk, ws] : warms_) {
+        (void)ws;
+        if (wk.structure == slot->value.get()) {
+          referenced = true;
+          break;
+        }
+      }
+      if (referenced) continue;
+      if (sv == structures_.end() || slot->last_use < sv->second->last_use)
+        sv = it;
+    }
+    if (sv == structures_.end()) break;  // everything left is pinned
+    structures_.erase(sv);
+    ++stats_.structure_evictions;
+  }
+}
+
 JobCacheStats JobCache::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   JobCacheStats s = stats_;
+  s.scratch_reuses += evicted_scratch_reuses_;
   for (const auto& w : all_warms_) s.scratch_reuses += campaign_warm_reuses(*w);
   return s;
 }

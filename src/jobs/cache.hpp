@@ -16,7 +16,16 @@
 // identical machines share entries however they were loaded, and a
 // same-named but different machine can never collide. Entries are
 // immutable once built (there is no invalidation to get wrong: a new
-// machine content is a new key); a process restart is the only flush.
+// machine content is a new key); eviction or a process restart is the
+// only flush.
+//
+// Long-lived (daemon) use: max_entries bounds the structure + warm maps
+// with LRU eviction of UNPINNED entries -- an entry currently leased by a
+// running job (its shared_ptr is held outside the cache) is never evicted,
+// and warm entries are always evicted before (and together with) the
+// structure they point into, so no compiled program can dangle. 0 =
+// unbounded (the one-shot drivers' default). Eviction counters are
+// reported in stats().
 //
 // Thread-safe: concurrent jobs requesting the same entry serialize on a
 // per-entry build mutex -- exactly one builds, the rest wait and count a
@@ -51,6 +60,8 @@ struct JobCacheStats {
   std::size_t warm_hits = 0, warm_misses = 0;
   /// Warm-scratch reuse across all warm states (campaign-level hot starts).
   std::size_t scratch_reuses = 0;
+  /// LRU evictions (bounded caches only; 0 under the unbounded default).
+  std::size_t structure_evictions = 0, warm_evictions = 0;
 
   std::size_t hits() const {
     return machine_hits + ostr_hits + structure_hits + warm_hits;
@@ -83,9 +94,12 @@ class JobCache {
     ControllerStructure cs;  // stable address: warm states point at it
   };
 
-  JobCache() = default;
+  /// `max_entries` bounds structures + warms together (0 = unbounded).
+  explicit JobCache(std::size_t max_entries = 0) : max_entries_(max_entries) {}
   JobCache(const JobCache&) = delete;
   JobCache& operator=(const JobCache&) = delete;
+
+  std::size_t max_entries() const { return max_entries_; }
 
   /// Load + encode a corpus machine (or any machine via `loader`); cached
   /// by name, fingerprinted on first load. The returned pointer is stable
@@ -157,9 +171,20 @@ class JobCache {
     std::mutex build_mu;
     bool built = false;
     std::shared_ptr<Entry> value;
+    std::uint64_t last_use = 0;  // LRU stamp, updated under mu_
   };
 
+  /// Evict LRU unpinned entries until the structure+warm maps fit
+  /// max_entries_ (call with mu_ held). Warm entries go first; a structure
+  /// is only evicted once no warm entry points into it.
+  void evict_locked();
+
   mutable std::mutex mu_;  // guards the maps and the counters
+  std::size_t max_entries_ = 0;
+  std::uint64_t lru_tick_ = 0;
+  /// scratch_reuses accumulated by warm states evicted from all_warms_
+  /// (the counter is monotonic even across evictions).
+  std::size_t evicted_scratch_reuses_ = 0;
   std::unordered_map<std::string, std::shared_ptr<Slot<MachineEntry>>> machines_;
   std::unordered_map<StructKey, std::shared_ptr<Slot<StructureEntry>>,
                      StructKeyHash>

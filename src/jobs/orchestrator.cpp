@@ -6,9 +6,13 @@
 #include <iomanip>
 #include <mutex>
 #include <sstream>
+#include <thread>
 
 #include "benchdata/iwls93.hpp"
 #include "util/error.hpp"
+#include "util/faultpoint.hpp"
+#include "util/hash.hpp"
+#include "util/rng.hpp"
 
 namespace stc {
 namespace {
@@ -75,6 +79,10 @@ CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
   r.spec = spec;
   const auto t0 = std::chrono::steady_clock::now();
   try {
+    // Transient-failure injection site for the retry/crash-recovery
+    // suites: armed kFail raises Error(kIo) (retried), armed kDelay wedges
+    // the job without polling any token (what the watchdog detects).
+    fault_point("orchestrator.job.start");
     auto m = cache.machine(spec.machine,
                            [](const std::string& n) { return load_benchmark(n); },
                            &r.machine_cached);
@@ -110,11 +118,86 @@ CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
     }
 
     r.report = measure_structure(s->cs, fopt, &r.coverage);
+  } catch (const Error& e) {
+    r.error = e.what();
+    r.error_code = e.code();
+    r.error_context = e.context();
+  } catch (const std::invalid_argument& e) {
+    // The library-wide precondition idiom (bad machine name, bad lane
+    // count, ...): the request can never succeed as given, so it must not
+    // be retried.
+    r.error = e.what();
+    r.error_code = ErrorCode::kInvalidInput;
+    r.error_context = "machine=" + spec.machine;
   } catch (const std::exception& e) {
     r.error = e.what();
+    r.error_code = ErrorCode::kInternal;
   }
   r.seconds = seconds_since(t0);
   return r;
+}
+
+double RetryPolicy::backoff_ms(std::size_t retry, std::uint64_t seed) const {
+  if (retry == 0) return 0.0;
+  double ms = base_backoff_ms;
+  for (std::size_t k = 1; k < retry && ms < max_backoff_ms; ++k) ms *= 2.0;
+  ms = std::min(ms, max_backoff_ms);
+  // Deterministic jitter: the same (job, retry) always waits the same
+  // time, so crash-recovery replays are reproducible, while distinct jobs
+  // de-synchronize instead of thundering back in lockstep.
+  Rng rng(hash_combine(seed, retry));
+  const double factor = 1.0 + jitter_frac * (2.0 * rng.unit() - 1.0);
+  return std::max(0.0, ms * factor);
+}
+
+JobAttemptOutcome run_campaign_job_with_retry(
+    const CampaignJobSpec& spec, JobCache& cache, const RetryPolicy& policy,
+    double attempt_budget_ms, std::shared_ptr<const CancelToken> cancel,
+    CampaignChunkExecutor* executor, std::uint64_t ostr_max_nodes) {
+  const std::uint64_t seed =
+      fnv1a_str(hash_combine(kFnvOffset, static_cast<std::uint64_t>(spec.arch)),
+                spec.machine);
+  const std::size_t max_attempts = std::max<std::size_t>(1, policy.max_attempts);
+
+  JobAttemptOutcome out;
+  for (std::size_t attempt = 1;; ++attempt) {
+    // Fresh budget per attempt: the deadline measures THIS attempt's work,
+    // not time burned by failed predecessors or backoff sleeps.
+    Budget budget;
+    if (attempt_budget_ms >= 0.0) budget.with_deadline_ms(attempt_budget_ms);
+    if (cancel) budget.with_cancel(cancel);
+
+    out.result = run_campaign_job(spec, cache, budget, executor, ostr_max_nodes);
+    out.attempts = attempt;
+    if (!out.result.failed()) return out;
+    if (!policy.is_transient(out.result.error_code)) return out;  // permanent
+    if (attempt >= max_attempts) return out;  // retries exhausted
+    if (cancel && cancel->requested()) {
+      out.retry_pending = true;  // shutdown: the job still deserves a retry
+      return out;
+    }
+
+    // Exponential backoff with deterministic jitter, polled in slices so a
+    // shutdown request never waits out a long sleep.
+    const double wait_ms = policy.backoff_ms(attempt, seed);
+    out.backoff_ms_total += wait_ms;
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::duration<double, std::milli>(wait_ms);
+    while (std::chrono::steady_clock::now() < wake) {
+      if (cancel && cancel->requested()) {
+        out.retry_pending = true;
+        return out;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+}
+
+std::size_t hard_failures(const CorpusReport& rep) {
+  std::size_t n = 0;
+  for (const CampaignJobResult& row : rep.rows)
+    if (row.failed() && row.error_code != ErrorCode::kBudgetExhausted) ++n;
+  return n;
 }
 
 CorpusReport run_corpus_sweep(

@@ -17,6 +17,7 @@
 #include "jobs/cache.hpp"
 #include "jobs/scheduler.hpp"
 #include "synth/flow.hpp"
+#include "util/error.hpp"
 
 namespace stc {
 
@@ -44,6 +45,14 @@ struct CampaignJobResult {
   bool skipped = false;
   /// Non-empty when the job failed with an error (typed message).
   std::string error;
+  /// Machine-readable class of the failure (meaningful only when `error`
+  /// is non-empty): the retry policy branches on this, never on the
+  /// message text. Unexpected exceptions are classified kInternal.
+  ErrorCode error_code = ErrorCode::kInternal;
+  /// Machine-readable context of a typed failure (Error::context()).
+  std::string error_context;
+
+  bool failed() const { return !skipped && !error.empty(); }
   double seconds = 0.0;  // job wall time (build amortized into first job)
   // Which cache levels served this job hot:
   bool machine_cached = false, structure_cached = false, warm_cached = false;
@@ -134,6 +143,54 @@ CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
                                    const Budget& budget = {},
                                    CampaignChunkExecutor* executor = nullptr,
                                    std::uint64_t ostr_max_nodes = 2000000);
+
+// --- retry policy (the daemon's failure taxonomy) ---------------------------
+
+/// How job failures are retried. TRANSIENT failures -- kIo, which is also
+/// the class every injected fault raises -- are retried up to max_attempts
+/// with exponential backoff and deterministic jitter (seeded from the job,
+/// via util/rng: two daemons replaying the same spool back off
+/// identically). PERMANENT failures (kInvalidInput, kUnsupported,
+/// kBudgetExhausted, kInternal) fail immediately with the error context
+/// preserved: re-running a malformed or impossible job only burns cycles.
+struct RetryPolicy {
+  std::size_t max_attempts = 3;    // total attempts, first run included
+  double base_backoff_ms = 100.0;  // attempt k waits base * 2^(k-1), ...
+  double max_backoff_ms = 5000.0;  // ...clamped here, before jitter
+  double jitter_frac = 0.25;       // +-25% deterministic jitter
+
+  bool is_transient(ErrorCode code) const { return code == ErrorCode::kIo; }
+
+  /// Backoff before retry number `retry` (1-based: the wait after the
+  /// first failed attempt). Deterministic in (seed, retry).
+  double backoff_ms(std::size_t retry, std::uint64_t seed) const;
+};
+
+struct JobAttemptOutcome {
+  CampaignJobResult result;  // the final attempt's result
+  std::size_t attempts = 1;  // attempts actually run
+  double backoff_ms_total = 0.0;
+  /// True when a transient failure still had attempts left but the cancel
+  /// token stopped the retry loop (shutdown mid-backoff): the caller
+  /// should requeue the job, not fail it permanently.
+  bool retry_pending = false;
+};
+
+/// run_campaign_job with the retry policy applied. Each attempt gets a
+/// fresh Budget (deadline `attempt_budget_ms` from its OWN start when
+/// >= 0, plus `cancel`); backoff sleeps poll `cancel` so shutdown never
+/// waits on a sleeping retry.
+JobAttemptOutcome run_campaign_job_with_retry(
+    const CampaignJobSpec& spec, JobCache& cache, const RetryPolicy& policy,
+    double attempt_budget_ms = -1.0,
+    std::shared_ptr<const CancelToken> cancel = nullptr,
+    CampaignChunkExecutor* executor = nullptr,
+    std::uint64_t ostr_max_nodes = 2000000);
+
+/// Failed rows that should fail a CI gate: everything except
+/// kBudgetExhausted (budget-labeled rows are valid anytime results -- the
+/// drivers' --all exit code is nonzero iff this is nonzero).
+std::size_t hard_failures(const CorpusReport& rep);
 
 // --- text rendering (the drivers' streamed table) ---------------------------
 

@@ -43,14 +43,18 @@ bool Budget::exhausted() const {
 
 namespace {
 
-// The handler may only touch async-signal-safe state: one relaxed atomic
-// store on a token that outlives the handler (leaked on purpose).
-CancelToken* g_sigint_token = nullptr;
+// The handler may only touch async-signal-safe state: relaxed atomic
+// stores on a token that outlives the handler (leaked on purpose), and
+// signal() itself (async-signal-safe per POSIX).
+CancelToken* g_shutdown_token = nullptr;
 
-extern "C" void sigint_cancel_handler(int) {
-  if (g_sigint_token) g_sigint_token->request();
-  // Second Ctrl-C kills the process: restore the default disposition.
+extern "C" void shutdown_cancel_handler(int) {
+  if (g_shutdown_token) g_shutdown_token->request();
+  // A second signal -- of EITHER kind -- kills the process: restore both
+  // default dispositions so an operator (or supervisor escalating from
+  // TERM) always has a forcible way out of a wedged drain.
   std::signal(SIGINT, SIG_DFL);
+  std::signal(SIGTERM, SIG_DFL);
 }
 
 }  // namespace
@@ -58,8 +62,9 @@ extern "C" void sigint_cancel_handler(int) {
 std::shared_ptr<CancelToken> install_sigint_cancel() {
   static std::shared_ptr<CancelToken> token = [] {
     auto t = std::make_shared<CancelToken>();
-    g_sigint_token = t.get();
-    std::signal(SIGINT, sigint_cancel_handler);
+    g_shutdown_token = t.get();
+    std::signal(SIGINT, shutdown_cancel_handler);
+    std::signal(SIGTERM, shutdown_cancel_handler);
     return t;
   }();
   return token;

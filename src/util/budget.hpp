@@ -38,11 +38,14 @@ class CancelToken {
   std::atomic<bool> flag_{false};
 };
 
-/// Install a process-wide SIGINT handler that requests cancellation on the
-/// returned token. The first Ctrl-C cancels gracefully (stages unwind to
-/// their labeled partial results); a second Ctrl-C restores the default
-/// disposition, so it terminates the process. Idempotent: repeated calls
-/// return the same token.
+/// Install a process-wide SIGINT + SIGTERM handler that requests
+/// cancellation on the returned token (SIGTERM is what a supervisor sends
+/// a daemon; SIGINT is the interactive Ctrl-C). The first signal of either
+/// kind cancels gracefully (stages unwind to their labeled partial
+/// results, the daemon drains); it also restores the default disposition
+/// for BOTH signals, so a second signal terminates the process -- the
+/// async-signal-safe escape hatch for a drain that wedges. Idempotent:
+/// repeated calls return the same token.
 std::shared_ptr<CancelToken> install_sigint_cancel();
 
 class Budget {

@@ -25,6 +25,7 @@ const char* error_code_name(ErrorCode code) {
     case ErrorCode::kBudgetExhausted: return "budget_exhausted";
     case ErrorCode::kUnsupported: return "unsupported";
     case ErrorCode::kIo: return "io";
+    case ErrorCode::kInternal: return "internal";
   }
   return "unknown";
 }

@@ -26,8 +26,14 @@ enum class ErrorCode {
   /// Valid input outside the implemented envelope (e.g. more outputs than
   /// a representation can carry where no fallback exists).
   kUnsupported,
-  /// File-system failure; context carries path= and errno=.
+  /// File-system failure; context carries path= and errno=. Injected
+  /// faults (util/faultpoint.hpp) also surface as kIo: this is the
+  /// TRANSIENT class -- the only code the daemon's RetryPolicy retries.
   kIo,
+  /// An unexpected exception escaped a stage (a bug, not an input
+  /// problem). Permanent for retry purposes: re-running the same job
+  /// would hit the same bug.
+  kInternal,
 };
 
 /// Stable lowercase identifier of a code ("invalid_input", ...).

@@ -1,0 +1,194 @@
+#include "util/faultpoint.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "util/error.hpp"
+#include "util/strings.hpp"
+
+namespace stc {
+namespace {
+
+struct PointState {
+  FaultSpec spec;
+  bool armed = false;
+  std::uint64_t hits = 0;
+  std::uint64_t fires = 0;
+};
+
+struct Registry {
+  std::mutex mu;
+  std::unordered_map<std::string, PointState> points;
+  // Fast-path gate: number of currently armed points. fault_point() bails
+  // on a single relaxed load when nothing is armed, so instrumented hot
+  // paths pay nothing in production.
+  std::atomic<int> armed_count{0};
+};
+
+Registry& registry() {
+  static Registry r;
+  return r;
+}
+
+}  // namespace
+
+namespace faultpoints {
+
+void arm(const std::string& name, FaultSpec spec) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  PointState& p = r.points[name];
+  if (!p.armed) r.armed_count.fetch_add(1, std::memory_order_relaxed);
+  p.spec = spec;
+  p.armed = true;
+  p.hits = 0;
+  p.fires = 0;
+}
+
+void disarm(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it != r.points.end() && it->second.armed) {
+    it->second.armed = false;
+    r.armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void reset() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  r.points.clear();
+  r.armed_count.store(0, std::memory_order_relaxed);
+}
+
+std::uint64_t hits(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.hits;
+}
+
+std::uint64_t fires(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  return it == r.points.end() ? 0 : it->second.fires;
+}
+
+std::vector<std::string> armed() {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  std::vector<std::string> out;
+  for (const auto& [name, p] : r.points)
+    if (p.armed) out.push_back(name);
+  return out;
+}
+
+std::optional<FaultSpec> spec(const std::string& name) {
+  Registry& r = registry();
+  std::lock_guard<std::mutex> lock(r.mu);
+  auto it = r.points.find(name);
+  if (it == r.points.end() || !it->second.armed) return std::nullopt;
+  return it->second.spec;
+}
+
+void arm_from_spec(const std::string& spec_list) {
+  for (const std::string& raw : split_on(spec_list, ',')) {
+    const std::string clause = trim(raw);
+    if (clause.empty()) continue;
+    const auto bad = [&](const std::string& why) {
+      throw Error(ErrorCode::kInvalidInput, "bad fault-point spec",
+                  "clause=" + clause + "; " + why +
+                      "; expected name@N[xC][!crash|~MS]");
+    };
+    const std::size_t at = clause.find('@');
+    if (at == std::string::npos || at == 0) bad("missing name@trigger");
+    const std::string name = clause.substr(0, at);
+    std::string rest = clause.substr(at + 1);
+
+    FaultSpec s;
+    if (const std::size_t bang = rest.find('!'); bang != std::string::npos) {
+      if (rest.substr(bang + 1) != "crash") bad("unknown mode suffix");
+      s.mode = FaultMode::kCrash;
+      rest = rest.substr(0, bang);
+    } else if (const std::size_t tilde = rest.find('~');
+               tilde != std::string::npos) {
+      s.mode = FaultMode::kDelay;
+      try {
+        s.delay_ms = static_cast<double>(parse_size(rest.substr(tilde + 1)));
+      } catch (const std::exception&) {
+        bad("bad delay");
+      }
+      rest = rest.substr(0, tilde);
+    }
+    std::string trigger = rest, count;
+    if (const std::size_t x = rest.find('x'); x != std::string::npos) {
+      trigger = rest.substr(0, x);
+      count = rest.substr(x + 1);
+    }
+    try {
+      s.trigger_at = parse_size(trigger);
+      if (!count.empty()) s.count = parse_size(count);
+    } catch (const std::exception&) {
+      bad("bad trigger/count");
+    }
+    if (s.trigger_at == 0) bad("trigger is 1-based");
+    if (s.count == 0) bad("count must be >= 1");
+    arm(name, s);
+  }
+}
+
+void arm_from_env() {
+  if (const char* env = std::getenv("STC_FAULTPOINTS");
+      env != nullptr && *env != '\0') {
+    arm_from_spec(env);
+  }
+}
+
+}  // namespace faultpoints
+
+void fault_point(const char* name) {
+  Registry& r = registry();
+  if (r.armed_count.load(std::memory_order_relaxed) == 0) return;
+
+  FaultSpec due;
+  std::uint64_t hit = 0;
+  bool fire = false;
+  {
+    std::lock_guard<std::mutex> lock(r.mu);
+    auto it = r.points.find(name);
+    if (it == r.points.end() || !it->second.armed) return;
+    PointState& p = it->second;
+    hit = ++p.hits;
+    fire = hit >= p.spec.trigger_at && hit < p.spec.trigger_at + p.spec.count;
+    if (fire) {
+      ++p.fires;
+      due = p.spec;
+    }
+  }
+  if (!fire) return;
+
+  switch (due.mode) {
+    case FaultMode::kFail:
+      throw Error(ErrorCode::kIo, "injected fault",
+                  strprintf("faultpoint=%s; hit=%llu", name,
+                            static_cast<unsigned long long>(hit)));
+    case FaultMode::kCrash:
+      // SIGKILL-shaped death: no destructors, no stream flushing, no spool
+      // cleanup -- whatever files were mid-write stay exactly as they are.
+      std::_Exit(kFaultCrashExitCode);
+    case FaultMode::kDelay:
+      // Deliberately does NOT poll any cancel token: this simulates a job
+      // wedged in non-cooperative code, which only the watchdog can handle.
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(due.delay_ms));
+      return;
+  }
+}
+
+}  // namespace stc

@@ -1,0 +1,81 @@
+#pragma once
+// Named, programmatically-armed fault-injection points.
+//
+// Robustness code (the durable job spool, the daemon's retry/watchdog
+// machinery, the cache build paths) is only trustworthy if its failure
+// handling is *executed* in tests, not just written. A fault point is a
+// named hook compiled into a production path:
+//
+//   fault_point("queue.commit.rename");
+//
+// Unarmed it costs one relaxed atomic load. A test (or the STC_FAULTPOINTS
+// environment variable, for injecting into a child daemon process) arms it
+// with a trigger -- "fire on the Nth hit, for C consecutive hits" -- and a
+// mode:
+//
+//   kFail   throw Error(kIo, "injected fault", "faultpoint=<name>; ...")
+//           -- the transient-failure shape the retry policy must absorb;
+//   kCrash  std::_Exit(kCrashExitCode) -- no destructors, no flushing:
+//           the SIGKILL-shaped death that crash-recovery must survive at
+//           exactly this instant;
+//   kDelay  sleep delay_ms WITHOUT polling any cancel token -- the stuck,
+//           non-cooperative job the watchdog must detect.
+//
+// Env syntax (comma-separated): name@N fails on the Nth hit once,
+// name@NxC fails on hits N..N+C-1, name@N!crash crashes, name@N~MS sleeps
+// MS milliseconds. Example:
+//   STC_FAULTPOINTS="orchestrator.job.start@1x2,queue.commit.rename@1!crash"
+//
+// Registry state is process-global and thread-safe; reset() between tests.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace stc {
+
+enum class FaultMode : std::uint8_t { kFail, kCrash, kDelay };
+
+struct FaultSpec {
+  FaultMode mode = FaultMode::kFail;
+  std::uint64_t trigger_at = 1;  // 1-based hit index of the first firing
+  std::uint64_t count = 1;       // consecutive hits that fire
+  double delay_ms = 0.0;         // kDelay only
+};
+
+/// Exit code of a kCrash firing (distinguishable from SIGKILL's 137 so a
+/// supervisor log can tell injected crashes from real ones).
+inline constexpr int kFaultCrashExitCode = 43;
+
+namespace faultpoints {
+
+/// Arm (or re-arm, resetting the hit counter) the named point.
+void arm(const std::string& name, FaultSpec spec);
+/// Disarm one point (its hit/fire counters stay readable until reset()).
+void disarm(const std::string& name);
+/// Disarm everything and drop all counters.
+void reset();
+
+/// Times the named point was reached since it was first armed.
+std::uint64_t hits(const std::string& name);
+/// Times the named point actually fired.
+std::uint64_t fires(const std::string& name);
+/// Names of currently armed points.
+std::vector<std::string> armed();
+/// Spec of an armed point (nullopt when not armed) -- test introspection.
+std::optional<FaultSpec> spec(const std::string& name);
+
+/// Parse and arm a comma-separated spec list (the STC_FAULTPOINTS
+/// syntax); throws Error(kInvalidInput) naming the bad clause.
+void arm_from_spec(const std::string& spec_list);
+/// Arm from $STC_FAULTPOINTS when set (daemon/driver startup hook).
+void arm_from_env();
+
+}  // namespace faultpoints
+
+/// The instrumented production-path hook. No-op (one relaxed atomic load)
+/// unless the registry has this name armed and its trigger window is due.
+void fault_point(const char* name);
+
+}  // namespace stc

@@ -1,0 +1,136 @@
+// util/faultpoint: the named fault-injection registry that the durability
+// tests drive the spool/daemon/cache failure paths with.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+
+#include "util/error.hpp"
+#include "util/faultpoint.hpp"
+
+namespace stc {
+namespace {
+
+class FaultPointTest : public ::testing::Test {
+ protected:
+  void SetUp() override { faultpoints::reset(); }
+  void TearDown() override { faultpoints::reset(); }
+};
+
+TEST_F(FaultPointTest, UnarmedIsANoOp) {
+  EXPECT_NO_THROW(fault_point("never.armed"));
+  EXPECT_EQ(faultpoints::hits("never.armed"), 0u);
+  EXPECT_EQ(faultpoints::fires("never.armed"), 0u);
+  EXPECT_TRUE(faultpoints::armed().empty());
+}
+
+TEST_F(FaultPointTest, FailFiresOnTheTriggeredHitOnly) {
+  FaultSpec spec;
+  spec.mode = FaultMode::kFail;
+  spec.trigger_at = 2;
+  faultpoints::arm("t.point", spec);
+
+  EXPECT_NO_THROW(fault_point("t.point"));  // hit 1
+  try {
+    fault_point("t.point");  // hit 2 fires
+    FAIL() << "expected injected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIo);
+    EXPECT_NE(e.context().find("faultpoint=t.point"), std::string::npos);
+  }
+  EXPECT_NO_THROW(fault_point("t.point"));  // hit 3, window passed
+  EXPECT_EQ(faultpoints::hits("t.point"), 3u);
+  EXPECT_EQ(faultpoints::fires("t.point"), 1u);
+}
+
+TEST_F(FaultPointTest, CountWidensTheFiringWindow) {
+  FaultSpec spec;
+  spec.trigger_at = 1;
+  spec.count = 2;
+  faultpoints::arm("t.window", spec);
+  EXPECT_THROW(fault_point("t.window"), Error);
+  EXPECT_THROW(fault_point("t.window"), Error);
+  EXPECT_NO_THROW(fault_point("t.window"));
+  EXPECT_EQ(faultpoints::fires("t.window"), 2u);
+}
+
+TEST_F(FaultPointTest, DisarmStopsFiring) {
+  faultpoints::arm("t.disarm", FaultSpec{});
+  faultpoints::disarm("t.disarm");
+  EXPECT_NO_THROW(fault_point("t.disarm"));
+  EXPECT_TRUE(faultpoints::armed().empty());
+}
+
+TEST_F(FaultPointTest, DelayModeSleepsWithoutThrowing) {
+  FaultSpec spec;
+  spec.mode = FaultMode::kDelay;
+  spec.delay_ms = 30.0;
+  faultpoints::arm("t.delay", spec);
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_NO_THROW(fault_point("t.delay"));
+  const double elapsed_ms =
+      std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                t0)
+          .count();
+  EXPECT_GE(elapsed_ms, 20.0);
+}
+
+TEST_F(FaultPointTest, ArmFromSpecParsesEveryClauseForm) {
+  faultpoints::arm_from_spec("a@3,b@1x2,c@2!crash,d@1~50");
+  const auto a = faultpoints::spec("a");
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->mode, FaultMode::kFail);
+  EXPECT_EQ(a->trigger_at, 3u);
+  EXPECT_EQ(a->count, 1u);
+
+  const auto b = faultpoints::spec("b");
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(b->count, 2u);
+
+  const auto c = faultpoints::spec("c");
+  ASSERT_TRUE(c.has_value());
+  EXPECT_EQ(c->mode, FaultMode::kCrash);
+  EXPECT_EQ(c->trigger_at, 2u);
+
+  const auto d = faultpoints::spec("d");
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(d->mode, FaultMode::kDelay);
+  EXPECT_DOUBLE_EQ(d->delay_ms, 50.0);
+
+  EXPECT_EQ(faultpoints::armed().size(), 4u);
+}
+
+TEST_F(FaultPointTest, ArmFromSpecRejectsMalformedClauses) {
+  EXPECT_THROW(faultpoints::arm_from_spec("noat"), Error);
+  EXPECT_THROW(faultpoints::arm_from_spec("a@zzz"), Error);
+  EXPECT_THROW(faultpoints::arm_from_spec("a@1!boom"), Error);
+  try {
+    faultpoints::arm_from_spec("ok@1,bad@");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidInput);
+  }
+}
+
+TEST_F(FaultPointTest, ArmFromEnvReadsTheVariable) {
+  ::setenv("STC_FAULTPOINTS", "env.point@2", 1);
+  faultpoints::arm_from_env();
+  ::unsetenv("STC_FAULTPOINTS");
+  const auto s = faultpoints::spec("env.point");
+  ASSERT_TRUE(s.has_value());
+  EXPECT_EQ(s->trigger_at, 2u);
+}
+
+TEST_F(FaultPointTest, RearmResetsTheHitCounter) {
+  FaultSpec spec;
+  spec.trigger_at = 1;
+  faultpoints::arm("t.rearm", spec);
+  EXPECT_THROW(fault_point("t.rearm"), Error);
+  EXPECT_NO_THROW(fault_point("t.rearm"));
+  faultpoints::arm("t.rearm", spec);  // re-arm: counter restarts
+  EXPECT_THROW(fault_point("t.rearm"), Error);
+}
+
+}  // namespace
+}  // namespace stc
