@@ -9,6 +9,9 @@
 //                           [--engine event|flat|serial] [--lanes 64|256|512]
 //                           [--cycles N] [--minimizer auto|qm|espresso]
 //                           [--no-faultsim] [--budget-ms N] [--count N]
+//                           [--fleet-instances N] [--fleet-widths 8,16,24,40]
+//                           [--distribution fault_free|single_uniform|clustered]
+//                           [--defect-rate X] [--fleet-seed N]
 //       ./stc_daemon status <spool-dir>
 //
 // serve claims jobs from <spool-dir>/pending, runs them on one persistent
@@ -25,6 +28,7 @@
 // through injected torn writes, rename crashes, and wedged jobs.
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 
 #include "benchdata/iwls93.hpp"
@@ -103,6 +107,23 @@ int cmd_submit(const stc::Cli& cli, const std::string& spool) {
   job.spec.minimizer = parse_minimizer(cli.get("minimizer", "auto"));
   job.spec.with_fault_sim = !cli.has("no-faultsim");
   job.budget_ms = static_cast<double>(cli.get_int("budget-ms", -1));
+  // Fleet mode: the spooled job becomes a deployment simulation.
+  job.spec.fleet_instances =
+      static_cast<std::uint64_t>(cli.get_int("fleet-instances", 0));
+  if (job.spec.fleet_instances > 0) {
+    const std::string widths = cli.get("fleet-widths", "");
+    if (!widths.empty()) {
+      job.spec.fleet_widths.clear();
+      for (const std::string& part : split_on(widths, ','))
+        job.spec.fleet_widths.push_back(parse_size(trim(part)));
+    }
+    job.spec.fleet_distribution =
+        parse_defect_model(cli.get("distribution", "single_uniform"));
+    job.spec.fleet_defect_rate =
+        std::strtod(cli.get("defect-rate", "1.0").c_str(), nullptr);
+    job.spec.fleet_seed =
+        static_cast<std::uint64_t>(cli.get_int("fleet-seed", 0xF1EE7));
+  }
 
   JobQueue queue(spool);
   const long count = cli.get_int("count", 1);
@@ -133,6 +154,9 @@ int cmd_status(const std::string& spool) {
     if (r->coverage >= 0.0)
       std::printf("  coverage %.4f (%llu faults)", r->coverage,
                   static_cast<unsigned long long>(r->total_faults));
+    if (r->fleet_instances > 0)
+      std::printf("  fleet %llu instances",
+                  static_cast<unsigned long long>(r->fleet_instances));
     if (!r->degradation.empty())
       std::printf("  [degraded: %s]", r->degradation.c_str());
     std::printf("\n");

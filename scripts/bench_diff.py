@@ -13,8 +13,11 @@ the wide-lane speedup tracked across PRs. Orchestrator benchmarks carrying
 a jobs:N axis get the analogous scheduler-scaling table: jobs_per_sec at
 each pool width relative to the single-worker run (sweep throughput as the
 work-stealing pool widens). Benchmarks present in only one file are listed
-separately. Used to track the BENCH_faultsim.json / BENCH_search_perf.json
-/ BENCH_logic.json / BENCH_orchestrator.json artifacts archived by CI.
+separately. Fleet benchmarks (BENCH_fleet.json) get a dedicated section:
+instances_per_sec throughput and alias_rate drift per MISR width, with the
+theoretical 2^-k bound printed next to width-carrying entries. Used to
+track the BENCH_faultsim.json / BENCH_search_perf.json / BENCH_logic.json
+/ BENCH_orchestrator.json / BENCH_fleet.json artifacts archived by CI.
 """
 
 import argparse
@@ -96,6 +99,31 @@ def print_jobs_scaling(label, bench_map):
             print(r)
 
 
+def print_fleet_section(old, new):
+    """Fleet-simulator throughput + compaction-quality drift (old -> new)."""
+    def has_fleet(b):
+        return isinstance(b.get("instances_per_sec"), (int, float))
+
+    names = sorted(n for n in set(old) | set(new)
+                   if has_fleet(new.get(n) or old.get(n)))
+    if not names:
+        return
+
+    def cell(b, key):
+        v = b.get(key) if b else None
+        return "%8.3g" % v if isinstance(v, (int, float)) else "       -"
+
+    print("\nfleet simulation, instances_per_sec / alias_rate (old -> new):")
+    for name in names:
+        ob, nb = old.get(name), new.get(name)
+        m = re.search(r"width:(\d+)", name)
+        theo = "  [2^-k %.3g]" % 2 ** -int(m.group(1)) if m else ""
+        print("  %-40s ips %s -> %s  alias %s -> %s%s"
+              % (name, cell(ob, "instances_per_sec"),
+                 cell(nb, "instances_per_sec"),
+                 cell(ob, "alias_rate"), cell(nb, "alias_rate"), theo))
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("old")
@@ -142,6 +170,7 @@ def main():
     print_lane_scaling("new: " + args.new, new)
     print_jobs_scaling("old: " + args.old, old)
     print_jobs_scaling("new: " + args.new, new)
+    print_fleet_section(old, new)
 
     # Exit code 0 always: this is a reporting tool, CI gates on tests.
     return 0

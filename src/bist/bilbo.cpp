@@ -66,6 +66,28 @@ void LaneBilbo::reset(std::uint64_t init) {
   }
 }
 
+void LaneBilbo::load_lane(std::size_t lane, std::uint64_t value) {
+  const unsigned W = lane_words_;
+  const std::size_t word = lane >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (lane & 63);
+  for (std::size_t k = 0; k < width_; ++k) {
+    if ((value >> k) & 1)
+      bits_[k * W + word] |= bit;
+    else
+      bits_[k * W + word] &= ~bit;
+  }
+}
+
+std::uint64_t LaneBilbo::lane_state(std::size_t lane) const {
+  const unsigned W = lane_words_;
+  const std::size_t word = lane >> 6;
+  const unsigned shift = static_cast<unsigned>(lane & 63);
+  std::uint64_t s = 0;
+  for (std::size_t k = 0; k < width_; ++k)
+    s |= ((bits_[k * W + word] >> shift) & 1) << k;
+  return s;
+}
+
 void LaneBilbo::clock(BilboMode mode) {
   const unsigned W = lane_words_;
   switch (mode) {
@@ -119,6 +141,26 @@ void LaneBilbo::accumulate_diff(std::uint64_t* diff) const {
     const std::uint64_t ref = (bits_[k * W] & 1) ? ~std::uint64_t{0} : 0;
     for (unsigned w = 0; w < W; ++w) diff[w] |= bits_[k * W + w] ^ ref;
   }
+}
+
+void LaneBilbo::accumulate_pair_diff(std::uint64_t* diff) const {
+  const unsigned W = lane_words_;
+  constexpr std::uint64_t kEven = 0x5555555555555555ULL;
+  for (std::size_t k = 0; k < width_; ++k)
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint64_t v = bits_[k * W + w];
+      diff[w] |= (v ^ (v >> 1)) & kEven;
+    }
+}
+
+void LaneBilbo::accumulate_pair_d_diff(std::uint64_t* diff) const {
+  const unsigned W = lane_words_;
+  constexpr std::uint64_t kEven = 0x5555555555555555ULL;
+  for (std::size_t k = 0; k < width_; ++k)
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint64_t v = d_[k * W + w];
+      diff[w] |= (v ^ (v >> 1)) & kEven;
+    }
 }
 
 }  // namespace stc

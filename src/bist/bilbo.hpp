@@ -67,6 +67,14 @@ class LaneBilbo {
   /// Broadcast a scalar initial state: bit k of `init` fills row k.
   void reset(std::uint64_t init);
 
+  /// Overwrite lane `lane`'s state with `value` (low `width` bits) --
+  /// the fleet simulator's per-instance seed path, applied after a
+  /// broadcast reset().
+  void load_lane(std::size_t lane, std::uint64_t value);
+
+  /// Read back lane `lane`'s current state.
+  std::uint64_t lane_state(std::size_t lane) const;
+
   const std::uint64_t* row(std::size_t k) const {
     return bits_.data() + k * lane_words_;
   }
@@ -78,6 +86,17 @@ class LaneBilbo {
   /// OR into `diff` (lane_words words) the lanes whose register contents
   /// differ from lane 0 (bit 0 of word 0 of each row).
   void accumulate_diff(std::uint64_t* diff) const;
+
+  /// Pairwise compare for the fleet packing (lane 2j = reference, lane
+  /// 2j+1 = faulty copy): OR into `diff` at every EVEN bit position 2j
+  /// whether pair j's two lanes differ in any register bit.
+  void accumulate_pair_diff(std::uint64_t* diff) const;
+
+  /// Same pairwise compare over the gathered parallel-D rows (the value
+  /// stream feeding a compressing register THIS clock) -- the fleet
+  /// simulator's "error reached the compactor" observability test, taken
+  /// before compaction can alias it away.
+  void accumulate_pair_d_diff(std::uint64_t* diff) const;
 
  private:
   /// XOR of the tap rows, word-wise, into `fb` (lane_words words).

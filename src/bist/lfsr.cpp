@@ -39,8 +39,40 @@ std::vector<unsigned> primitive_taps(std::size_t width) {
     case 30: return {30, 29, 28, 7};
     case 31: return {31, 28};
     case 32: return {32, 31, 30, 10};
+    case 33: return {33, 20};
+    case 34: return {34, 27, 2, 1};
+    case 35: return {35, 33};
+    case 36: return {36, 25};
+    case 37: return {37, 5, 4, 3, 2, 1};
+    case 38: return {38, 6, 5, 1};
+    case 39: return {39, 35};
+    case 40: return {40, 38, 21, 19};
+    case 41: return {41, 38};
+    case 42: return {42, 41, 20, 19};
+    case 43: return {43, 42, 38, 37};
+    case 44: return {44, 43, 18, 17};
+    case 45: return {45, 44, 42, 41};
+    case 46: return {46, 45, 26, 25};
+    case 47: return {47, 42};
+    case 48: return {48, 47, 21, 20};
+    case 49: return {49, 40};
+    case 50: return {50, 49, 24, 23};
+    case 51: return {51, 50, 36, 35};
+    case 52: return {52, 49};
+    case 53: return {53, 52, 38, 37};
+    case 54: return {54, 53, 18, 17};
+    case 55: return {55, 31};
+    case 56: return {56, 55, 35, 34};
+    case 57: return {57, 50};
+    case 58: return {58, 39};
+    case 59: return {59, 58, 38, 37};
+    case 60: return {60, 59};
+    case 61: return {61, 60, 46, 45};
+    case 62: return {62, 61, 6, 5};
+    case 63: return {63, 62};
+    case 64: return {64, 63, 61, 60};
     default:
-      throw std::invalid_argument("primitive_taps: width must be in [1, 32]");
+      throw std::invalid_argument("primitive_taps: width must be in [1, 64]");
   }
 }
 
@@ -62,9 +94,21 @@ Lfsr::Lfsr(std::size_t width, std::vector<unsigned> taps, std::uint64_t seed)
   this->seed(seed);
 }
 
-void Lfsr::seed(std::uint64_t s) {
+bool Lfsr::seed(std::uint64_t s) {
   state_ = s & mask_;
+  seed_coerced_ = (state_ == 0);
   if (state_ == 0) state_ = 1;
+  return seed_coerced_;
+}
+
+std::uint64_t nonzero_lfsr_state(std::uint64_t key, std::size_t width) {
+  if (width == 0 || width > 64)
+    throw std::invalid_argument("nonzero_lfsr_state: bad width");
+  // Fold onto [1, 2^w - 1]: every value is a valid nonzero state, so the
+  // zero-state coercion in Lfsr::seed can never fire on a derived seed.
+  const std::uint64_t m =
+      width == 64 ? ~std::uint64_t{0} : (std::uint64_t{1} << width) - 1;
+  return (key % m) + 1;
 }
 
 std::uint64_t Lfsr::feedback(std::uint64_t s) const {
@@ -85,6 +129,49 @@ std::uint64_t Lfsr::period() const {
     ++n;
   } while (copy.state() != start);
   return n;
+}
+
+LaneLfsr::LaneLfsr(std::size_t width, unsigned lane_words)
+    : width_(width), lane_words_(lane_words) {
+  if (width == 0 || width > 64) throw std::invalid_argument("LaneLfsr: bad width");
+  if (lane_words == 0 || lane_words > 8)
+    throw std::invalid_argument("LaneLfsr: bad lane_words");
+  taps_ = primitive_taps(width);
+  bits_.assign(width * lane_words, 0);
+}
+
+void LaneLfsr::reset() { std::fill(bits_.begin(), bits_.end(), 0); }
+
+void LaneLfsr::seed_lane(std::size_t lane, std::uint64_t state) {
+  const unsigned W = lane_words_;
+  const std::size_t word = lane >> 6;
+  const std::uint64_t bit = std::uint64_t{1} << (lane & 63);
+  for (std::size_t k = 0; k < width_; ++k) {
+    if ((state >> k) & 1)
+      bits_[k * W + word] |= bit;
+    else
+      bits_[k * W + word] &= ~bit;
+  }
+}
+
+std::uint64_t LaneLfsr::lane_state(std::size_t lane) const {
+  const unsigned W = lane_words_;
+  const std::size_t word = lane >> 6;
+  const unsigned shift = static_cast<unsigned>(lane & 63);
+  std::uint64_t s = 0;
+  for (std::size_t k = 0; k < width_; ++k)
+    s |= ((bits_[k * W + word] >> shift) & 1) << k;
+  return s;
+}
+
+void LaneLfsr::step() {
+  const unsigned W = lane_words_;
+  std::uint64_t fb[8] = {0, 0, 0, 0, 0, 0, 0, 0};  // lane_words <= 8
+  for (unsigned t : taps_)
+    for (unsigned w = 0; w < W; ++w) fb[w] ^= bits_[(t - 1) * W + w];
+  for (std::size_t k = width_; k-- > 1;)
+    for (unsigned w = 0; w < W; ++w) bits_[k * W + w] = bits_[(k - 1) * W + w];
+  for (unsigned w = 0; w < W; ++w) bits_[w] = fb[w];
 }
 
 }  // namespace stc

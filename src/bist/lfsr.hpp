@@ -12,8 +12,13 @@
 namespace stc {
 
 /// Exponents (including the leading x^w term, excluding the +1) of a
-/// primitive polynomial over GF(2) for widths 1..32 (XAPP052 table).
+/// primitive polynomial over GF(2) for widths 1..64 (XAPP052 table).
 std::vector<unsigned> primitive_taps(std::size_t width);
+
+/// Fold an arbitrary 64-bit key onto [1, 2^width - 1]: every result is a
+/// valid nonzero LFSR/MISR state, so seeding with it can never trip the
+/// zero-state coercion. Used by the fleet seed derivation.
+std::uint64_t nonzero_lfsr_state(std::uint64_t key, std::size_t width);
 
 class Lfsr {
  public:
@@ -26,9 +31,14 @@ class Lfsr {
   std::size_t width() const { return width_; }
   std::uint64_t state() const { return state_; }
 
-  /// Re-seed; a zero seed is coerced to 1 (the all-zero state is a fixed
-  /// point of the recurrence).
-  void seed(std::uint64_t s);
+  /// Re-seed. The all-zero state is a fixed point of the recurrence, so a
+  /// seed whose low `width` bits are all zero is coerced to 1; the return
+  /// value (and `last_seed_coerced()`) reports the coercion so callers can
+  /// detect that two differently-spelled seeds aliased to the same state.
+  bool seed(std::uint64_t s);
+
+  /// True if the most recent seed() call coerced the zero state to 1.
+  bool last_seed_coerced() const { return seed_coerced_; }
 
   /// Advance one clock; returns the new state.
   std::uint64_t step();
@@ -55,6 +65,46 @@ class Lfsr {
   std::uint64_t mask_;
   std::uint64_t tap_mask_;  // bit t-1 set for each tap exponent t
   std::uint64_t state_;
+  bool seed_coerced_ = false;
+};
+
+/// Lane-sliced autonomous LFSR: bit k of the state is a row of
+/// `lane_words` uint64_t words holding that bit across all 64*lane_words
+/// simulation lanes, so every lane runs an independently-seeded copy of
+/// the same generator. This is the fleet simulator's stimulus source --
+/// unlike the campaign engine's scalar Lfsr (one shared sequence
+/// broadcast to all lanes), each packed chip instance here walks its own
+/// segment of the generator's state cycle.
+class LaneLfsr {
+ public:
+  LaneLfsr(std::size_t width, unsigned lane_words);
+
+  std::size_t width() const { return width_; }
+  unsigned lane_words() const { return lane_words_; }
+
+  /// Clear all lanes (each to the all-zero fixed point; seed before use).
+  void reset();
+
+  /// Load lane `lane` with `state` (low `width` bits; must be nonzero for
+  /// a free-running lane -- use nonzero_lfsr_state to derive one).
+  void seed_lane(std::size_t lane, std::uint64_t state);
+
+  /// Read back lane `lane`'s current state (test/debug path).
+  std::uint64_t lane_state(std::size_t lane) const;
+
+  /// Advance every lane one clock.
+  void step();
+
+  /// Row of bit k: lane_words words, lane l at bit (l % 64) of word l/64.
+  const std::uint64_t* row(std::size_t k) const {
+    return bits_.data() + k * lane_words_;
+  }
+
+ private:
+  std::size_t width_;
+  unsigned lane_words_;
+  std::vector<unsigned> taps_;
+  std::vector<std::uint64_t> bits_;  // width rows of lane_words words
 };
 
 }  // namespace stc

@@ -63,4 +63,24 @@ void LaneMisr::accumulate_diff(std::uint64_t* diff) const {
   }
 }
 
+void LaneMisr::accumulate_pair_diff(std::uint64_t* diff) const {
+  const unsigned W = lane_words_;
+  constexpr std::uint64_t kEven = 0x5555555555555555ULL;
+  for (std::size_t k = 0; k < width_; ++k)
+    for (unsigned w = 0; w < W; ++w) {
+      const std::uint64_t v = bits_[k * W + w];
+      diff[w] |= (v ^ (v >> 1)) & kEven;
+    }
+}
+
+std::uint64_t LaneMisr::lane_signature(std::size_t lane) const {
+  const unsigned W = lane_words_;
+  const std::size_t word = lane >> 6;
+  const unsigned shift = static_cast<unsigned>(lane & 63);
+  std::uint64_t s = 0;
+  for (std::size_t k = 0; k < width_; ++k)
+    s |= ((bits_[k * W + word] >> shift) & 1) << k;
+  return s;
+}
+
 }  // namespace stc

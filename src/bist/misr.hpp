@@ -59,6 +59,20 @@ class LaneMisr {
   /// from lane 0 (bit 0 of word 0 of each row).
   void accumulate_diff(std::uint64_t* diff) const;
 
+  /// Pairwise compare for the fleet packing (lane 2j = reference, lane
+  /// 2j+1 = faulty copy): OR into `diff` at every EVEN bit position 2j
+  /// whether pair j's two signatures differ in any bit.
+  void accumulate_pair_diff(std::uint64_t* diff) const;
+
+  /// Row of signature bit k (lane_words words; lane l at bit l%64 of
+  /// word l/64) -- the fleet aggregator's signature-histogram source.
+  const std::uint64_t* row(std::size_t k) const {
+    return bits_.data() + k * lane_words_;
+  }
+
+  /// Extract lane `lane`'s full signature.
+  std::uint64_t lane_signature(std::size_t lane) const;
+
  private:
   std::size_t width_;
   unsigned lane_words_;

@@ -10,6 +10,7 @@
 #include "bist/lfsr.hpp"
 #include "netlist/eval64.hpp"
 #include "util/error.hpp"
+#include "util/rng.hpp"
 #include "util/strings.hpp"
 
 namespace stc {
@@ -300,6 +301,19 @@ class LaneBank {
   /// OR into `diff` (W words) the lanes whose contents differ from lane 0.
   void accumulate_diff(std::uint64_t* diff) const { reg_.accumulate_diff(diff); }
 
+  // Fleet-packing hooks (see run_fleet_shard): per-instance seeds and
+  // pair-local comparisons instead of the lane-0 reference.
+  std::size_t width() const { return reg_.width(); }
+  void load_lane(std::size_t lane, std::uint64_t value) {
+    reg_.load_lane(lane, value);
+  }
+  void accumulate_pair_diff(std::uint64_t* diff) const {
+    reg_.accumulate_pair_diff(diff);
+  }
+  void accumulate_pair_d_diff(std::uint64_t* diff) const {
+    reg_.accumulate_pair_d_diff(diff);
+  }
+
  private:
   const std::vector<std::size_t>* idx_;
   unsigned lane_words_;
@@ -347,6 +361,17 @@ struct CampaignScratch {
   std::vector<LaneFault> batch;
   std::uint64_t cycles = 0;  // machine cycles simulated by this worker
 
+  // Fleet extras (run_fleet_shard only; idle in campaign use). Sized at
+  // construction so fleet runs stay allocation-free in the steady state
+  // just like campaign batches.
+  LaneLfsr fleet_input_gen;                    // per-lane input sequences
+  std::vector<std::uint64_t> fleet_po_stream;  // pair masks, W words each:
+  std::vector<std::uint64_t> fleet_d_stream;   //   even bit 2j = pair j
+  std::vector<std::uint64_t> fleet_misr_sig;
+  std::vector<std::uint64_t> fleet_any_sig;
+  std::vector<Fault> fleet_faults;             // defect-sampler sink
+  std::vector<char> fleet_defective;           // per-pair defect flags
+
   /// `proto` is a compiled program shared by all workers: copying its
   /// vectors is far cheaper than re-running the compile (CSR build +
   /// AND-node folding fixpoint) once per thread, and each worker still
@@ -365,7 +390,14 @@ struct CampaignScratch {
         in_lanes(cs.nl.num_inputs() * proto.lane_words(), 0),
         dff_lanes(cs.nl.num_dffs() * proto.lane_words(), 0),
         flat_values(cs.nl.num_nets() * proto.lane_words(), 0),
-        diff_mask(proto.lane_words(), 0) {
+        diff_mask(proto.lane_words(), 0),
+        fleet_input_gen(std::max<std::size_t>(8, cs.pi.size()),
+                        proto.lane_words()),
+        fleet_po_stream(proto.lane_words(), 0),
+        fleet_d_stream(proto.lane_words(), 0),
+        fleet_misr_sig(proto.lane_words(), 0),
+        fleet_any_sig(proto.lane_words(), 0),
+        fleet_defective(fleet_instances_per_run(proto.lane_words()), 0) {
     const unsigned W = proto.lane_words();
     const Netlist::SimState init = cs.nl.initial_state();
     init_dff_lanes.assign(init.dff.size() * W, 0);
@@ -448,6 +480,118 @@ void run_self_test_lanes(const ControllerStructure& cs, const SelfTestPlan& plan
   sc.out_misr.accumulate_diff(sc.diff_mask.data());
   sc.cn.clear_faults();
   sc.diff_mask[0] &= ~std::uint64_t{1};  // lane 0 is the reference, not a fault
+}
+
+// Per-(session, role) salts for fleet sub-seed derivation: splitmix64 is a
+// bijection, so for any fixed salt the sub-seeds inherit the instance
+// keys' pairwise distinctness.
+constexpr std::uint64_t kFleetInputSalt = 0x464c4545542d494eULL;  // "FLEET-IN"
+constexpr std::uint64_t kFleetGenASalt = 0x464c4545542d4741ULL;   // "FLEET-GA"
+constexpr std::uint64_t kFleetGenBSalt = 0x464c4545542d4742ULL;   // "FLEET-GB"
+
+/// One full self-test execution of n_pairs chip instances packed as
+/// (reference, faulty) lane pairs. The caller has loaded sc.batch with the
+/// sampled defects (lane 2j+1 for instance j); this fills the four fleet
+/// pair masks (even bit 2j = pair j): PO stream diff, compressing-bank D
+/// stream diff, final output-MISR signature diff, and any-signature diff.
+void run_fleet_lanes(const ControllerStructure& cs, const SelfTestPlan& plan,
+                     const PinMap& pins, CampaignScratch& sc,
+                     CampaignEngine engine, std::size_t n_pairs,
+                     std::uint64_t base_seed, std::uint64_t first_instance) {
+  const unsigned W = sc.cn.lane_words();
+  constexpr std::uint64_t kEven = 0x5555555555555555ULL;
+  sc.cn.set_faults(sc.batch);
+  sc.out_misr.reset();
+  std::fill(sc.fleet_po_stream.begin(), sc.fleet_po_stream.end(), 0);
+  std::fill(sc.fleet_d_stream.begin(), sc.fleet_d_stream.end(), 0);
+  std::fill(sc.fleet_misr_sig.begin(), sc.fleet_misr_sig.end(), 0);
+  std::fill(sc.fleet_any_sig.begin(), sc.fleet_any_sig.end(), 0);
+
+  for (std::size_t si = 0; si < plan.sessions.size(); ++si) {
+    const SessionSpec& spec = plan.sessions[si];
+    // Broadcast defaults first (also covers the unused tail lanes when the
+    // final run is short), then overwrite the instance pairs with their
+    // derived seeds -- both lanes of a pair get the SAME seed, so the only
+    // divergence inside a pair is the injected defect.
+    sc.bank_a.reset(spec.role_a, spec.gen_seed);
+    sc.bank_b.reset(spec.role_b, spec.gen_seed * 3 + 1);
+    sc.fleet_input_gen.reset();
+    const std::size_t in_width = sc.fleet_input_gen.width();
+    for (std::size_t j = 0; j < n_pairs; ++j) {
+      const std::uint64_t key =
+          fleet_instance_key(base_seed, first_instance + j);
+      const std::uint64_t in_state =
+          nonzero_lfsr_state(splitmix64(key ^ (kFleetInputSalt + si)), in_width);
+      sc.fleet_input_gen.seed_lane(2 * j, in_state);
+      sc.fleet_input_gen.seed_lane(2 * j + 1, in_state);
+      if (spec.role_a == RegRole::kGenerate && !sc.bank_a.empty()) {
+        const std::uint64_t s = nonzero_lfsr_state(
+            splitmix64(key ^ (kFleetGenASalt + si)), sc.bank_a.width());
+        sc.bank_a.load_lane(2 * j, s);
+        sc.bank_a.load_lane(2 * j + 1, s);
+      }
+      if (spec.role_b == RegRole::kGenerate && !sc.bank_b.empty()) {
+        const std::uint64_t s = nonzero_lfsr_state(
+            splitmix64(key ^ (kFleetGenBSalt + si)), sc.bank_b.width());
+        sc.bank_b.load_lane(2 * j, s);
+        sc.bank_b.load_lane(2 * j + 1, s);
+      }
+    }
+    std::copy(sc.init_dff_lanes.begin(), sc.init_dff_lanes.end(),
+              sc.dff_lanes.begin());
+    sc.cn.reset(sc.ev);
+
+    for (std::size_t cycle = 0; cycle < spec.cycles; ++cycle) {
+      // Per-lane stimulus: every PI row is rewritten from the lane LFSR
+      // each cycle (no broadcast/delta shortcut -- lanes genuinely differ).
+      for (std::size_t k = 0; k < cs.pi.size(); ++k) {
+        const std::uint64_t* src = sc.fleet_input_gen.row(k);
+        std::uint64_t* dst = sc.in_lanes.data() + pins.pi_slot[k] * W;
+        for (unsigned w = 0; w < W; ++w) dst[w] = src[w];
+      }
+
+      sc.bank_a.deposit(sc.dff_lanes.data());
+      sc.bank_b.deposit(sc.dff_lanes.data());
+      const std::uint64_t* values;
+      if (engine == CampaignEngine::kEvent) {
+        sc.cn.evaluate_event(sc.in_lanes.data(), sc.dff_lanes.data(), sc.ev);
+        values = sc.ev.values.data();
+      } else {
+        sc.cn.evaluate(sc.in_lanes.data(), sc.dff_lanes.data(),
+                       sc.flat_values.data());
+        values = sc.flat_values.data();
+      }
+
+      absorb_output_lanes(sc.out_misr, values, cs.po, W);
+      // Streaming observability: did the defect show on a primary output
+      // THIS cycle? (What an external tester watching the pins would see.)
+      for (NetId net : cs.po) {
+        const std::uint64_t* src = values + std::size_t{net} * W;
+        for (unsigned w = 0; w < W; ++w)
+          sc.fleet_po_stream[w] |= (src[w] ^ (src[w] >> 1)) & kEven;
+      }
+
+      sc.bank_a.clock(values);
+      sc.bank_b.clock(values);
+      // ...and did it reach a compacting register's D inputs? (clock()
+      // leaves the gathered D rows in place for the pair compare.)
+      if (spec.role_a == RegRole::kCompress)
+        sc.bank_a.accumulate_pair_d_diff(sc.fleet_d_stream.data());
+      if (spec.role_b == RegRole::kCompress && !sc.bank_b.empty())
+        sc.bank_b.accumulate_pair_d_diff(sc.fleet_d_stream.data());
+      sc.fleet_input_gen.step();
+      ++sc.cycles;
+    }
+
+    if (spec.role_a == RegRole::kCompress)
+      sc.bank_a.accumulate_pair_diff(sc.fleet_any_sig.data());
+    if (spec.role_b == RegRole::kCompress && !sc.bank_b.empty())
+      sc.bank_b.accumulate_pair_diff(sc.fleet_any_sig.data());
+  }
+  sc.out_misr.accumulate_pair_diff(sc.fleet_misr_sig.data());
+  for (unsigned w = 0; w < W; ++w)
+    sc.fleet_any_sig[w] |= sc.fleet_misr_sig[w];
+  sc.cn.clear_faults();
 }
 
 }  // namespace
@@ -796,6 +940,119 @@ CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestP
                   res.faults_simulated, res.raw.total);
   }
   return res;
+}
+
+// --- fleet shard kernel ------------------------------------------------------
+
+std::uint64_t fleet_instance_key(std::uint64_t base_seed,
+                                 std::uint64_t instance) {
+  // base + (instance+1)*odd is injective in `instance` (mod 2^64) and the
+  // SplitMix64 finalizer is a bijection, so keys are pairwise distinct.
+  return splitmix64(base_seed + (instance + 1) * 0x9e3779b97f4a7c15ULL);
+}
+
+void FleetShardStats::merge(const FleetShardStats& o) {
+  instances += o.instances;
+  defective += o.defective;
+  po_stream_detected += o.po_stream_detected;
+  any_stream_detected += o.any_stream_detected;
+  misr_detected += o.misr_detected;
+  sig_detected += o.sig_detected;
+  aliases += o.aliases;
+  escapes += o.escapes;
+  session_runs += o.session_runs;
+  cycles += o.cycles;
+  for (std::size_t b = 0; b < signature_histogram.size(); ++b)
+    signature_histogram[b] += o.signature_histogram[b];
+}
+
+FleetShardStats run_fleet_shard(const ControllerStructure& cs,
+                                const SelfTestPlan& plan,
+                                CampaignWarmState& warm,
+                                std::uint64_t base_seed, std::uint64_t first,
+                                std::uint64_t count,
+                                const FleetDefectSampler& sampler,
+                                CampaignEngine engine, const Budget& budget) {
+  if (!cs.nl.finalized())
+    throw std::logic_error("run_fleet_shard: netlist not finalized");
+  std::string problems;
+  if (engine != CampaignEngine::kEvent && engine != CampaignEngine::kFlat)
+    problems = "engine must be event or flat (the serial oracle has no lanes "
+               "to pack instances into)";
+  if (plan.sessions.empty())
+    problems += std::string(problems.empty() ? "" : "; ") + "plan has no sessions";
+  if (warm.structure() != &cs)
+    problems += std::string(problems.empty() ? "" : "; ") +
+                "warm state was built for a different structure object";
+  else if (warm.misr_width() != plan.output_misr_width)
+    problems += std::string(problems.empty() ? "" : "; ") +
+                "warm misr_width=" + std::to_string(warm.misr_width()) +
+                " != plan output_misr_width=" +
+                std::to_string(plan.output_misr_width);
+  if (!sampler)
+    problems += std::string(problems.empty() ? "" : "; ") + "null defect sampler";
+  if (!problems.empty())
+    throw Error(ErrorCode::kInvalidInput, "invalid fleet shard", problems);
+
+  // Lease warm scratch with the campaign's RAII return, so a sampler or
+  // engine throw never leaks the scratch out of the free-list.
+  std::unique_ptr<CampaignScratch> leased = warm.acquire(*warm.structure());
+  struct LeaseReturn {
+    CampaignWarmState* warm;
+    std::unique_ptr<CampaignScratch>& sc;
+    ~LeaseReturn() { warm->release(std::move(sc)); }
+  } lease_return{&warm, leased};
+  CampaignScratch& sc = *leased;
+
+  const unsigned W = sc.cn.lane_words();
+  const std::size_t per_run = fleet_instances_per_run(W);
+  const std::uint64_t cycles0 = sc.cycles;
+  Budget bud = budget;
+
+  FleetShardStats st;
+  std::uint64_t done = 0;
+  while (done < count) {
+    if (bud.spend(1)) break;  // truncation: st.instances < count, all exact
+    const std::size_t n =
+        static_cast<std::size_t>(std::min<std::uint64_t>(per_run, count - done));
+    sc.batch.clear();
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t instance = first + done + j;
+      sc.fleet_faults.clear();
+      sampler(instance, sc.fleet_faults);
+      sc.fleet_defective[j] = sc.fleet_faults.empty() ? 0 : 1;
+      for (const Fault& f : sc.fleet_faults)
+        sc.batch.push_back(
+            {f.net, f.stuck_value, static_cast<unsigned>(2 * j + 1)});
+    }
+    run_fleet_lanes(cs, plan, warm.pins(), sc, engine, n, base_seed,
+                    first + done);
+    ++st.session_runs;
+
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::size_t pos = 2 * j;  // pair flag = even lane bit
+      const std::size_t word = pos >> 6;
+      const unsigned bit = static_cast<unsigned>(pos & 63);
+      const bool po = (sc.fleet_po_stream[word] >> bit) & 1;
+      const bool dstr = (sc.fleet_d_stream[word] >> bit) & 1;
+      const bool misr = (sc.fleet_misr_sig[word] >> bit) & 1;
+      const bool sig = (sc.fleet_any_sig[word] >> bit) & 1;
+      const bool any_stream = po || dstr;
+      ++st.instances;
+      st.defective += sc.fleet_defective[j] ? 1 : 0;
+      st.po_stream_detected += po ? 1 : 0;
+      st.any_stream_detected += any_stream ? 1 : 0;
+      st.misr_detected += misr ? 1 : 0;
+      st.sig_detected += sig ? 1 : 0;
+      st.aliases += (po && !misr) ? 1 : 0;
+      st.escapes += (any_stream && !sig) ? 1 : 0;
+      if (sc.fleet_defective[j])
+        ++st.signature_histogram[sc.out_misr.lane_signature(2 * j + 1) & 63];
+    }
+    done += n;
+  }
+  st.cycles = sc.cycles - cycles0;
+  return st;
 }
 
 CoverageResult measure_functional_coverage(const ControllerStructure& cs,

@@ -13,6 +13,7 @@
 // run. The paper's pipeline scheme is: session 1 = R1 generates / R2
 // compresses, session 2 = the converse.
 
+#include <array>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -271,6 +272,80 @@ struct CampaignResult {
 CampaignResult run_fault_campaign(const ControllerStructure& cs, const SelfTestPlan& plan,
                                   const CampaignOptions& options = {},
                                   std::optional<std::vector<Fault>> faults = std::nullopt);
+
+/// --- fleet shard kernel (bist-side seam of fleet/fleet.hpp) -------------
+///
+/// Deployment simulation: lanes are packed as (reference, faulty) PAIRS --
+/// lane 2j is chip instance j's fault-free twin, lane 2j+1 carries its
+/// sampled defects -- so one self-test run simulates 32·W chip instances,
+/// each with its own derived LFSR seeds. Detection is a pair-local
+/// comparison, never against lane 0, so an instance's verdict depends only
+/// on its own two lanes; the bit-parallel evaluator keeps lanes
+/// independent, which makes the aggregate counts bit-identical for every
+/// shard size, shard order and worker count by construction.
+
+/// Chip instances simulated per self-test run at lane width W.
+inline constexpr std::size_t fleet_instances_per_run(unsigned lane_words) {
+  return 32u * lane_words;
+}
+
+/// Per-instance 64-bit seed key: SplitMix64 applied to the injective
+/// stream base_seed + (instance+1)·odd. SplitMix64 is a bijection, so
+/// distinct instances ALWAYS get distinct keys (no birthday collisions),
+/// and per-(session, role) sub-seeds derived from the key stay distinct
+/// across instances too. Width-w register states are then folded onto
+/// [1, 2^w - 1] via nonzero_lfsr_state, so derivation can never trip the
+/// zero-seed coercion in Lfsr::seed.
+std::uint64_t fleet_instance_key(std::uint64_t base_seed, std::uint64_t instance);
+
+/// Sample the defect set of one chip instance into `out` (append; the
+/// kernel clears it between instances). MUST be a pure function of
+/// `instance` -- shard boundaries and worker interleavings change the call
+/// order, and the bit-identical-aggregates contract relies on each
+/// instance sampling the same defects regardless.
+using FleetDefectSampler =
+    std::function<void(std::uint64_t instance, std::vector<Fault>& out)>;
+
+/// Streaming per-shard aggregate: O(1) memory regardless of instance
+/// count; no per-instance result is ever materialized.
+struct FleetShardStats {
+  std::uint64_t instances = 0;   // instances actually simulated
+  std::uint64_t defective = 0;   // instances with >= 1 sampled fault
+  /// Observability counters (all over simulated instances):
+  std::uint64_t po_stream_detected = 0;   // PO stream differed some cycle
+  std::uint64_t any_stream_detected = 0;  // PO stream or a compressing
+                                          // bank's D stream differed
+  std::uint64_t misr_detected = 0;  // final output-MISR signature differs
+  std::uint64_t sig_detected = 0;   // any signature differs (banks + MISR)
+  /// Alias event: the defect was visible on the primary outputs, but the
+  /// output MISR compacted both streams to the same signature -- the
+  /// empirical counterpart of the 2^-k aliasing bound for a k-bit MISR.
+  std::uint64_t aliases = 0;  // po_stream_detected && !misr_detected
+  /// Escape: the defect reached SOME compacted stream, yet every final
+  /// signature matched -- the chip ships as good.
+  std::uint64_t escapes = 0;  // any_stream_detected && !sig_detected
+  std::uint64_t session_runs = 0;
+  std::uint64_t cycles = 0;
+  /// Final output-MISR signatures of defective instances, folded into 64
+  /// buckets (signature mod 64) -- a cheap uniformity check on the
+  /// compaction, streamed without materializing signatures.
+  std::array<std::uint64_t, 64> signature_histogram{};
+
+  void merge(const FleetShardStats& o);
+};
+
+/// Simulate chip instances [first, first + count) of a fleet in packed
+/// runs of fleet_instances_per_run(W), leasing scratch from `warm` (which
+/// must be bound to (cs, plan.output_misr_width, W)). The budget is
+/// charged one unit per self-test run; exhaustion truncates the shard
+/// (stats.instances < count) with every completed run's counts exact.
+FleetShardStats run_fleet_shard(const ControllerStructure& cs,
+                                const SelfTestPlan& plan,
+                                CampaignWarmState& warm,
+                                std::uint64_t base_seed, std::uint64_t first,
+                                std::uint64_t count,
+                                const FleetDefectSampler& sampler,
+                                CampaignEngine engine, const Budget& budget);
 
 /// Functional (non-BIST) baseline: drive `cycles` LFSR input patterns in
 /// system mode and compare primary outputs cycle by cycle. This is what an

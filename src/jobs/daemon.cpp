@@ -131,6 +131,8 @@ DaemonReport run_daemon(const DaemonOptions& opt, JobCache& cache) {
       if (report.coverage) r.coverage = *report.coverage;
       r.total_faults = report.total_faults;
       r.area_ge = report.area_ge;
+      if (out.result.fleet)
+        r.fleet_instances = out.result.fleet->instances_simulated();
       r.degradation = render_result_degradations(report);
       queue.complete(inf->claimed, std::move(r));
       ++rep.jobs_done;

@@ -63,6 +63,11 @@ std::vector<CampaignJobSpec> expand_sweep(const SweepOptions& opt) {
           s.functional_cycles = opt.functional_cycles;
           s.minimizer = opt.minimizer;
           s.with_fault_sim = opt.with_fault_sim;
+          s.fleet_instances = opt.fleet_instances;
+          s.fleet_widths = opt.fleet_widths;
+          s.fleet_distribution = opt.fleet_distribution;
+          s.fleet_defect_rate = opt.fleet_defect_rate;
+          s.fleet_seed = opt.fleet_seed;
           specs.push_back(std::move(s));
         }
       }
@@ -93,10 +98,18 @@ CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
     auto s = cache.structure(m, spec.arch, spec.tech, spec.minimizer, ostr_opt,
                              budget, &r.structure_cached);
 
+    const bool fleet_mode = spec.fleet_instances > 0;
+    if (fleet_mode && spec.arch == ArchKind::kFig1)
+      throw Error(ErrorCode::kInvalidInput,
+                  "fleet jobs need a BIST architecture",
+                  "machine=" + spec.machine + "; arch=fig1 runs no self-test");
+
     FlowOptions fopt;
     fopt.minimizer = spec.minimizer;
     fopt.technology = spec.tech;
-    fopt.with_fault_sim = spec.with_fault_sim;
+    // Fleet jobs keep the synthesis metrics but replace the per-fault
+    // campaign with the deployment simulation below.
+    fopt.with_fault_sim = spec.with_fault_sim && !fleet_mode;
     fopt.bist_cycles = spec.bist_cycles;
     fopt.functional_cycles = spec.functional_cycles;
     fopt.budget = budget;
@@ -110,7 +123,7 @@ CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
     // Warm compiled-netlist + scratch for the campaign-driven structures
     // (the serial oracle engine compiles nothing, fig1 runs no sessions).
     std::shared_ptr<CampaignWarmState> warm;
-    if (spec.with_fault_sim && spec.arch != ArchKind::kFig1 &&
+    if (fopt.with_fault_sim && spec.arch != ArchKind::kFig1 &&
         spec.engine != CampaignEngine::kSerial) {
       warm = cache.warm(s, plan_for(spec).output_misr_width, spec.lane_words,
                         &r.warm_cached);
@@ -118,6 +131,34 @@ CampaignJobResult run_campaign_job(const CampaignJobSpec& spec, JobCache& cache,
     }
 
     r.report = measure_structure(s->cs, fopt, &r.coverage);
+
+    if (fleet_mode) {
+      FleetOptions flo;
+      flo.instances = spec.fleet_instances;
+      flo.misr_widths = spec.fleet_widths;
+      flo.lane_words = spec.lane_words;
+      flo.engine = spec.engine;
+      flo.plan = plan_for(spec);
+      flo.base_seed = spec.fleet_seed;
+      flo.defects.model = spec.fleet_distribution;
+      flo.defects.defect_rate = spec.fleet_defect_rate;
+      flo.budget = budget;
+      flo.executor = executor;
+      flo.jobs = 1;  // scheduler-owned or serial; never a nested pool
+      // Warm states come from the cache per MISR width, so re-queued fleet
+      // jobs on a cached structure skip every compile (run_fleet calls this
+      // serially from the width loop).
+      flo.warm = [&cache, &s, &spec, &r](std::size_t width) {
+        bool hit = false;
+        auto w = cache.warm(s, width, spec.lane_words, &hit);
+        r.warm_cached = r.warm_cached || hit;
+        return w;
+      };
+      auto fleet = std::make_shared<FleetReport>(run_fleet(s->cs, flo));
+      if (fleet->degradation.degraded)
+        r.report.degradations.push_back(fleet->degradation);
+      r.fleet = std::move(fleet);
+    }
   } catch (const Error& e) {
     r.error = e.what();
     r.error_code = e.code();
@@ -308,6 +349,15 @@ std::string render_corpus_row(const CampaignJobResult& row) {
   // Which cache levels were hot for this job: Machine / Structure / Warm.
   os << "  " << (row.machine_cached ? 'M' : '.')
      << (row.structure_cached ? 'S' : '.') << (row.warm_cached ? 'W' : '.');
+  if (row.fleet) {
+    os << "  fleet " << row.fleet->instances_simulated() << " inst";
+    if (!row.fleet->widths.empty()) {
+      const FleetWidthResult& w0 = row.fleet->widths.front();
+      os << ", alias@w" << w0.misr_width << " " << std::scientific
+         << std::setprecision(2) << w0.alias_probability();
+      os.unsetf(std::ios::floatfield);
+    }
+  }
   if (!row.report.degradations.empty()) os << "  [degraded]";
   return os.str();
 }

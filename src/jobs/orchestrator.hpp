@@ -14,6 +14,7 @@
 
 #include <functional>
 
+#include "fleet/fleet.hpp"
 #include "jobs/cache.hpp"
 #include "jobs/scheduler.hpp"
 #include "synth/flow.hpp"
@@ -32,6 +33,19 @@ struct CampaignJobSpec {
   std::size_t functional_cycles = 512; // fig1 baseline
   MinimizerKind minimizer = MinimizerKind::kAuto;
   bool with_fault_sim = true;
+
+  /// Fleet mode: when > 0 the job is a deployment simulation -- synthesize
+  /// the structure as usual (area/depth metrics still reported, fault sweep
+  /// skipped), then run `fleet_instances` chip instances per MISR width
+  /// through run_fleet on the job's engine/lane width, with defects drawn
+  /// from `fleet_distribution`. 0 = ordinary campaign job.
+  std::uint64_t fleet_instances = 0;
+  std::vector<std::size_t> fleet_widths = {8, 16, 24, 40};
+  DefectModel fleet_distribution = DefectModel::kSingleUniform;
+  double fleet_defect_rate = 1.0;
+  /// Base seed of the per-instance LFSR-seed derivation (not the defect
+  /// sampler seed, which DefectSpec owns).
+  std::uint64_t fleet_seed = 0xF1EE7;
 };
 
 struct CampaignJobResult {
@@ -52,6 +66,10 @@ struct CampaignJobResult {
   /// Machine-readable context of a typed failure (Error::context()).
   std::string error_context;
 
+  /// Fleet-mode outcome (null for ordinary campaign jobs). Shared so the
+  /// result stays cheap to copy through the retirement queue.
+  std::shared_ptr<const FleetReport> fleet;
+
   bool failed() const { return !skipped && !error.empty(); }
   double seconds = 0.0;  // job wall time (build amortized into first job)
   // Which cache levels served this job hot:
@@ -71,6 +89,13 @@ struct SweepOptions {
   std::size_t functional_cycles = 512;
   MinimizerKind minimizer = MinimizerKind::kAuto;
   bool with_fault_sim = true;
+  /// Fleet mode for every expanded job (see CampaignJobSpec): > 0 turns the
+  /// sweep into a corpus-wide deployment simulation.
+  std::uint64_t fleet_instances = 0;
+  std::vector<std::size_t> fleet_widths = {8, 16, 24, 40};
+  DefectModel fleet_distribution = DefectModel::kSingleUniform;
+  double fleet_defect_rate = 1.0;
+  std::uint64_t fleet_seed = 0xF1EE7;
   /// Worker threads of the shared pool (the --jobs flag). Results are
   /// identical for any value; only wall time differs.
   std::size_t jobs = 1;

@@ -178,6 +178,22 @@ std::string render_spool_job(const SpoolJob& job) {
   out += std::string("minimizer = ") + minimizer_name(job.spec.minimizer) + "\n";
   out += std::string("faultsim = ") + (job.spec.with_fault_sim ? "1" : "0") +
          "\n";
+  // Fleet-mode keys ride along only when the job IS a fleet job, so spool
+  // files written before fleet mode existed round-trip byte-identically.
+  if (job.spec.fleet_instances > 0) {
+    out += "fleet_instances = " + std::to_string(job.spec.fleet_instances) +
+           "\n";
+    std::string widths;
+    for (std::size_t w : job.spec.fleet_widths) {
+      if (!widths.empty()) widths += ",";
+      widths += std::to_string(w);
+    }
+    out += "fleet_widths = " + widths + "\n";
+    out += std::string("fleet_distribution = ") +
+           defect_model_name(job.spec.fleet_distribution) + "\n";
+    out += strprintf("fleet_defect_rate = %.6f\n", job.spec.fleet_defect_rate);
+    out += "fleet_seed = " + std::to_string(job.spec.fleet_seed) + "\n";
+  }
   out += strprintf("budget_ms = %.3f\n", job.budget_ms);
   out += "attempts = " + std::to_string(job.attempts) + "\n";
   out += "recoveries = " + std::to_string(job.recoveries) + "\n";
@@ -212,6 +228,26 @@ SpoolJob parse_spool_job(const std::string& text, const std::string& origin) {
       } else if (key == "faultsim") {
         job.spec.with_fault_sim =
             parse_u64_field(value, origin, line, key) != 0;
+      } else if (key == "fleet_instances") {
+        job.spec.fleet_instances = parse_u64_field(value, origin, line, key);
+      } else if (key == "fleet_widths") {
+        job.spec.fleet_widths.clear();
+        for (const std::string& part : split_on(value, ',')) {
+          const std::string w = trim(part);
+          if (w.empty()) continue;
+          job.spec.fleet_widths.push_back(
+              static_cast<std::size_t>(parse_u64_field(w, origin, line, key)));
+        }
+        if (job.spec.fleet_widths.empty())
+          throw Error(ErrorCode::kInvalidInput, "empty fleet_widths list",
+                      "file=" + origin + "; line=" + std::to_string(line));
+      } else if (key == "fleet_distribution") {
+        job.spec.fleet_distribution = parse_defect_model(value);
+      } else if (key == "fleet_defect_rate") {
+        job.spec.fleet_defect_rate =
+            parse_double_field(value, origin, line, key);
+      } else if (key == "fleet_seed") {
+        job.spec.fleet_seed = parse_u64_field(value, origin, line, key);
       } else if (key == "budget_ms") {
         job.budget_ms = parse_double_field(value, origin, line, key);
       } else if (key == "attempts") {
@@ -230,6 +266,12 @@ SpoolJob parse_spool_job(const std::string& text, const std::string& origin) {
       // position; errors that already carry it pass through.
       if (e.context().find("file=") != std::string::npos) throw;
       throw Error(e.code(), e.what(),
+                  "file=" + origin + "; line=" + std::to_string(line));
+    } catch (const std::invalid_argument& e) {
+      // Some enum parsers (tech/engine/distribution) use the library-wide
+      // std::invalid_argument idiom; a bad value must surface as a typed
+      // parse error so claim() retires the file instead of crashing.
+      throw Error(ErrorCode::kInvalidInput, e.what(),
                   "file=" + origin + "; line=" + std::to_string(line));
     }
   });
@@ -250,6 +292,8 @@ std::string render_spool_result(const SpoolResult& r) {
   if (r.coverage >= 0.0) out += strprintf("coverage = %.6f\n", r.coverage);
   out += "total_faults = " + std::to_string(r.total_faults) + "\n";
   out += strprintf("area_ge = %.3f\n", r.area_ge);
+  if (r.fleet_instances > 0)
+    out += "fleet_instances = " + std::to_string(r.fleet_instances) + "\n";
   if (!r.degradation.empty()) out += "degradation = " + r.degradation + "\n";
   return out;
 }
@@ -268,6 +312,7 @@ SpoolResult parse_spool_result(const std::string& text,
     else if (key == "coverage") r.coverage = parse_double_field(value, origin, line, key);
     else if (key == "total_faults") r.total_faults = parse_u64_field(value, origin, line, key);
     else if (key == "area_ge") r.area_ge = parse_double_field(value, origin, line, key);
+    else if (key == "fleet_instances") r.fleet_instances = parse_u64_field(value, origin, line, key);
     else if (key == "degradation") r.degradation = value;
     else
       throw Error(ErrorCode::kInvalidInput, "unknown spool result key",

@@ -64,6 +64,8 @@ struct SpoolResult {
   double coverage = -1.0;
   std::uint64_t total_faults = 0;
   double area_ge = 0.0;
+  /// Fleet-mode jobs: chip instances actually simulated (0 otherwise).
+  std::uint64_t fleet_instances = 0;
   std::string degradation;  // rendered labels, ";"-joined
 };
 

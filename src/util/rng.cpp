@@ -3,14 +3,6 @@
 namespace stc {
 namespace {
 
-std::uint64_t splitmix64(std::uint64_t& x) {
-  x += 0x9e3779b97f4a7c15ULL;
-  std::uint64_t z = x;
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  return z ^ (z >> 31);
-}
-
 std::uint64_t rotl(std::uint64_t x, int k) {
   return (x << k) | (x >> (64 - k));
 }
@@ -18,8 +10,14 @@ std::uint64_t rotl(std::uint64_t x, int k) {
 }  // namespace
 
 void Rng::reseed(std::uint64_t seed) {
+  // Walk the SplitMix64 stream: splitmix64(s) = finalize(s + golden), so
+  // stepping s by the golden ratio reproduces the classic stateful stream
+  // (and the historical Rng sequences) exactly.
   std::uint64_t s = seed;
-  for (auto& w : state_) w = splitmix64(s);
+  for (auto& w : state_) {
+    w = splitmix64(s);
+    s += 0x9e3779b97f4a7c15ULL;
+  }
   // xoshiro must not start from the all-zero state.
   if ((state_[0] | state_[1] | state_[2] | state_[3]) == 0) state_[0] = 1;
 }

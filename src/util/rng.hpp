@@ -10,6 +10,18 @@
 
 namespace stc {
 
+/// Stateless SplitMix64 finalizer (Steele/Lea/Flood): a bijection on
+/// uint64 with full avalanche. Feeding it an injective input stream
+/// (e.g. `base + i * odd_constant`) therefore yields pairwise-distinct
+/// outputs -- the collision-free-by-construction property the fleet
+/// simulator's per-instance seed derivation relies on.
+inline std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 /// xoshiro256** by Blackman & Vigna, seeded through SplitMix64.
 /// Small, fast, and good enough statistical quality for workload generation;
 /// NOT a cryptographic generator.

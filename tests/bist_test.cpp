@@ -40,6 +40,13 @@ TEST(Lfsr, VisitsAllNonzeroStates) {
 TEST(Lfsr, ZeroSeedCoerced) {
   Lfsr lfsr(5, 0);
   EXPECT_NE(lfsr.state(), 0u);
+  // The coercion is no longer silent: seed() reports it and the query
+  // remembers it, so callers can detect that 0 and 1 alias.
+  EXPECT_TRUE(lfsr.last_seed_coerced());
+  EXPECT_FALSE(lfsr.seed(1));
+  EXPECT_FALSE(lfsr.last_seed_coerced());
+  EXPECT_TRUE(lfsr.seed(0));
+  EXPECT_TRUE(lfsr.seed(std::uint64_t{1} << 5));  // masked to zero -> coerced
 }
 
 TEST(Lfsr, BadParametersThrow) {
@@ -47,7 +54,8 @@ TEST(Lfsr, BadParametersThrow) {
   EXPECT_THROW(Lfsr(65, 1), std::invalid_argument);
   EXPECT_THROW(Lfsr(4, {3, 2}, 1), std::invalid_argument);   // missing top tap
   EXPECT_THROW(Lfsr(4, {4, 9}, 1), std::invalid_argument);   // tap > width
-  EXPECT_THROW(primitive_taps(33), std::invalid_argument);
+  EXPECT_THROW(primitive_taps(0), std::invalid_argument);
+  EXPECT_THROW(primitive_taps(65), std::invalid_argument);
 }
 
 TEST(Lfsr, NonPrimitivePolynomialShorterPeriod) {
